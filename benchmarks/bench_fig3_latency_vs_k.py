@@ -1,0 +1,61 @@
+"""Experiment F3 (Figure 3): latency and work as a function of k.
+
+Sweeps the requested result size k and reports, per algorithm, the mean
+latency and total accesses.  Expected shape: the exhaustive baseline is flat
+in k (it always scans everything), while the early-terminating algorithms
+grow with k because a larger k needs more evidence before the bounds close.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series, format_table, sweep
+from repro.workload import queries_with_k
+
+from conftest import write_result
+
+K_VALUES = [1, 5, 10, 20]
+ALGORITHMS = ["exact", "ta", "nra", "social-first"]
+
+
+def test_fig3_latency_vs_k(benchmark, delicious_engine, delicious_workload):
+    """Sweep k and record the latency / access curves."""
+
+    def run():
+        return sweep(
+            engine_factory=lambda k: delicious_engine,
+            parameter_values=K_VALUES,
+            queries_factory=lambda k, engine: queries_with_k(delicious_workload, k),
+            algorithms=ALGORITHMS,
+            parameter_name="k",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        columns=["k", "algorithm", "mean_latency_ms", "sequential_per_query",
+                 "random_per_query", "users_visited_per_query",
+                 "early_termination_rate", "overlap_with_exact"],
+        title="Figure 3 — effect of k (delicious-like, alpha=0.5)",
+    )
+    series = format_series(rows, x_column="k", y_column="mean_latency_ms",
+                           title="Figure 3 series — mean latency (ms) vs k")
+    write_result("fig3_latency_vs_k", table + "\n\n" + series)
+
+    by_key = {(row["algorithm"], row["k"]): row for row in rows}
+    for algorithm in ALGORITHMS:
+        for k in K_VALUES:
+            assert by_key[(algorithm, k)]["overlap_with_exact"] >= 0.99
+    # The social-first algorithm needs more work for larger k: its total
+    # accesses at k=20 must be at least its accesses at k=1.
+    def total_accesses(algorithm, k):
+        row = by_key[(algorithm, k)]
+        return (row["sequential_per_query"] + row["random_per_query"]
+                + row["users_visited_per_query"])
+
+    assert total_accesses("social-first", 20) >= total_accesses("social-first", 1)
+    # The exhaustive baseline does not benefit from small k: its posting-list
+    # scanning is flat in k (its random accesses do grow slightly with k
+    # because the final result re-scoring touches k items).
+    exact_seq_small = by_key[("exact", 1)]["sequential_per_query"]
+    exact_seq_large = by_key[("exact", 20)]["sequential_per_query"]
+    assert exact_seq_small == exact_seq_large

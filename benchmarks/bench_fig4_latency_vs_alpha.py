@@ -1,0 +1,62 @@
+"""Experiment F4 (Figure 4): effect of the social/textual blend α.
+
+Sweeps α from purely social (0) to purely textual (1).  Expected shape: the
+social-first algorithm does the least frontier work at α = 1 (it degenerates
+to posting-list processing) and the least posting-list work at α = 0 (pure
+network walk); the exhaustive baseline is insensitive to α.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series, format_table, sweep
+
+from conftest import make_engine, write_result
+
+ALPHAS = [0.0, 0.25, 0.5, 0.75, 1.0]
+ALGORITHMS = ["exact", "ta", "social-first"]
+
+
+def test_fig4_effect_of_alpha(benchmark, delicious_dataset, delicious_workload):
+    """Sweep alpha and record latency / access curves."""
+
+    engines = {}
+
+    def engine_for(alpha):
+        if alpha not in engines:
+            engines[alpha] = make_engine(delicious_dataset, alpha=alpha)
+        return engines[alpha]
+
+    def run():
+        return sweep(
+            engine_factory=engine_for,
+            parameter_values=ALPHAS,
+            queries_factory=lambda alpha, engine: delicious_workload,
+            algorithms=ALGORITHMS,
+            parameter_name="alpha",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        columns=["alpha", "algorithm", "mean_latency_ms", "sequential_per_query",
+                 "random_per_query", "users_visited_per_query",
+                 "early_termination_rate", "overlap_with_exact"],
+        title="Figure 4 — effect of alpha (delicious-like, k=10)",
+    )
+    series = format_series(rows, x_column="alpha", y_column="users_visited_per_query",
+                           title="Figure 4 series — users visited per query vs alpha")
+    write_result("fig4_latency_vs_alpha", table + "\n\n" + series)
+
+    by_key = {(row["algorithm"], row["alpha"]): row for row in rows}
+    for algorithm in ALGORITHMS:
+        for alpha in ALPHAS:
+            assert by_key[(algorithm, alpha)]["overlap_with_exact"] >= 0.99
+    # Purely textual queries should make the adaptive algorithm skip the
+    # social frontier entirely; purely social queries should make it read
+    # (almost) no postings.
+    assert by_key[("social-first", 1.0)]["users_visited_per_query"] == 0.0
+    assert by_key[("social-first", 0.0)]["sequential_per_query"] <= \
+        by_key[("social-first", 1.0)]["sequential_per_query"]
+    # Social work grows as alpha decreases.
+    assert by_key[("social-first", 0.0)]["users_visited_per_query"] >= \
+        by_key[("social-first", 0.75)]["users_visited_per_query"]

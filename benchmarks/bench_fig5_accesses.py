@@ -1,0 +1,54 @@
+"""Experiment F5 (Figure 5): access breakdown as a function of k.
+
+The implementation-independent cost figure: sequential posting reads, random
+frequency/proximity lookups and frontier visits per query, per algorithm,
+as k grows.  Expected shape: TA pays the most random accesses (it fully
+scores every discovered candidate), NRA pays none during processing, and the
+social-first algorithm sits in between with the smallest total.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series, format_table, sweep
+from repro.workload import queries_with_k
+
+from conftest import write_result
+
+K_VALUES = [1, 5, 10, 20]
+ALGORITHMS = ["ta", "nra", "social-first", "hybrid"]
+
+
+def test_fig5_access_breakdown(benchmark, delicious_engine, delicious_workload):
+    """Sweep k and record the access-count breakdown."""
+
+    def run():
+        return sweep(
+            engine_factory=lambda k: delicious_engine,
+            parameter_values=K_VALUES,
+            queries_factory=lambda k, engine: queries_with_k(delicious_workload, k),
+            algorithms=ALGORITHMS,
+            parameter_name="k",
+            compare_to_reference=False,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        columns=["k", "algorithm", "sequential_per_query", "random_per_query",
+                 "social_per_query", "users_visited_per_query"],
+        title="Figure 5 — access breakdown vs k (delicious-like, alpha=0.5)",
+    )
+    series = format_series(rows, x_column="k", y_column="sequential_per_query",
+                           title="Figure 5 series — sequential accesses per query vs k")
+    write_result("fig5_accesses", table + "\n\n" + series)
+
+    by_key = {(row["algorithm"], row["k"]): row for row in rows}
+    for k in K_VALUES:
+        # TA's full random access dominates the frequency-only random access
+        # of the social-first/hybrid algorithms.
+        assert by_key[("ta", k)]["random_per_query"] >= \
+            by_key[("social-first", k)]["random_per_query"] * 0.5
+        # Sequential work is monotone-ish in k for every bounded algorithm.
+    for algorithm in ALGORITHMS:
+        assert by_key[(algorithm, 20)]["sequential_per_query"] >= \
+            by_key[(algorithm, 1)]["sequential_per_query"] * 0.9

@@ -1,0 +1,70 @@
+"""Experiment F6 (Figure 6): scalability with the number of users.
+
+Regenerates the corpus at increasing network sizes (items and actions scale
+linearly with users) and measures per-query latency and work.  Expected
+shape: the exhaustive baseline grows roughly linearly with corpus size while
+the early-terminating social-first algorithm grows much more slowly, because
+it only explores the seeker's neighbourhood and the posting-list prefixes.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_series, format_table, sweep
+from repro.workload import scaled_dataset
+
+from conftest import make_engine, make_workload, write_result
+
+USER_COUNTS = [50, 100, 200, 400]
+ALGORITHMS = ["exact", "social-first"]
+
+
+def test_fig6_scalability_with_users(benchmark):
+    """Sweep the number of users and record latency / work curves."""
+
+    datasets = {}
+    engines = {}
+
+    def engine_for(num_users):
+        if num_users not in engines:
+            datasets[num_users] = scaled_dataset(num_users, seed=23, homophily=0.5)
+            engines[num_users] = make_engine(datasets[num_users], alpha=0.5)
+        return engines[num_users]
+
+    def run():
+        return sweep(
+            engine_factory=engine_for,
+            parameter_values=USER_COUNTS,
+            queries_factory=lambda n, engine: make_workload(engine.dataset,
+                                                            num_queries=6, k=10,
+                                                            seed=3),
+            algorithms=ALGORITHMS,
+            parameter_name="num_users",
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        columns=["num_users", "algorithm", "mean_latency_ms",
+                 "sequential_per_query", "random_per_query",
+                 "users_visited_per_query", "overlap_with_exact"],
+        title="Figure 6 — scalability with the number of users (alpha=0.5, k=10)",
+    )
+    series = format_series(rows, x_column="num_users", y_column="mean_latency_ms",
+                           title="Figure 6 series — mean latency (ms) vs users")
+    write_result("fig6_scalability", table + "\n\n" + series)
+
+    by_key = {(row["algorithm"], row["num_users"]): row for row in rows}
+    for n in USER_COUNTS:
+        assert by_key[("social-first", n)]["overlap_with_exact"] >= 0.99
+
+    def work(algorithm, n):
+        row = by_key[(algorithm, n)]
+        return (row["sequential_per_query"] + row["random_per_query"]
+                + row["users_visited_per_query"])
+
+    # Exact's work grows with the corpus.
+    assert work("exact", USER_COUNTS[-1]) > work("exact", USER_COUNTS[0])
+    # Social-first's growth factor is smaller than exact's.
+    exact_growth = work("exact", USER_COUNTS[-1]) / max(1.0, work("exact", USER_COUNTS[0]))
+    social_growth = work("social-first", USER_COUNTS[-1]) / max(1.0, work("social-first", USER_COUNTS[0]))
+    assert social_growth <= exact_growth * 1.1

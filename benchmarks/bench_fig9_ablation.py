@@ -1,0 +1,72 @@
+"""Experiment F9 (Figure 9): ablation of the social-first design choices.
+
+Switches off, one at a time, the three ingredients DESIGN.md credits for the
+social-first algorithm's efficiency and measures the cost of each ablation:
+
+* **no early termination** — bounds are still maintained but never used to
+  stop, so every source is drained;
+* **no adaptive scheduling** — the ``hybrid`` algorithm: identical bounds and
+  random-access policy, but blind round-robin source selection;
+* **no proximity cache** — every query recomputes the seeker's proximity
+  stream from scratch.
+
+Expected shape: each ablation costs work or latency; the full configuration
+is the cheapest.
+"""
+
+from __future__ import annotations
+
+from repro.eval import ExperimentRunner, format_table
+
+from conftest import make_engine, write_result
+
+
+def _run_config(dataset, workload, label, *, algorithm="social-first",
+                early_termination=True, cache_size=256):
+    engine = make_engine(dataset, alpha=0.5, algorithm=algorithm,
+                         early_termination=early_termination, cache_size=cache_size)
+    report = ExperimentRunner(engine).run(workload, [algorithm],
+                                          compare_to_reference=False)
+    row = dict(report.rows()[0])
+    row["configuration"] = label
+    return row
+
+
+def test_fig9_ablation(benchmark, delicious_dataset, delicious_workload):
+    """Measure the cost of removing each design ingredient."""
+
+    def run():
+        return [
+            _run_config(delicious_dataset, delicious_workload, "full social-first"),
+            _run_config(delicious_dataset, delicious_workload, "no early termination",
+                        early_termination=False),
+            _run_config(delicious_dataset, delicious_workload, "no adaptive scheduling",
+                        algorithm="hybrid"),
+            _run_config(delicious_dataset, delicious_workload, "no proximity cache",
+                        cache_size=0),
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        columns=["configuration", "mean_latency_ms", "sequential_per_query",
+                 "random_per_query", "social_per_query", "users_visited_per_query",
+                 "early_termination_rate"],
+        title="Figure 9 — ablation of the social-first design (alpha=0.5, k=10)",
+    )
+    write_result("fig9_ablation", text)
+
+    by_label = {row["configuration"]: row for row in rows}
+    full = by_label["full social-first"]
+
+    def total_work(row):
+        return (row["sequential_per_query"] + row["random_per_query"]
+                + row["social_per_query"] + row["users_visited_per_query"])
+
+    # Draining every source costs at least as much index work as stopping early.
+    assert total_work(by_label["no early termination"]) >= total_work(full)
+    # Blind scheduling costs at least as much as benefit-driven scheduling.
+    assert total_work(by_label["no adaptive scheduling"]) >= total_work(full) * 0.95
+    # Removing the proximity cache never makes queries faster.
+    assert by_label["no proximity cache"]["mean_latency_ms"] >= \
+        full["mean_latency_ms"] * 0.5

@@ -1,0 +1,50 @@
+"""Experiment T1 (Table 1): dataset statistics.
+
+Reports the corpus statistics of the two synthetic datasets (the substitutes
+for the paper-era del.icio.us / Flickr crawls): users, edges, items, tags,
+actions, activity skew and index footprint.
+"""
+
+from __future__ import annotations
+
+from repro.eval import format_table
+from repro.storage import compute_dataset_statistics, graph_statistics_row
+
+from conftest import write_result
+
+
+def _rows(datasets):
+    rows = []
+    for dataset in datasets:
+        row = compute_dataset_statistics(dataset).to_dict()
+        graph_row = graph_statistics_row(dataset)
+        row["degree_gini"] = graph_row["degree_gini"]
+        row["clustering"] = graph_row["clustering_coefficient"]
+        rows.append(row)
+    return rows
+
+
+def test_table1_dataset_statistics(benchmark, delicious_dataset, flickr_dataset):
+    """Compute Table 1 and sanity-check the corpora look like tagging sites."""
+    rows = benchmark(lambda: _rows([delicious_dataset, flickr_dataset]))
+    text = format_table(
+        rows,
+        columns=["name", "num_users", "num_edges", "avg_degree", "num_items",
+                 "num_tags", "num_actions", "avg_actions_per_user",
+                 "avg_tags_per_item", "max_tag_frequency", "degree_gini",
+                 "clustering", "index_memory_bytes"],
+        title="Table 1 — dataset statistics (synthetic substitutes)",
+    )
+    write_result("table1_datasets", text)
+
+    by_name = {row["name"]: row for row in rows}
+    delicious = by_name["delicious-like"]
+    flickr = by_name["flickr-like"]
+    # Bookmark corpora are broader (more items and tags); photo corpora are
+    # denser socially.  These are the shape properties Table 1 documents.
+    assert delicious["num_items"] > flickr["num_items"]
+    assert delicious["num_tags"] > flickr["num_tags"]
+    assert flickr["avg_degree"] > delicious["avg_degree"]
+    for row in rows:
+        assert row["degree_gini"] > 0.0
+        assert row["num_actions"] > 0

@@ -1,0 +1,49 @@
+"""Experiment T2 (Table 2): per-algorithm latency and accesses at defaults.
+
+The headline comparison: every algorithm answers the same workload at the
+default setting (k = 10, α = 0.5, shortest-path proximity) and reports mean
+latency, access counts, early-termination rate and agreement with the exact
+baseline.
+"""
+
+from __future__ import annotations
+
+from repro.eval import ExperimentRunner, format_table
+
+from conftest import ALGORITHMS, write_result
+
+
+def test_table2_algorithm_comparison(benchmark, delicious_engine, delicious_workload):
+    """Run the default-setting comparison of every algorithm."""
+
+    def run():
+        runner = ExperimentRunner(delicious_engine)
+        return runner.run(delicious_workload, ALGORITHMS)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = report.rows()
+    text = format_table(
+        rows,
+        columns=["algorithm", "queries", "mean_latency_ms", "p95_latency_ms",
+                 "sequential_per_query", "random_per_query", "social_per_query",
+                 "users_visited_per_query", "early_termination_rate",
+                 "overlap_with_exact", "ndcg_at_k"],
+        title="Table 2 — algorithm comparison at default settings "
+              "(k=10, alpha=0.5, shortest-path proximity)",
+    )
+    write_result("table2_algorithms", text)
+
+    by_name = {row["algorithm"]: row for row in rows}
+    # Every exact-equivalent algorithm returns the exact answer.
+    for name in ("ta", "nra", "social-first", "hybrid"):
+        assert by_name[name]["overlap_with_exact"] >= 0.99
+    # The social-first algorithm prunes work relative to the exhaustive scan:
+    # it must touch fewer postings and visit fewer users than exact.
+    assert by_name["social-first"]["sequential_per_query"] <= \
+        by_name["exact"]["sequential_per_query"]
+    assert by_name["social-first"]["users_visited_per_query"] <= \
+        by_name["exact"]["users_visited_per_query"]
+    # And it terminates early on a meaningful share of the workload.
+    assert by_name["social-first"]["early_termination_rate"] > 0.0
+    # The non-social baseline does no social work at all.
+    assert by_name["global"]["users_visited_per_query"] == 0.0

@@ -1,0 +1,91 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the
+reconstructed evaluation (see DESIGN.md §5 and EXPERIMENTS.md).  The
+benchmarks are deliberately scaled down so the whole harness runs in a few
+minutes on a laptop; the *shapes* (who wins, how curves bend) are what the
+reproduction is judged on, not absolute milliseconds.
+
+Each benchmark prints its result rows and also appends them to
+``benchmarks/results/<experiment>.txt`` so the numbers survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import (
+    EngineConfig,
+    ProximityConfig,
+    ScoringConfig,
+    SocialSearchEngine,
+    WorkloadConfig,
+)
+from repro.workload import delicious_like, flickr_like, generate_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark-wide defaults; small enough for CI, large enough to show shapes.
+BENCH_SCALE = 0.25
+BENCH_QUERIES = 8
+BENCH_K = 10
+BENCH_SEED = 7
+
+#: The algorithm line-up reported in most experiments.
+ALGORITHMS = ["exact", "ta", "nra", "social-first", "hybrid", "global"]
+
+
+def write_result(name: str, text: str) -> None:
+    """Print ``text`` and persist it under ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n[{name}]\n{text}\n")
+
+
+def make_engine(dataset, alpha: float = 0.5, algorithm: str = "social-first",
+                measure: str = "shortest-path", early_termination: bool = True,
+                cache_size: int = 256) -> SocialSearchEngine:
+    """Engine with the benchmark defaults."""
+    config = EngineConfig(
+        algorithm=algorithm,
+        scoring=ScoringConfig(alpha=alpha),
+        proximity=ProximityConfig(measure=measure, cache_size=cache_size),
+        early_termination=early_termination,
+    )
+    return SocialSearchEngine(dataset, config)
+
+
+def make_workload(dataset, num_queries: int = BENCH_QUERIES, k: int = BENCH_K,
+                  seed: int = BENCH_SEED):
+    """Deterministic workload over ``dataset``."""
+    return generate_workload(
+        dataset, WorkloadConfig(num_queries=num_queries, k=k, seed=seed),
+    )
+
+
+@pytest.fixture(scope="session")
+def delicious_dataset():
+    """The bookmark-style corpus used by most experiments."""
+    return delicious_like(scale=BENCH_SCALE, seed=BENCH_SEED, holdout_fraction=0.2)
+
+
+@pytest.fixture(scope="session")
+def flickr_dataset():
+    """The photo-style corpus used by the dataset-statistics table."""
+    return flickr_like(scale=BENCH_SCALE, seed=BENCH_SEED, holdout_fraction=0.2)
+
+
+@pytest.fixture(scope="session")
+def delicious_engine(delicious_dataset):
+    """Default engine over the delicious-like corpus."""
+    return make_engine(delicious_dataset)
+
+
+@pytest.fixture(scope="session")
+def delicious_workload(delicious_dataset):
+    """Default workload over the delicious-like corpus."""
+    return make_workload(delicious_dataset)

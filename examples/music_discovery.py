@@ -1,0 +1,123 @@
+"""Music discovery: a hand-built scenario showing *why* friends help.
+
+Run with::
+
+    python examples/music_discovery.py
+
+The corpus is tiny and fully hand-written so the effect is easy to read: a
+listener (Ava) is connected to two close friends with strong jazz tastes and
+to an acquaintance with pop tastes.  Globally, pop records are far more
+popular than jazz records — so a non-social ranking buries the jazz albums
+Ava would actually love.  The social-aware ranking surfaces them because her
+*friends* endorsed them.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Dataset,
+    EngineConfig,
+    Item,
+    ItemStore,
+    ProximityConfig,
+    ScoringConfig,
+    SocialGraph,
+    SocialSearchEngine,
+    TaggingAction,
+    User,
+    UserStore,
+)
+
+# ----------------------------------------------------------------------------
+# People: 0 Ava (the seeker), 1 Ben and 2 Carla (close jazz friends),
+# 3 Dan (acquaintance), 4-9 strangers who love pop.
+# ----------------------------------------------------------------------------
+PEOPLE = ["ava", "ben", "carla", "dan", "eli", "fay", "gus", "hana", "ivan", "jo"]
+
+FRIENDSHIPS = [
+    (0, 1, 0.9),   # Ava - Ben: close friends
+    (0, 2, 0.8),   # Ava - Carla: close friends
+    (0, 3, 0.2),   # Ava - Dan: acquaintance
+    (1, 2, 0.7),
+    (3, 4, 0.9), (4, 5, 0.9), (5, 6, 0.9), (6, 7, 0.9), (7, 8, 0.9), (8, 9, 0.9),
+]
+
+ALBUMS = {
+    100: "Kind of Blue (jazz)",
+    101: "A Love Supreme (jazz)",
+    102: "Mingus Ah Um (jazz)",
+    200: "Chart Hits Vol. 7 (pop)",
+    201: "Stadium Anthems (pop)",
+    202: "Summer Bangers (pop)",
+}
+
+# Who endorsed what with the tag "music".  The pop records are endorsed by
+# many strangers (globally popular); the jazz records only by Ava's friends.
+ENDORSEMENTS = [
+    (1, 100), (1, 101), (2, 100), (2, 102), (3, 201),
+    (4, 200), (5, 200), (6, 200), (7, 200), (8, 200), (9, 200),
+    (4, 201), (5, 201), (6, 201), (7, 201),
+    (5, 202), (6, 202), (8, 202),
+]
+
+
+def build_dataset() -> Dataset:
+    graph = SocialGraph.from_edges(len(PEOPLE), FRIENDSHIPS)
+    users = UserStore()
+    for user_id, name in enumerate(PEOPLE):
+        users.add(User(user_id=user_id, name=name))
+    items = ItemStore()
+    for item_id, title in ALBUMS.items():
+        items.add(Item(item_id=item_id, title=title))
+    actions = [
+        TaggingAction(user_id=user, item_id=album, tag="music", timestamp=index)
+        for index, (user, album) in enumerate(ENDORSEMENTS)
+    ]
+    return Dataset.build(graph, actions, name="music", users=users, items=items)
+
+
+def show(dataset: Dataset, result, heading: str) -> None:
+    print(heading)
+    for rank, scored in enumerate(result.items, start=1):
+        title = dataset.items.get(scored.item_id).title
+        print(f"  {rank}. {title:28s} score={scored.score:.3f} "
+              f"(textual={scored.textual:.3f}, social={scored.social:.3f})")
+    print()
+
+
+def main() -> None:
+    dataset = build_dataset()
+    print(dataset.describe(), "\n")
+
+    # A social-leaning blend: Ava trusts her friends' taste far more than raw
+    # global popularity.
+    config = EngineConfig(
+        scoring=ScoringConfig(alpha=0.15),
+        proximity=ProximityConfig(measure="shortest-path", decay=0.8),
+    )
+    engine = SocialSearchEngine(dataset, config)
+
+    ava = 0
+    social = engine.search(seeker=ava, tags=["music"], k=4)
+    show(dataset, social, "what Ava sees (social-aware ranking, alpha=0.15):")
+
+    plain = engine.search(seeker=ava, tags=["music"], k=4, algorithm="global")
+    show(dataset, plain, "what a non-social engine shows everyone:")
+
+    # Explain where the social score of Ava's top hit comes from.
+    top = social.items[0]
+    print(f"why {dataset.items.get(top.item_id).title!r} ranks first for Ava:")
+    for friend, proximity in engine.proximity.iter_ranked(ava):
+        endorsed = dataset.social_index.items_for(friend, "music")
+        if top.item_id in endorsed:
+            print(f"  - {dataset.users.get(friend).name} (proximity {proximity:.2f}) "
+                  "endorsed it")
+    print("\nIn the global ranking that album sits at the bottom — the pop records "
+          "have three times as many endorsers — but Ava's two closest friends both "
+          "endorsed it, so the social component lifts it to the top. Dan's "
+          "pop-loving corner of the network only reaches Ava through the "
+          "(down-weighted) textual component.")
+
+
+if __name__ == "__main__":
+    main()

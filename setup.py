@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` through the pyproject
+backend) fail with ``invalid command 'bdist_wheel'``.  Keeping this shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+the classic ``setup.py develop`` path, which needs no wheel support.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,157 @@
+"""repro — social-aware top-k query processing.
+
+Reproduction of the ICDE 2013 paper "With a little help from my friends"
+(social/collaborative query technique).  See DESIGN.md for the paper-text
+mismatch notice and the reconstruction scope.
+
+Quickstart
+----------
+
+>>> from repro import SocialSearchEngine, delicious_like
+>>> dataset = delicious_like(scale=0.2)
+>>> engine = SocialSearchEngine(dataset)
+>>> result = engine.search(seeker=4, tags=[dataset.tags()[0]], k=5)
+>>> [item.item_id for item in result.items]
+"""
+
+from .config import (
+    DatasetConfig,
+    EngineConfig,
+    ExperimentConfig,
+    ProximityConfig,
+    ScoringConfig,
+    WorkloadConfig,
+    default_engine_config,
+)
+from .errors import (
+    ConfigurationError,
+    EvaluationError,
+    GraphError,
+    InvalidQueryError,
+    PersistenceError,
+    QueryError,
+    ReproError,
+    StorageError,
+    UnknownAlgorithmError,
+    UnknownItemError,
+    UnknownProximityError,
+    UnknownTagError,
+    UnknownUserError,
+    WorkloadError,
+)
+from .graph import SocialGraph, SocialGraphBuilder, generate_graph
+from .proximity import (
+    CachedProximity,
+    ProximityMeasure,
+    available_proximities,
+    create_proximity,
+)
+from .storage import (
+    Dataset,
+    InvertedIndex,
+    Item,
+    ItemStore,
+    SocialIndex,
+    TaggingAction,
+    TaggingStore,
+    User,
+    UserStore,
+    compute_dataset_statistics,
+    load_dataset,
+    save_dataset,
+)
+from .core import (
+    Query,
+    QueryResult,
+    ScoredItem,
+    ScoringModel,
+    SocialSearchEngine,
+    available_algorithms,
+    create_algorithm,
+)
+# Importing the baselines registers them with the algorithm registry.
+from . import baselines  # noqa: F401
+from .baselines import GlobalTopK, MaterializedBaseline, RandomRank
+from .workload import (
+    build_dataset,
+    delicious_like,
+    flickr_like,
+    generate_workload,
+    scaled_dataset,
+    tiny_dataset,
+)
+from .eval import ExperimentRunner, format_series, format_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "ScoringConfig",
+    "ProximityConfig",
+    "EngineConfig",
+    "DatasetConfig",
+    "WorkloadConfig",
+    "ExperimentConfig",
+    "default_engine_config",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "GraphError",
+    "UnknownUserError",
+    "StorageError",
+    "UnknownItemError",
+    "UnknownTagError",
+    "PersistenceError",
+    "QueryError",
+    "InvalidQueryError",
+    "UnknownAlgorithmError",
+    "UnknownProximityError",
+    "WorkloadError",
+    "EvaluationError",
+    # graph
+    "SocialGraph",
+    "SocialGraphBuilder",
+    "generate_graph",
+    # proximity
+    "ProximityMeasure",
+    "create_proximity",
+    "available_proximities",
+    "CachedProximity",
+    # storage
+    "Dataset",
+    "Item",
+    "ItemStore",
+    "User",
+    "UserStore",
+    "TaggingAction",
+    "TaggingStore",
+    "InvertedIndex",
+    "SocialIndex",
+    "save_dataset",
+    "load_dataset",
+    "compute_dataset_statistics",
+    # core
+    "Query",
+    "QueryResult",
+    "ScoredItem",
+    "ScoringModel",
+    "SocialSearchEngine",
+    "available_algorithms",
+    "create_algorithm",
+    # baselines
+    "GlobalTopK",
+    "MaterializedBaseline",
+    "RandomRank",
+    # workload
+    "build_dataset",
+    "delicious_like",
+    "flickr_like",
+    "tiny_dataset",
+    "scaled_dataset",
+    "generate_workload",
+    # evaluation
+    "ExperimentRunner",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,11 @@
+"""Comparison baselines: non-social, fully materialised, and random rankings."""
+
+from .global_topk import GlobalTopK
+from .materialized import MaterializedBaseline
+from .random_rank import RandomRank
+
+__all__ = [
+    "GlobalTopK",
+    "MaterializedBaseline",
+    "RandomRank",
+]

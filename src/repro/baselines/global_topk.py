@@ -1,0 +1,59 @@
+"""Non-personalised (purely textual) baseline.
+
+Ranks items by tag frequency alone — exactly what a system without access to
+the social graph would return, and the quality baseline the social-aware
+ranking is compared against in the Figure-7 style experiment.  Implemented
+as a registered top-k algorithm so it can be swapped in anywhere the engine
+accepts an algorithm name.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.accounting import AccessAccountant
+from ..core.query import Query, QueryResult, ScoredItem
+from ..core.topk.base import TopKAlgorithm, register_algorithm
+from ..core.topk.heap import TopKHeap
+
+
+@register_algorithm("global")
+class GlobalTopK(TopKAlgorithm):
+    """Rank by normalised tag frequency only; the social component is ignored."""
+
+    def search(self, query: Query) -> QueryResult:
+        """Merge the query tags' posting lists by frequency."""
+        self._validate(query)
+        started_at = time.perf_counter()
+        accountant = AccessAccountant()
+        heap = TopKHeap(query.k)
+
+        textual: dict = {}
+        for tag in query.tags:
+            normaliser = self._scoring.normaliser(tag)
+            cursor = self._dataset.inverted_index.cursor(tag)
+            while True:
+                posting = cursor.next()
+                if posting is None:
+                    break
+                accountant.charge_sequential()
+                textual[posting.item_id] = textual.get(posting.item_id, 0.0) \
+                    + posting.frequency / normaliser
+        accountant.charge_candidate(len(textual))
+
+        m = float(query.num_tags)
+        for item_id, total in textual.items():
+            heap.offer(item_id, total / m)
+
+        items = [
+            ScoredItem(item_id=item_id, score=score, textual=score, social=0.0)
+            for item_id, score in heap.items()
+        ]
+        return QueryResult(
+            query=query,
+            items=items,
+            algorithm=self.name,
+            latency_seconds=time.perf_counter() - started_at,
+            accounting=accountant,
+            terminated_early=False,
+        )

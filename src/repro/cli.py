@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``repro`` console script) exposes the library's
+main flows without writing any Python:
+
+* ``repro demo`` — build a small synthetic corpus and answer one query with
+  every algorithm, printing the comparison table.
+* ``repro generate`` — build a synthetic dataset and save it as a snapshot.
+* ``repro query`` — load a snapshot and answer an ad-hoc query.
+* ``repro bench`` — run a small latency/quality comparison over a workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .config import DatasetConfig, EngineConfig, ProximityConfig, ScoringConfig, WorkloadConfig
+from .core.engine import SocialSearchEngine
+from .core.topk.base import available_algorithms
+from .eval.runner import ExperimentRunner
+from .eval.tables import format_table
+from .storage.persistence import load_dataset, save_dataset
+from .workload.datasets import build_dataset, delicious_like
+from .workload.queries import generate_workload
+
+
+def _engine_config(args: argparse.Namespace) -> EngineConfig:
+    return EngineConfig(
+        algorithm=args.algorithm,
+        scoring=ScoringConfig(alpha=args.alpha),
+        proximity=ProximityConfig(measure=args.proximity),
+    )
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--alpha", type=float, default=0.5,
+                        help="textual weight in [0, 1] (default: 0.5)")
+    parser.add_argument("--algorithm", default="social-first",
+                        help="default top-k algorithm (default: social-first)")
+    parser.add_argument("--proximity", default="shortest-path",
+                        help="proximity measure (default: shortest-path)")
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    dataset = delicious_like(scale=args.scale, seed=args.seed)
+    engine = SocialSearchEngine(dataset, _engine_config(args))
+    print(dataset.describe())
+    queries = generate_workload(dataset, WorkloadConfig(num_queries=1, k=args.k,
+                                                        seed=args.seed))
+    query = queries[0]
+    print(f"\nquery: seeker={query.seeker} tags={list(query.tags)} k={query.k}\n")
+    rows = []
+    for algorithm in sorted(available_algorithms()):
+        result = engine.run(query, algorithm=algorithm)
+        row = {"algorithm": algorithm,
+               "latency_ms": result.latency_seconds * 1000.0,
+               "early_stop": result.terminated_early}
+        row.update(result.accounting.to_dict())
+        rows.append(row)
+    print(format_table(rows, columns=["algorithm", "latency_ms", "early_stop",
+                                      "sequential_accesses", "random_accesses",
+                                      "social_accesses", "users_visited"]))
+    print("\n" + engine.explain(engine.run(query)))
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    config = DatasetConfig(
+        name=args.name,
+        num_users=args.users,
+        num_items=args.items,
+        num_tags=args.tags,
+        num_actions=args.actions,
+        homophily=args.homophily,
+        seed=args.seed,
+    )
+    dataset = build_dataset(config)
+    save_dataset(dataset, args.output)
+    print(f"wrote snapshot to {args.output}: {dataset.describe()}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.snapshot)
+    engine = SocialSearchEngine(dataset, _engine_config(args))
+    result = engine.search(args.seeker, args.tags, k=args.k, algorithm=args.algorithm)
+    print(engine.explain(result))
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    dataset = delicious_like(scale=args.scale, seed=args.seed,
+                             holdout_fraction=args.holdout)
+    engine = SocialSearchEngine(dataset, _engine_config(args))
+    queries = generate_workload(dataset, WorkloadConfig(num_queries=args.queries,
+                                                        k=args.k, seed=args.seed))
+    algorithms = args.algorithms or ["exact", "ta", "nra", "social-first", "global"]
+    runner = ExperimentRunner(engine)
+    report = runner.run(queries, algorithms)
+    print(dataset.describe())
+    print()
+    print(format_table(report.rows()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Social-aware top-k search (reproduction of 'With a little "
+                    "help from my friends', ICDE 2013)",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    demo = subparsers.add_parser("demo", help="run an end-to-end demo on synthetic data")
+    demo.add_argument("--scale", type=float, default=0.3, help="dataset scale factor")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--k", type=int, default=10)
+    _add_engine_arguments(demo)
+    demo.set_defaults(handler=_command_demo)
+
+    generate = subparsers.add_parser("generate", help="generate and save a synthetic dataset")
+    generate.add_argument("output", help="snapshot directory to create")
+    generate.add_argument("--name", default="synthetic")
+    generate.add_argument("--users", type=int, default=400)
+    generate.add_argument("--items", type=int, default=1500)
+    generate.add_argument("--tags", type=int, default=120)
+    generate.add_argument("--actions", type=int, default=12000)
+    generate.add_argument("--homophily", type=float, default=0.5)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.set_defaults(handler=_command_generate)
+
+    query = subparsers.add_parser("query", help="answer one query over a saved snapshot")
+    query.add_argument("snapshot", help="snapshot directory written by 'repro generate'")
+    query.add_argument("seeker", type=int, help="seeker user id")
+    query.add_argument("tags", nargs="+", help="query tags")
+    query.add_argument("--k", type=int, default=10)
+    _add_engine_arguments(query)
+    query.set_defaults(handler=_command_query)
+
+    bench = subparsers.add_parser("bench", help="run a small algorithm comparison")
+    bench.add_argument("--scale", type=float, default=0.3)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--queries", type=int, default=20)
+    bench.add_argument("--k", type=int, default=10)
+    bench.add_argument("--holdout", type=float, default=0.2)
+    bench.add_argument("--algorithms", nargs="*", default=None)
+    _add_engine_arguments(bench)
+    bench.set_defaults(handler=_command_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "handler", None):
+        parser.print_help()
+        return 1
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

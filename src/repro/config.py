@@ -1,0 +1,308 @@
+"""Configuration objects shared across the library.
+
+All configuration is expressed as frozen dataclasses with eager validation:
+constructing an invalid configuration raises :class:`ConfigurationError`
+immediately rather than failing deep inside an algorithm.  The dataclasses
+are deliberately plain (no dynamic attributes) so they serialise cleanly to
+dictionaries for experiment logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from .errors import ConfigurationError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class ScoringConfig:
+    """Parameters of the blended social/textual scoring function.
+
+    Attributes
+    ----------
+    alpha:
+        Weight of the textual component in ``[0, 1]``.  ``alpha = 1`` means a
+        purely textual (non-social) ranking, ``alpha = 0`` a purely social one.
+    include_seeker:
+        Whether the seeker's own tagging actions contribute to the social
+        component.  The paper-family convention is to exclude them (a user's
+        own bookmarks are not "help from friends"), which is the default.
+    proximity_floor:
+        Proximity values below this threshold are treated as zero.  This
+        bounds the social expansion of frontier-based algorithms.
+    """
+
+    alpha: float = 0.5
+    include_seeker: bool = False
+    proximity_floor: float = 1e-4
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.alpha <= 1.0, f"alpha must be in [0, 1], got {self.alpha}")
+        _require(
+            0.0 <= self.proximity_floor < 1.0,
+            f"proximity_floor must be in [0, 1), got {self.proximity_floor}",
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a plain-dict view suitable for experiment logs."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ProximityConfig:
+    """Parameters of social proximity measures.
+
+    Attributes
+    ----------
+    measure:
+        Registry name of the proximity measure (for example
+        ``"shortest-path"``, ``"ppr"``, ``"katz"``, ``"adamic-adar"``).
+    decay:
+        Multiplicative decay applied per hop by path-based measures.
+    damping:
+        Damping factor (restart probability complement) for personalised
+        PageRank.
+    max_hops:
+        Hard cap on the number of hops explored from the seeker.
+    katz_beta:
+        Attenuation factor of the truncated Katz measure.
+    ppr_iterations:
+        Number of power iterations for personalised PageRank.
+    ppr_tolerance:
+        Early-exit L1 tolerance for personalised PageRank.
+    cache_size:
+        Number of seeker proximity vectors kept in the LRU cache
+        (0 disables caching).
+    """
+
+    measure: str = "shortest-path"
+    decay: float = 0.5
+    damping: float = 0.85
+    max_hops: int = 4
+    katz_beta: float = 0.3
+    ppr_iterations: int = 30
+    ppr_tolerance: float = 1e-8
+    cache_size: int = 128
+
+    def __post_init__(self) -> None:
+        _require(bool(self.measure), "measure name must be a non-empty string")
+        _require(0.0 < self.decay <= 1.0, f"decay must be in (0, 1], got {self.decay}")
+        _require(0.0 < self.damping < 1.0, f"damping must be in (0, 1), got {self.damping}")
+        _require(self.max_hops >= 1, f"max_hops must be >= 1, got {self.max_hops}")
+        _require(0.0 < self.katz_beta < 1.0, f"katz_beta must be in (0, 1), got {self.katz_beta}")
+        _require(self.ppr_iterations >= 1, "ppr_iterations must be >= 1")
+        _require(self.ppr_tolerance > 0.0, "ppr_tolerance must be positive")
+        _require(self.cache_size >= 0, "cache_size must be non-negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Top-level configuration of :class:`repro.core.engine.SocialSearchEngine`.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the default top-k algorithm.
+    scoring:
+        Blended scoring parameters.
+    proximity:
+        Proximity-measure parameters.
+    early_termination:
+        Whether bound-based algorithms are allowed to stop before exhausting
+        their inputs.  Disabling this is only useful for ablation studies.
+    batch_size:
+        Number of sequential accesses performed per scheduling decision in
+        interleaving algorithms.
+    """
+
+    algorithm: str = "social-first"
+    scoring: ScoringConfig = field(default_factory=ScoringConfig)
+    proximity: ProximityConfig = field(default_factory=ProximityConfig)
+    early_termination: bool = True
+    batch_size: int = 16
+
+    def __post_init__(self) -> None:
+        _require(bool(self.algorithm), "algorithm name must be a non-empty string")
+        _require(self.batch_size >= 1, f"batch_size must be >= 1, got {self.batch_size}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "scoring": self.scoring.to_dict(),
+            "proximity": self.proximity.to_dict(),
+            "early_termination": self.early_termination,
+            "batch_size": self.batch_size,
+        }
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Parameters of a synthetic social-tagging dataset.
+
+    The defaults produce a small corpus suitable for unit tests; the
+    benchmark harness scales them up.
+
+    Attributes
+    ----------
+    num_users / num_items / num_tags:
+        Sizes of the three entity domains.
+    num_actions:
+        Total number of tagging actions ``(user, item, tag)`` to generate.
+    graph_model:
+        Social graph generator name (``"barabasi-albert"``, ``"erdos-renyi"``,
+        ``"watts-strogatz"``, ``"forest-fire"``, ``"community"``).
+    avg_degree:
+        Target average degree of the social graph.
+    tag_zipf_exponent / item_zipf_exponent:
+        Skew of tag and item popularity.
+    homophily:
+        Probability that a tagging action copies an item/tag pair previously
+        used by a direct friend instead of sampling globally.  This is the
+        knob that makes "help from friends" informative.
+    tags_per_item:
+        Mean number of distinct tags attached to an item by one action burst.
+    seed:
+        Seed of the deterministic pseudo-random generator.
+    name:
+        Human-readable dataset name used in result tables.
+    """
+
+    num_users: int = 200
+    num_items: int = 500
+    num_tags: int = 50
+    num_actions: int = 5000
+    graph_model: str = "barabasi-albert"
+    avg_degree: float = 8.0
+    tag_zipf_exponent: float = 1.1
+    item_zipf_exponent: float = 1.05
+    homophily: float = 0.5
+    tags_per_item: float = 2.0
+    seed: int = 7
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        _require(self.num_users >= 2, "num_users must be >= 2")
+        _require(self.num_items >= 1, "num_items must be >= 1")
+        _require(self.num_tags >= 1, "num_tags must be >= 1")
+        _require(self.num_actions >= 1, "num_actions must be >= 1")
+        _require(self.avg_degree > 0.0, "avg_degree must be positive")
+        _require(self.tag_zipf_exponent > 0.0, "tag_zipf_exponent must be positive")
+        _require(self.item_zipf_exponent > 0.0, "item_zipf_exponent must be positive")
+        _require(0.0 <= self.homophily <= 1.0, "homophily must be in [0, 1]")
+        _require(self.tags_per_item >= 1.0, "tags_per_item must be >= 1")
+        _require(bool(self.name), "dataset name must be non-empty")
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a synthetic query workload.
+
+    Attributes
+    ----------
+    num_queries:
+        Number of (seeker, tags) query instances to generate.
+    tags_per_query:
+        Mean number of tags per query (at least one).
+    k:
+        Default result size requested by the workload.
+    seeker_strategy:
+        ``"active"`` draws seekers proportionally to their activity,
+        ``"uniform"`` draws them uniformly.
+    tag_strategy:
+        ``"profile"`` draws query tags from the seeker's own tag profile
+        (falling back to global popularity), ``"popular"`` from global tag
+        popularity, ``"uniform"`` uniformly.
+    seed:
+        Seed of the deterministic pseudo-random generator.
+    """
+
+    num_queries: int = 100
+    tags_per_query: float = 2.0
+    k: int = 10
+    seeker_strategy: str = "active"
+    tag_strategy: str = "profile"
+    seed: int = 11
+
+    _SEEKER_STRATEGIES = ("active", "uniform")
+    _TAG_STRATEGIES = ("profile", "popular", "uniform")
+
+    def __post_init__(self) -> None:
+        _require(self.num_queries >= 1, "num_queries must be >= 1")
+        _require(self.tags_per_query >= 1.0, "tags_per_query must be >= 1")
+        _require(self.k >= 1, "k must be >= 1")
+        _require(
+            self.seeker_strategy in self._SEEKER_STRATEGIES,
+            f"seeker_strategy must be one of {self._SEEKER_STRATEGIES}",
+        )
+        _require(
+            self.tag_strategy in self._TAG_STRATEGIES,
+            f"tag_strategy must be one of {self._TAG_STRATEGIES}",
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        return data
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration of one evaluation run (dataset + workload + engine).
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier used in result tables (for example ``"fig3"``).
+    dataset:
+        Synthetic dataset parameters.
+    workload:
+        Query workload parameters.
+    engine:
+        Engine parameters.
+    holdout_fraction:
+        Fraction of each seeker's tagging actions withheld from the index and
+        used as relevance ground truth for quality metrics.
+    """
+
+    name: str = "experiment"
+    dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    holdout_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "experiment name must be non-empty")
+        _require(
+            0.0 <= self.holdout_fraction < 1.0,
+            "holdout_fraction must be in [0, 1)",
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "dataset": self.dataset.to_dict(),
+            "workload": self.workload.to_dict(),
+            "engine": self.engine.to_dict(),
+            "holdout_fraction": self.holdout_fraction,
+        }
+
+
+def default_engine_config(alpha: float = 0.5, algorithm: str = "social-first",
+                          measure: str = "shortest-path") -> EngineConfig:
+    """Convenience constructor used by examples and benchmarks."""
+    return EngineConfig(
+        algorithm=algorithm,
+        scoring=ScoringConfig(alpha=alpha),
+        proximity=ProximityConfig(measure=measure),
+    )

@@ -1,0 +1,101 @@
+"""Access accounting.
+
+Latency on a Python prototype is a noisy proxy for the cost a production
+system would pay, so — like the paper family — every algorithm also reports
+*access counts*, which are implementation-independent:
+
+* **sequential accesses** — postings read from inverted lists in order;
+* **random accesses** — point lookups of an item's tag frequency or of a
+  tagger's proximity, i.e. the "fetch the missing score component" step of
+  TA-style algorithms;
+* **social accesses** — per-(visited friend, tag) profile probes;
+* **users visited** — friends popped from the proximity frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class AccessAccountant:
+    """Mutable counters shared by an algorithm run."""
+
+    sequential_accesses: int = 0
+    random_accesses: int = 0
+    social_accesses: int = 0
+    users_visited: int = 0
+    candidates_considered: int = 0
+    rounds: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Charging
+    # ------------------------------------------------------------------ #
+
+    def charge_sequential(self, count: int = 1) -> None:
+        """Charge ``count`` sequential posting reads."""
+        self.sequential_accesses += count
+
+    def charge_random(self, count: int = 1) -> None:
+        """Charge ``count`` random point lookups."""
+        self.random_accesses += count
+
+    def charge_social(self, count: int = 1) -> None:
+        """Charge ``count`` friend-profile probes."""
+        self.social_accesses += count
+
+    def charge_user_visit(self, count: int = 1) -> None:
+        """Charge ``count`` frontier pops (friends visited)."""
+        self.users_visited += count
+
+    def charge_candidate(self, count: int = 1) -> None:
+        """Charge ``count`` newly discovered candidate items."""
+        self.candidates_considered += count
+
+    def charge_round(self, count: int = 1) -> None:
+        """Charge ``count`` scheduling rounds."""
+        self.rounds += count
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_accesses(self) -> int:
+        """Sum of all index/graph accesses."""
+        return (
+            self.sequential_accesses
+            + self.random_accesses
+            + self.social_accesses
+            + self.users_visited
+        )
+
+    def merge(self, other: "AccessAccountant") -> None:
+        """Accumulate another accountant's counters into this one."""
+        self.sequential_accesses += other.sequential_accesses
+        self.random_accesses += other.random_accesses
+        self.social_accesses += other.social_accesses
+        self.users_visited += other.users_visited
+        self.candidates_considered += other.candidates_considered
+        self.rounds += other.rounds
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict view for result tables."""
+        return {
+            "sequential_accesses": self.sequential_accesses,
+            "random_accesses": self.random_accesses,
+            "social_accesses": self.social_accesses,
+            "users_visited": self.users_visited,
+            "candidates_considered": self.candidates_considered,
+            "rounds": self.rounds,
+            "total_accesses": self.total_accesses,
+        }
+
+    @classmethod
+    def sum(cls, accountants) -> "AccessAccountant":
+        """Return a new accountant holding the sum of the given ones."""
+        total = cls()
+        for accountant in accountants:
+            total.merge(accountant)
+        return total

@@ -1,0 +1,151 @@
+"""The blended social/textual scoring model.
+
+For a seeker *s*, query *q* and item *i* the score is
+
+``score(s, q, i) = (1/|q|) · Σ_{t∈q} [ α·ntf(i,t) + (1−α)·nsf(s,i,t) ]``
+
+with
+
+* ``ntf(i,t)  = tf(i,t) / Z_t`` — tag frequency (distinct endorsers)
+  normalised by the largest frequency ``Z_t`` on the tag's posting list;
+* ``nsf(s,i,t) = (Σ_{v ∈ taggers(i,t)} prox(s,v)) / Z_t`` — proximity-weighted
+  endorser mass, normalised by the same ``Z_t``.
+
+Because proximities are at most 1, ``nsf ≤ ntf ≤ 1``; both components live
+on the same scale, the aggregate is monotone in every input, and the bound
+arithmetic used by the threshold-style algorithms stays simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..config import ScoringConfig
+from ..proximity.base import ProximityMeasure
+from ..storage.dataset import Dataset
+from .accounting import AccessAccountant
+
+
+@dataclass(frozen=True)
+class ScoreBreakdown:
+    """Exact score of one item, split into its components."""
+
+    score: float
+    textual: float
+    social: float
+
+
+class ScoringModel:
+    """Computes exact scores and the bound terms algorithms reason with."""
+
+    def __init__(self, dataset: Dataset, proximity: ProximityMeasure,
+                 config: Optional[ScoringConfig] = None) -> None:
+        self._dataset = dataset
+        self._proximity = proximity
+        self._config = config or ScoringConfig()
+
+    @property
+    def dataset(self) -> Dataset:
+        """The dataset scores are computed against."""
+        return self._dataset
+
+    @property
+    def proximity(self) -> ProximityMeasure:
+        """The proximity measure supplying the social component."""
+        return self._proximity
+
+    @property
+    def config(self) -> ScoringConfig:
+        """The scoring configuration in effect."""
+        return self._config
+
+    @property
+    def alpha(self) -> float:
+        """Weight of the textual component."""
+        return self._config.alpha
+
+    # ------------------------------------------------------------------ #
+    # Normalisation
+    # ------------------------------------------------------------------ #
+
+    def normaliser(self, tag: str) -> float:
+        """``Z_t``: the largest tag frequency of ``tag`` (at least 1)."""
+        return float(max(1, self._dataset.inverted_index.max_frequency(tag)))
+
+    def normalised_tf(self, item_id: int, tag: str) -> float:
+        """``ntf(i, t)`` — normalised tag frequency in [0, 1]."""
+        return self._dataset.inverted_index.frequency(item_id, tag) / self.normaliser(tag)
+
+    # ------------------------------------------------------------------ #
+    # Exact scoring
+    # ------------------------------------------------------------------ #
+
+    def social_mass(self, seeker: int, item_id: int, tag: str,
+                    proximity_vector: Mapping[int, float],
+                    accountant: Optional[AccessAccountant] = None) -> float:
+        """Raw proximity-weighted endorser mass ``Σ_v prox(s, v)``."""
+        mass = 0.0
+        for tagger in self._dataset.tagging.taggers(item_id, tag):
+            if tagger == seeker and not self._config.include_seeker:
+                continue
+            if accountant is not None:
+                accountant.charge_random()
+            mass += proximity_vector.get(tagger, 0.0)
+        return mass
+
+    def exact_score(self, seeker: int, item_id: int, tags: Iterable[str],
+                    proximity_vector: Mapping[int, float],
+                    accountant: Optional[AccessAccountant] = None) -> ScoreBreakdown:
+        """Exact blended score of ``item_id`` for the seeker and tags."""
+        tags = tuple(tags)
+        if not tags:
+            return ScoreBreakdown(0.0, 0.0, 0.0)
+        alpha = self._config.alpha
+        textual_total = 0.0
+        social_total = 0.0
+        for tag in tags:
+            normaliser = self.normaliser(tag)
+            if accountant is not None:
+                accountant.charge_random()
+            textual = self._dataset.inverted_index.frequency(item_id, tag) / normaliser
+            social = self.social_mass(seeker, item_id, tag, proximity_vector,
+                                      accountant=accountant) / normaliser
+            textual_total += textual
+            social_total += min(1.0, social)
+        m = float(len(tags))
+        textual_component = textual_total / m
+        social_component = social_total / m
+        score = alpha * textual_component + (1.0 - alpha) * social_component
+        return ScoreBreakdown(score=score, textual=textual_component,
+                              social=social_component)
+
+    def proximity_vector(self, seeker: int) -> Dict[int, float]:
+        """Full proximity vector of the seeker (used by exact baselines)."""
+        return self._proximity.vector(seeker)
+
+    # ------------------------------------------------------------------ #
+    # Bound arithmetic (used by threshold-style algorithms)
+    # ------------------------------------------------------------------ #
+
+    def combine(self, textual: float, social: float) -> float:
+        """Blend already-normalised per-query components."""
+        return self._config.alpha * textual + (1.0 - self._config.alpha) * social
+
+    def unseen_upper_bound(self, next_tf: Mapping[str, int],
+                           frontier_proximity: float, tags: Tuple[str, ...]) -> float:
+        """Upper bound on the score of any item not yet encountered.
+
+        ``next_tf[t]`` is the frequency of the next unread posting of tag
+        ``t`` (0 when exhausted); ``frontier_proximity`` is the proximity of
+        the next unvisited friend (0 when the frontier is exhausted).
+        """
+        if not tags:
+            return 0.0
+        alpha = self._config.alpha
+        total = 0.0
+        for tag in tags:
+            textual_bound = next_tf.get(tag, 0) / self.normaliser(tag)
+            social_bound = min(1.0, frontier_proximity)
+            total += alpha * textual_bound + (1.0 - alpha) * social_bound
+        return total / float(len(tags))

@@ -1,0 +1,33 @@
+"""Top-k query processing algorithms."""
+
+from .base import (
+    TopKAlgorithm,
+    available_algorithms,
+    create_algorithm,
+    register_algorithm,
+)
+from .heap import TopKHeap
+from .candidates import Candidate, CandidatePool
+from .sources import SocialFrontier, TextualSource
+from .exact import ExactBaseline
+from .threshold import ThresholdAlgorithm
+from .nra import NoRandomAccess
+from .social_first import SocialFirst
+from .hybrid import HybridMerge
+
+__all__ = [
+    "TopKAlgorithm",
+    "register_algorithm",
+    "create_algorithm",
+    "available_algorithms",
+    "TopKHeap",
+    "Candidate",
+    "CandidatePool",
+    "SocialFrontier",
+    "TextualSource",
+    "ExactBaseline",
+    "ThresholdAlgorithm",
+    "NoRandomAccess",
+    "SocialFirst",
+    "HybridMerge",
+]

@@ -1,0 +1,131 @@
+"""Top-k algorithm interface and registry.
+
+Every algorithm answers the same contract — :meth:`TopKAlgorithm.search`
+takes a :class:`~repro.core.query.Query` and returns a
+:class:`~repro.core.query.QueryResult` whose items carry *exact* scores —
+but they differ in which index access paths they touch and how early they
+can stop.  The registry lets configuration files and the benchmark harness
+select algorithms by name.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Type
+
+from ...config import EngineConfig
+from ...errors import UnknownAlgorithmError
+from ...proximity.base import ProximityMeasure
+from ...storage.dataset import Dataset
+from ..accounting import AccessAccountant
+from ..query import Query, QueryResult, ScoredItem
+from ..scoring import ScoringModel
+from .heap import TopKHeap
+
+
+class TopKAlgorithm(ABC):
+    """Abstract base class for social-aware top-k algorithms."""
+
+    #: Registry name; assigned by :func:`register_algorithm`.
+    name: str = "abstract"
+
+    def __init__(self, dataset: Dataset, proximity: ProximityMeasure,
+                 config: Optional[EngineConfig] = None) -> None:
+        self._dataset = dataset
+        self._proximity = proximity
+        self._config = config or EngineConfig()
+        self._scoring = ScoringModel(dataset, proximity, self._config.scoring)
+
+    @property
+    def dataset(self) -> Dataset:
+        """The dataset queried."""
+        return self._dataset
+
+    @property
+    def proximity(self) -> ProximityMeasure:
+        """The proximity measure supplying social relevance."""
+        return self._proximity
+
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration in effect."""
+        return self._config
+
+    @property
+    def scoring(self) -> ScoringModel:
+        """The scoring model shared by all algorithms."""
+        return self._scoring
+
+    # ------------------------------------------------------------------ #
+    # Contract
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def search(self, query: Query) -> QueryResult:
+        """Answer ``query`` with the top-``k`` items by exact blended score."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+
+    def _validate(self, query: Query) -> None:
+        self._dataset.graph.validate_user(query.seeker)
+
+    def _finalise(self, query: Query, heap: TopKHeap, accountant: AccessAccountant,
+                  started_at: float, terminated_early: bool,
+                  proximity_vector: Optional[Mapping[int, float]] = None) -> QueryResult:
+        """Turn a top-k heap into a :class:`QueryResult` with exact scores.
+
+        Bound-based algorithms may hold lower-bound scores in the heap; the
+        returned items are re-scored exactly (charged as random accesses) so
+        every algorithm reports comparable numbers.
+        """
+        if proximity_vector is None:
+            proximity_vector = self._scoring.proximity_vector(query.seeker)
+        items: List[ScoredItem] = []
+        for item_id, _lower_bound in heap.items():
+            breakdown = self._scoring.exact_score(
+                query.seeker, item_id, query.tags, proximity_vector,
+                accountant=accountant,
+            )
+            items.append(ScoredItem(item_id=item_id, score=breakdown.score,
+                                    textual=breakdown.textual, social=breakdown.social))
+        items.sort(key=lambda item: (-item.score, item.item_id))
+        return QueryResult(
+            query=query,
+            items=items,
+            algorithm=self.name,
+            latency_seconds=time.perf_counter() - started_at,
+            accounting=accountant,
+            terminated_early=terminated_early,
+        )
+
+
+AlgorithmFactory = Callable[[Dataset, ProximityMeasure, Optional[EngineConfig]], TopKAlgorithm]
+
+_REGISTRY: Dict[str, Type[TopKAlgorithm]] = {}
+
+
+def register_algorithm(name: str) -> Callable[[Type[TopKAlgorithm]], Type[TopKAlgorithm]]:
+    """Class decorator registering a top-k algorithm under ``name``."""
+
+    def decorator(cls: Type[TopKAlgorithm]) -> Type[TopKAlgorithm]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """Names of all registered algorithms."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_algorithm(name: str, dataset: Dataset, proximity: ProximityMeasure,
+                     config: Optional[EngineConfig] = None) -> TopKAlgorithm:
+    """Instantiate the algorithm registered under ``name``."""
+    if name not in _REGISTRY:
+        raise UnknownAlgorithmError(name, available_algorithms())
+    return _REGISTRY[name](dataset, proximity, config)

@@ -1,0 +1,143 @@
+"""Candidate bookkeeping shared by the bound-based algorithms.
+
+While a threshold-style algorithm runs, every item it has encountered is a
+*candidate* with partial knowledge:
+
+* the exact tag frequency for the tags where it was read from a posting
+  list or fetched by random access;
+* the social mass accumulated so far from *visited* friends, together with
+  how many endorsers have been seen per tag.
+
+From that partial knowledge the candidate derives a lower bound (what the
+item is certainly worth) and an upper bound (what it could still become,
+given the frequency of the next unread posting and the proximity of the
+next unvisited friend).  The bounds drive both pruning and termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..scoring import ScoringModel
+
+
+@dataclass
+class Candidate:
+    """Partial knowledge about one item during query processing."""
+
+    item_id: int
+    #: tag -> exact frequency, for tags where frequency is known.
+    known_frequency: Dict[str, int] = field(default_factory=dict)
+    #: tag -> accumulated proximity mass from visited endorsers.
+    social_mass: Dict[str, float] = field(default_factory=dict)
+    #: tag -> number of endorsers already seen from the frontier.
+    endorsers_seen: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def record_frequency(self, tag: str, frequency: int) -> None:
+        """Record the exact tag frequency learned via posting read / random access."""
+        self.known_frequency[tag] = frequency
+
+    def knows_frequency(self, tag: str) -> bool:
+        """Whether the exact frequency for ``tag`` is already known."""
+        return tag in self.known_frequency
+
+    def add_social(self, tag: str, proximity: float) -> None:
+        """Add one visited endorser's proximity for ``tag``."""
+        self.social_mass[tag] = self.social_mass.get(tag, 0.0) + proximity
+        self.endorsers_seen[tag] = self.endorsers_seen.get(tag, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Bounds
+    # ------------------------------------------------------------------ #
+
+    def lower_bound(self, scoring: ScoringModel, tags: Tuple[str, ...]) -> float:
+        """Certain score given only what has been observed so far."""
+        alpha = scoring.alpha
+        total = 0.0
+        for tag in tags:
+            normaliser = scoring.normaliser(tag)
+            textual = self.known_frequency.get(tag, 0) / normaliser
+            social = min(1.0, self.social_mass.get(tag, 0.0) / normaliser)
+            total += alpha * textual + (1.0 - alpha) * social
+        return total / float(len(tags))
+
+    def upper_bound(self, scoring: ScoringModel, tags: Tuple[str, ...],
+                    next_tf: Mapping[str, int], frontier_proximity: float) -> float:
+        """Optimistic score given what could still be observed.
+
+        * Textual: the exact frequency when known, otherwise the frequency of
+          the next unread posting of that tag (items not yet seen on the list
+          cannot beat it).
+        * Social: the accumulated mass plus ``frontier_proximity`` for every
+          endorser not yet seen.  When the exact frequency is known the number
+          of unseen endorsers is ``frequency - seen``; otherwise it is bounded
+          by the largest frequency on the tag's posting list.
+        """
+        alpha = scoring.alpha
+        total = 0.0
+        for tag in tags:
+            normaliser = scoring.normaliser(tag)
+            if tag in self.known_frequency:
+                frequency = self.known_frequency[tag]
+                textual = frequency / normaliser
+                max_endorsers = frequency
+            else:
+                textual = next_tf.get(tag, 0) / normaliser
+                max_endorsers = int(normaliser)
+            seen = self.endorsers_seen.get(tag, 0)
+            unseen = max(0, max_endorsers - seen)
+            social = self.social_mass.get(tag, 0.0) + frontier_proximity * unseen
+            social = min(1.0, social / normaliser)
+            total += alpha * textual + (1.0 - alpha) * social
+        return total / float(len(tags))
+
+
+class CandidatePool:
+    """The set of candidates an algorithm is currently reasoning about."""
+
+    def __init__(self) -> None:
+        self._candidates: Dict[int, Candidate] = {}
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._candidates
+
+    def __iter__(self):
+        return iter(self._candidates.values())
+
+    def get(self, item_id: int) -> Optional[Candidate]:
+        """Return the candidate for ``item_id`` or ``None``."""
+        return self._candidates.get(item_id)
+
+    def ensure(self, item_id: int) -> Tuple[Candidate, bool]:
+        """Return ``(candidate, created)`` for ``item_id``, creating it if new."""
+        candidate = self._candidates.get(item_id)
+        if candidate is not None:
+            return candidate, False
+        candidate = Candidate(item_id=item_id)
+        self._candidates[item_id] = candidate
+        return candidate, True
+
+    def item_ids(self) -> Tuple[int, ...]:
+        """All candidate item ids (unordered)."""
+        return tuple(self._candidates)
+
+    def max_upper_bound_excluding(self, scoring: ScoringModel, tags: Tuple[str, ...],
+                                  next_tf: Mapping[str, int], frontier_proximity: float,
+                                  excluded: frozenset) -> float:
+        """Largest upper bound among candidates outside ``excluded``."""
+        best = 0.0
+        for item_id, candidate in self._candidates.items():
+            if item_id in excluded:
+                continue
+            bound = candidate.upper_bound(scoring, tags, next_tf, frontier_proximity)
+            if bound > best:
+                best = bound
+        return best

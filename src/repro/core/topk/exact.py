@@ -1,0 +1,54 @@
+"""Exact full-scan baseline.
+
+Materialises the seeker's complete proximity vector, enumerates every item
+that carries at least one query tag, scores each exactly and keeps the best
+``k``.  It is the correctness oracle for every other algorithm and the
+"no early termination" end of the latency spectrum.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Set
+
+from ..accounting import AccessAccountant
+from ..query import Query, QueryResult
+from .base import TopKAlgorithm, register_algorithm
+from .heap import TopKHeap
+
+
+@register_algorithm("exact")
+class ExactBaseline(TopKAlgorithm):
+    """Score every item touching a query tag; no pruning, no bounds."""
+
+    def search(self, query: Query) -> QueryResult:
+        """Answer the query by exhaustive scoring."""
+        self._validate(query)
+        started_at = time.perf_counter()
+        accountant = AccessAccountant()
+
+        proximity_vector = self._scoring.proximity_vector(query.seeker)
+        accountant.charge_user_visit(len(proximity_vector))
+
+        candidates: Set[int] = set()
+        for tag in query.tags:
+            postings = self._dataset.inverted_index.cursor(tag)
+            while True:
+                posting = postings.next()
+                if posting is None:
+                    break
+                accountant.charge_sequential()
+                candidates.add(posting.item_id)
+        accountant.charge_candidate(len(candidates))
+
+        heap = TopKHeap(query.k)
+        for item_id in sorted(candidates):
+            breakdown = self._scoring.exact_score(
+                query.seeker, item_id, query.tags, proximity_vector,
+                accountant=accountant,
+            )
+            heap.offer(item_id, breakdown.score)
+
+        return self._finalise(query, heap, accountant, started_at,
+                              terminated_early=False,
+                              proximity_vector=proximity_vector)

@@ -1,0 +1,21 @@
+"""Round-robin hybrid — the non-adaptive ablation of the social-first design.
+
+Identical to :class:`~repro.core.topk.social_first.SocialFirst` in every
+respect (frequency-only random access, same bounds, same termination test)
+except that sources are consumed in a fixed round-robin order instead of by
+marginal benefit.  Comparing the two isolates how much of the social-first
+advantage comes from adaptive scheduling (the Figure-9 ablation).
+"""
+
+from __future__ import annotations
+
+from .base import register_algorithm
+from .interleave import InterleavedTopK
+
+
+@register_algorithm("hybrid")
+class HybridMerge(InterleavedTopK):
+    """Round-robin scheduling with frequency-only random access."""
+
+    random_access = "textual"
+    scheduling = "round-robin"

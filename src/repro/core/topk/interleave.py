@@ -1,0 +1,263 @@
+"""Shared machinery of the interleaving (threshold-style) algorithms.
+
+All four non-exhaustive algorithms — Fagin-style TA, NRA, the round-robin
+hybrid and the adaptive social-first algorithm — share the same skeleton:
+
+1. open one :class:`~repro.core.topk.sources.TextualSource` per query tag
+   and one :class:`~repro.core.topk.sources.SocialFrontier` for the seeker;
+2. repeatedly pick a source (scheduling policy), consume a batch from it and
+   update candidate knowledge;
+3. after every round, compare the current k-th best lower bound against the
+   upper bound of everything else; stop as soon as no outsider can still
+   enter the top-k (early termination) or when every source is exhausted.
+
+They differ along two orthogonal axes captured by class attributes:
+
+* ``random_access`` — ``"full"`` fetches an exact score the moment an item
+  is discovered (TA), ``"textual"`` fetches only the cheap tag frequencies
+  (social-first / hybrid), ``"none"`` never random-accesses (NRA);
+* ``scheduling`` — ``"round-robin"`` alternates sources blindly,
+  ``"adaptive"`` picks the source whose next element can contribute the
+  most to an unseen item's score.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..accounting import AccessAccountant
+from ..query import Query, QueryResult
+from .base import TopKAlgorithm
+from .candidates import Candidate, CandidatePool
+from .heap import TopKHeap
+from .sources import SocialFrontier, build_textual_sources, next_frequencies
+
+#: Scheduling token meaning "consume the social frontier next".
+SOCIAL_SOURCE = "__social__"
+
+
+class InterleavedTopK(TopKAlgorithm):
+    """Skeleton of threshold-style algorithms; subclasses pick the policy."""
+
+    #: One of ``"full"``, ``"textual"``, ``"none"``.
+    random_access: str = "textual"
+    #: One of ``"round-robin"``, ``"adaptive"``.
+    scheduling: str = "round-robin"
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def search(self, query: Query) -> QueryResult:
+        """Answer the query by interleaved sorted access with early termination."""
+        self._validate(query)
+        started_at = time.perf_counter()
+        accountant = AccessAccountant()
+
+        textual_sources = build_textual_sources(self._dataset.inverted_index, query.tags)
+        frontier = SocialFrontier(self._proximity, query.seeker)
+        pool = CandidatePool()
+        exact_scores: Dict[int, float] = {}
+        proximity_vector: Optional[Dict[int, float]] = None
+
+        # Round-robin order: social frontier first, then tags in query order.
+        rotation = [SOCIAL_SOURCE] + list(query.tags)
+        rotation_index = 0
+        terminated_early = False
+
+        while True:
+            accountant.charge_round()
+            source = self._choose_source(rotation, rotation_index, textual_sources,
+                                         frontier, query)
+            rotation_index += 1
+            if source is None:
+                break  # every source exhausted
+
+            if source == SOCIAL_SOURCE:
+                proximity_vector = self._consume_social(
+                    query, frontier, pool, exact_scores, accountant, proximity_vector,
+                )
+            else:
+                proximity_vector = self._consume_textual(
+                    query, source, textual_sources, pool, exact_scores, accountant,
+                    proximity_vector,
+                )
+
+            heap = self._current_topk(query, pool, exact_scores)
+            if self._should_stop(query, heap, pool, exact_scores, textual_sources,
+                                 frontier):
+                terminated_early = not self._all_exhausted(textual_sources, frontier)
+                break
+
+        heap = self._current_topk(query, pool, exact_scores)
+        return self._finalise(query, heap, accountant, started_at,
+                              terminated_early=terminated_early,
+                              proximity_vector=proximity_vector)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def _choose_source(self, rotation, rotation_index: int,
+                       textual_sources, frontier: SocialFrontier,
+                       query: Query) -> Optional[str]:
+        """Pick the next source to consume, or ``None`` when all are exhausted."""
+        if self._all_exhausted(textual_sources, frontier):
+            return None
+        if self.scheduling == "adaptive":
+            return self._choose_adaptive(textual_sources, frontier, query)
+        # Round-robin: skip exhausted sources.
+        for offset in range(len(rotation)):
+            source = rotation[(rotation_index + offset) % len(rotation)]
+            if source == SOCIAL_SOURCE:
+                if not frontier.exhausted():
+                    return source
+            elif not textual_sources[source].exhausted():
+                return source
+        return None
+
+    def _choose_adaptive(self, textual_sources, frontier: SocialFrontier,
+                         query: Query) -> Optional[str]:
+        """Pick the source whose next element has the largest score potential.
+
+        The potential of the social frontier is ``(1 - α) · next proximity``
+        (a friend that proximate could push any item by that much); the
+        potential of a textual source is ``α · next frequency / Z_t``.
+        """
+        alpha = self._scoring.alpha
+        best_source: Optional[str] = None
+        best_potential = -1.0
+        if not frontier.exhausted():
+            potential = (1.0 - alpha) * frontier.next_proximity()
+            best_source, best_potential = SOCIAL_SOURCE, potential
+        for tag, source in textual_sources.items():
+            if source.exhausted():
+                continue
+            potential = alpha * source.next_frequency() / self._scoring.normaliser(tag)
+            if potential > best_potential:
+                best_source, best_potential = tag, potential
+        return best_source
+
+    @staticmethod
+    def _all_exhausted(textual_sources, frontier: SocialFrontier) -> bool:
+        return frontier.exhausted() and all(
+            source.exhausted() for source in textual_sources.values()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Consuming sources
+    # ------------------------------------------------------------------ #
+
+    def _consume_social(self, query: Query, frontier: SocialFrontier,
+                        pool: CandidatePool, exact_scores: Dict[int, float],
+                        accountant: AccessAccountant,
+                        proximity_vector: Optional[Dict[int, float]]
+                        ) -> Optional[Dict[int, float]]:
+        """Visit up to ``batch_size`` friends and credit their endorsements."""
+        for _ in range(self._config.batch_size):
+            entry = frontier.pop()
+            if entry is None:
+                break
+            user, proximity = entry
+            accountant.charge_user_visit()
+            for tag in query.tags:
+                accountant.charge_social()
+                for item_id in self._dataset.social_index.items_for(user, tag):
+                    candidate, created = pool.ensure(item_id)
+                    if created:
+                        accountant.charge_candidate()
+                        proximity_vector = self._on_new_candidate(
+                            query, candidate, exact_scores, accountant, proximity_vector,
+                        )
+                    candidate.add_social(tag, proximity)
+        return proximity_vector
+
+    def _consume_textual(self, query: Query, tag: str, textual_sources,
+                         pool: CandidatePool, exact_scores: Dict[int, float],
+                         accountant: AccessAccountant,
+                         proximity_vector: Optional[Dict[int, float]]
+                         ) -> Optional[Dict[int, float]]:
+        """Read up to ``batch_size`` postings of ``tag``."""
+        source = textual_sources[tag]
+        for _ in range(self._config.batch_size):
+            posting = source.read()
+            if posting is None:
+                break
+            accountant.charge_sequential()
+            candidate, created = pool.ensure(posting.item_id)
+            candidate.record_frequency(tag, posting.frequency)
+            if created:
+                accountant.charge_candidate()
+                proximity_vector = self._on_new_candidate(
+                    query, candidate, exact_scores, accountant, proximity_vector,
+                )
+        return proximity_vector
+
+    def _on_new_candidate(self, query: Query, candidate: Candidate,
+                          exact_scores: Dict[int, float],
+                          accountant: AccessAccountant,
+                          proximity_vector: Optional[Dict[int, float]]
+                          ) -> Optional[Dict[int, float]]:
+        """Apply the algorithm's random-access policy to a new candidate."""
+        if self.random_access == "none":
+            return proximity_vector
+        if self.random_access == "textual":
+            for tag in query.tags:
+                if not candidate.knows_frequency(tag):
+                    accountant.charge_random()
+                    candidate.record_frequency(
+                        tag, self._dataset.inverted_index.frequency(candidate.item_id, tag)
+                    )
+            return proximity_vector
+        # "full": fetch the exact blended score immediately (classic TA).
+        if proximity_vector is None:
+            proximity_vector = self._scoring.proximity_vector(query.seeker)
+        breakdown = self._scoring.exact_score(
+            query.seeker, candidate.item_id, query.tags, proximity_vector,
+            accountant=accountant,
+        )
+        exact_scores[candidate.item_id] = breakdown.score
+        return proximity_vector
+
+    # ------------------------------------------------------------------ #
+    # Bounds and termination
+    # ------------------------------------------------------------------ #
+
+    def _lower_bound(self, query: Query, candidate: Candidate,
+                     exact_scores: Mapping[int, float]) -> float:
+        if self.random_access == "full":
+            return exact_scores.get(candidate.item_id, 0.0)
+        return candidate.lower_bound(self._scoring, query.tags)
+
+    def _current_topk(self, query: Query, pool: CandidatePool,
+                      exact_scores: Mapping[int, float]) -> TopKHeap:
+        """Top-k heap over current lower bounds (exact scores for TA)."""
+        heap = TopKHeap(query.k)
+        for candidate in pool:
+            heap.offer(candidate.item_id, self._lower_bound(query, candidate, exact_scores))
+        return heap
+
+    def _should_stop(self, query: Query, heap: TopKHeap, pool: CandidatePool,
+                     exact_scores: Mapping[int, float], textual_sources,
+                     frontier: SocialFrontier) -> bool:
+        """Early-termination test: can any outsider still beat the k-th result?"""
+        if not self._config.early_termination:
+            return False
+        if not heap.is_full():
+            return False
+        kth = heap.kth_score()
+        frontier_proximity = frontier.next_proximity()
+        next_tf = next_frequencies(textual_sources)
+        unseen_bound = self._scoring.unseen_upper_bound(next_tf, frontier_proximity,
+                                                        query.tags)
+        if kth < unseen_bound:
+            return False
+        if self.random_access == "full":
+            # Seen candidates already carry exact scores; only unseen items matter.
+            return True
+        retained = frozenset(heap.item_ids())
+        outsider_bound = pool.max_upper_bound_excluding(
+            self._scoring, query.tags, next_tf, frontier_proximity, retained,
+        )
+        return kth >= outsider_bound

@@ -1,0 +1,28 @@
+"""No-Random-Access (NRA) algorithm adapted to the social setting.
+
+Like TA the algorithm alternates sorted access between posting lists and
+the proximity frontier, but it never performs random accesses: candidate
+knowledge is whatever the sorted streams happened to reveal.  Each candidate
+therefore carries a *lower bound* (observed frequency + observed endorser
+mass) and an *upper bound* (what the unread postings and unvisited friends
+could still add).  Processing stops when no candidate outside the current
+top-k — and no completely unseen item — can exceed the k-th best lower
+bound.
+
+Strengths: cheapest per-step cost, no proximity point lookups.
+Weakness: bounds are looser, so it usually needs more sorted accesses than
+the social-first algorithm before it can stop.
+"""
+
+from __future__ import annotations
+
+from .base import register_algorithm
+from .interleave import InterleavedTopK
+
+
+@register_algorithm("nra")
+class NoRandomAccess(InterleavedTopK):
+    """Round-robin sorted access, bounds only, no random access."""
+
+    random_access = "none"
+    scheduling = "round-robin"

@@ -1,0 +1,38 @@
+"""The social-first adaptive algorithm — the system's primary contribution.
+
+The reconstruction of the "with a little help from my friends" query
+technique: answer the seeker's query by walking their social neighbourhood
+in decreasing proximity order, crediting every visited friend's
+endorsements to the items they tagged, while *adaptively* deciding after
+each batch whether the next unit of work should go to the social frontier
+or to a tag's posting list.
+
+Two design choices distinguish it from the classical TA/NRA adaptations:
+
+* **Cheap, targeted random access** — when an item is first discovered, the
+  algorithm fetches only its per-tag frequencies (a hash lookup), never the
+  proximity of its endorsers.  Exact frequencies make the candidate's upper
+  bound much tighter than NRA's (the number of endorsers a candidate can
+  still gain is ``frequency − seen`` instead of the per-tag maximum), which
+  is what allows early termination after visiting only the close part of
+  the network.
+* **Benefit-driven scheduling** — the next batch is spent on the source
+  whose next element can contribute the most to an unseen item's score:
+  ``(1 − α) · next-proximity`` for the frontier versus ``α · next-frequency
+  / Z_t`` for each posting list.  With a social-leaning α the algorithm
+  automatically becomes a pure network walk; with a textual-leaning α it
+  degrades gracefully to posting-list processing.
+"""
+
+from __future__ import annotations
+
+from .base import register_algorithm
+from .interleave import InterleavedTopK
+
+
+@register_algorithm("social-first")
+class SocialFirst(InterleavedTopK):
+    """Adaptive frontier/posting scheduling with frequency-only random access."""
+
+    random_access = "textual"
+    scheduling = "adaptive"

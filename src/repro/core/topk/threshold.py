@@ -1,0 +1,27 @@
+"""Fagin-style Threshold Algorithm (TA) adapted to the social setting.
+
+Sorted access alternates round-robin between every query tag's posting list
+and the seeker's proximity frontier.  The moment an item is discovered it is
+fully scored by random access (tag frequencies plus the proximity of all of
+its endorsers), so every seen candidate carries an exact score.  Processing
+stops when the k-th best exact score reaches the threshold — the best score
+any *unseen* item could still achieve given the current sorted-access
+positions.
+
+Strengths: exact scores throughout, simple termination test.
+Weakness: the random-access step needs the seeker's proximity to arbitrary
+endorsers, which forces materialising the proximity vector early.
+"""
+
+from __future__ import annotations
+
+from .base import register_algorithm
+from .interleave import InterleavedTopK
+
+
+@register_algorithm("ta")
+class ThresholdAlgorithm(InterleavedTopK):
+    """Round-robin sorted access + full random access + threshold stop."""
+
+    random_access = "full"
+    scheduling = "round-robin"

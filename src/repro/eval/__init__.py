@@ -1,0 +1,45 @@
+"""Evaluation framework: metrics, timing, experiment runner, result tables."""
+
+from .metrics import (
+    average_precision,
+    binary_ndcg_at_k,
+    kendall_tau,
+    mean,
+    ndcg_at_k,
+    overlap_at_k,
+    precision_at_k,
+    rank_biased_overlap,
+    recall_at_k,
+    reciprocal_rank,
+    summarize_metric,
+)
+from .timing import LatencyRecorder, Timer
+from .runner import AlgorithmReport, ExperimentRunner, WorkloadReport, sweep
+from .tables import format_series, format_table, select_columns
+from .plots import ascii_bar_chart, ascii_line_chart, series_from_rows
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "average_precision",
+    "ndcg_at_k",
+    "binary_ndcg_at_k",
+    "reciprocal_rank",
+    "overlap_at_k",
+    "kendall_tau",
+    "rank_biased_overlap",
+    "mean",
+    "summarize_metric",
+    "Timer",
+    "LatencyRecorder",
+    "ExperimentRunner",
+    "AlgorithmReport",
+    "WorkloadReport",
+    "sweep",
+    "format_table",
+    "format_series",
+    "select_columns",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "series_from_rows",
+]

@@ -1,0 +1,177 @@
+"""Ranking-quality metrics.
+
+All metrics operate on a ranked list of item ids and a relevance judgement,
+which is either a set of relevant items (binary relevance, used with the
+holdout ground truth) or a reference ranking (used when comparing an
+approximate algorithm against the exact baseline).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Sequence, Set
+
+from ..errors import EvaluationError
+
+
+def _as_set(relevant: Iterable[int]) -> Set[int]:
+    return set(int(item) for item in relevant)
+
+
+def precision_at_k(ranking: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Fraction of the top-``k`` results that are relevant."""
+    if k < 1:
+        raise EvaluationError(f"k must be >= 1, got {k}")
+    relevant_set = _as_set(relevant)
+    top = list(ranking)[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in relevant_set)
+    return hits / float(k)
+
+
+def recall_at_k(ranking: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Fraction of the relevant items that appear in the top-``k``."""
+    if k < 1:
+        raise EvaluationError(f"k must be >= 1, got {k}")
+    relevant_set = _as_set(relevant)
+    if not relevant_set:
+        return 0.0
+    top = set(list(ranking)[:k])
+    return len(top & relevant_set) / float(len(relevant_set))
+
+
+def average_precision(ranking: Sequence[int], relevant: Iterable[int]) -> float:
+    """Mean of precision@i over the ranks i holding a relevant item."""
+    relevant_set = _as_set(relevant)
+    if not relevant_set:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for index, item in enumerate(ranking, start=1):
+        if item in relevant_set:
+            hits += 1
+            total += hits / float(index)
+    if hits == 0:
+        return 0.0
+    return total / float(min(len(relevant_set), len(ranking)))
+
+
+def ndcg_at_k(ranking: Sequence[int], relevance: Mapping[int, float], k: int) -> float:
+    """Normalised discounted cumulative gain with graded relevance.
+
+    ``relevance`` maps item ids to non-negative gains; missing items have
+    gain zero.  The ideal ordering is computed from the same mapping.
+    """
+    if k < 1:
+        raise EvaluationError(f"k must be >= 1, got {k}")
+    gains = {int(item): float(gain) for item, gain in relevance.items() if gain > 0.0}
+    if not gains:
+        return 0.0
+    dcg = 0.0
+    for index, item in enumerate(list(ranking)[:k], start=1):
+        gain = gains.get(item, 0.0)
+        if gain > 0.0:
+            dcg += (2.0 ** gain - 1.0) / math.log2(index + 1.0)
+    ideal_gains = sorted(gains.values(), reverse=True)[:k]
+    idcg = sum((2.0 ** gain - 1.0) / math.log2(index + 1.0)
+               for index, gain in enumerate(ideal_gains, start=1))
+    if idcg <= 0.0:
+        return 0.0
+    return dcg / idcg
+
+
+def binary_ndcg_at_k(ranking: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """NDCG with binary relevance (every relevant item has gain 1)."""
+    return ndcg_at_k(ranking, {item: 1.0 for item in _as_set(relevant)}, k)
+
+
+def reciprocal_rank(ranking: Sequence[int], relevant: Iterable[int]) -> float:
+    """1 / rank of the first relevant result (0 when none appears)."""
+    relevant_set = _as_set(relevant)
+    for index, item in enumerate(ranking, start=1):
+        if item in relevant_set:
+            return 1.0 / index
+    return 0.0
+
+
+def overlap_at_k(ranking: Sequence[int], reference: Sequence[int], k: int) -> float:
+    """Set overlap between two top-``k`` lists (the paper-family 'accuracy')."""
+    if k < 1:
+        raise EvaluationError(f"k must be >= 1, got {k}")
+    top = set(list(ranking)[:k])
+    ref = set(list(reference)[:k])
+    if not ref:
+        return 1.0 if not top else 0.0
+    return len(top & ref) / float(min(k, len(ref)))
+
+
+def kendall_tau(ranking_a: Sequence[int], ranking_b: Sequence[int]) -> float:
+    """Kendall rank correlation over the items common to both rankings.
+
+    Returns a value in ``[-1, 1]``; 1 means identical relative order.  Pairs
+    involving items absent from either ranking are ignored.  When fewer than
+    two common items exist the rankings are trivially concordant (1.0).
+    """
+    positions_a = {item: index for index, item in enumerate(ranking_a)}
+    positions_b = {item: index for index, item in enumerate(ranking_b)}
+    common = [item for item in ranking_a if item in positions_b]
+    n = len(common)
+    if n < 2:
+        return 1.0
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            a_order = positions_a[common[i]] - positions_a[common[j]]
+            b_order = positions_b[common[i]] - positions_b[common[j]]
+            product = a_order * b_order
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    total = n * (n - 1) / 2
+    return (concordant - discordant) / total
+
+
+def rank_biased_overlap(ranking_a: Sequence[int], ranking_b: Sequence[int],
+                        persistence: float = 0.9) -> float:
+    """Rank-biased overlap (truncated): top-weighted similarity in [0, 1]."""
+    if not 0.0 < persistence < 1.0:
+        raise EvaluationError(f"persistence must be in (0, 1), got {persistence}")
+    depth = min(len(ranking_a), len(ranking_b))
+    if depth == 0:
+        return 1.0 if not ranking_a and not ranking_b else 0.0
+    seen_a: Set[int] = set()
+    seen_b: Set[int] = set()
+    score = 0.0
+    weight_total = 0.0
+    for d in range(1, depth + 1):
+        seen_a.add(ranking_a[d - 1])
+        seen_b.add(ranking_b[d - 1])
+        agreement = len(seen_a & seen_b) / float(d)
+        weight = persistence ** (d - 1)
+        score += agreement * weight
+        weight_total += weight
+    return score / weight_total
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty iterable)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def summarize_metric(per_query_values: Iterable[float]) -> Dict[str, float]:
+    """Mean / min / max summary of a per-query metric."""
+    values = list(per_query_values)
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0, "count": 0}
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+        "count": len(values),
+    }

@@ -1,0 +1,121 @@
+"""ASCII charts for experiment series.
+
+The benchmark harness prints its figures as plain result rows; these helpers
+additionally render a rough line/bar chart in monospace text, which is often
+enough to eyeball a trend in a CI log without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import EvaluationError
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def ascii_bar_chart(values: Mapping[str, float], width: int = 40,
+                    title: Optional[str] = None) -> str:
+    """Render a horizontal bar chart of label → value.
+
+    Bars are scaled to the maximum value; zero/negative values render as an
+    empty bar.
+    """
+    if width < 1:
+        raise EvaluationError(f"width must be >= 1, got {width}")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    peak = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    for label, value in values.items():
+        if peak > 0 and value > 0:
+            filled = max(1, int(round(width * value / peak)))
+        else:
+            filled = 0
+        bar = "#" * filled
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {_format_number(value)}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(series: Mapping[str, Sequence[tuple]], width: int = 50,
+                     height: int = 12, title: Optional[str] = None) -> str:
+    """Render one or more ``(x, y)`` series as a character grid.
+
+    Each series gets its own marker character.  Axes are scaled to the union
+    of all points; ties on a grid cell keep the first series' marker.
+    """
+    if width < 2 or height < 2:
+        raise EvaluationError("width and height must both be >= 2")
+    points = [(x, y) for entries in series.values() for x, y in entries]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x@%&$"
+    legend: Dict[str, str] = {}
+    for index, (name, entries) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend[name] = marker
+        for x, y in entries:
+            column = int(round((x - x_low) / x_span * (width - 1)))
+            row = int(round((y - y_low) / y_span * (height - 1)))
+            cell_row = height - 1 - row
+            if grid[cell_row][column] == " ":
+                grid[cell_row][column] = marker
+
+    top_label = _format_number(y_high)
+    bottom_label = _format_number(y_low)
+    gutter = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    lines.append(" " * gutter + f"  {_format_number(x_low)}"
+                 + " " * max(1, width - len(_format_number(x_low))
+                             - len(_format_number(x_high)))
+                 + _format_number(x_high))
+    lines.append("legend: " + ", ".join(f"{marker}={name}"
+                                        for name, marker in legend.items()))
+    return "\n".join(lines)
+
+
+def series_from_rows(rows: Sequence[Mapping[str, object]], x_column: str,
+                     y_column: str, group_column: str = "algorithm"
+                     ) -> Dict[str, List[tuple]]:
+    """Convert flat result rows into the series mapping the charts consume."""
+    series: Dict[str, List[tuple]] = {}
+    for row in rows:
+        try:
+            x = float(row[x_column])
+            y = float(row[y_column])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise EvaluationError(
+                f"row is missing numeric columns {x_column!r}/{y_column!r}: {exc}"
+            ) from exc
+        series.setdefault(str(row.get(group_column, "")), []).append((x, y))
+    for entries in series.values():
+        entries.sort(key=lambda point: point[0])
+    return series

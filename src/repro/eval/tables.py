@@ -1,0 +1,97 @@
+"""Plain-text result tables.
+
+The benchmark harness prints the same rows the paper-style tables and figure
+series would contain.  Formatting is deliberately dependency-free (fixed
+width columns, markdown-ish) so output is readable in CI logs and can be
+diffed between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object, precision: int = 3) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0.0 and abs(value) < 10 ** (-precision):
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 precision: int = 3,
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Mappings of column name to value.
+    columns:
+        Column order; defaults to the keys of the first row (stable order).
+    precision:
+        Decimal places for float columns.
+    title:
+        Optional heading printed above the table.
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [
+        [_format_value(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), max(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[index])
+                        for index, column in enumerate(columns))
+    separator = "-+-".join("-" * widths[index] for index in range(len(columns)))
+    lines.append(header)
+    lines.append(separator)
+    for line in rendered:
+        lines.append(" | ".join(line[index].ljust(widths[index])
+                                for index in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(rows: Sequence[Mapping[str, object]], x_column: str,
+                  y_column: str, group_column: str = "algorithm",
+                  precision: int = 3, title: Optional[str] = None) -> str:
+    """Render a figure-style series: one line per group, x → y pairs.
+
+    This is the textual analogue of a line plot: for every group (usually an
+    algorithm) the swept x values and the measured y values are listed in
+    order, which is exactly the data a plotting script would consume.
+    """
+    groups: Dict[object, List[Mapping[str, object]]] = {}
+    for row in rows:
+        groups.setdefault(row.get(group_column, ""), []).append(row)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for group in sorted(groups, key=str):
+        points = sorted(groups[group], key=lambda row: row.get(x_column, 0))
+        rendered = ", ".join(
+            f"{_format_value(point.get(x_column), precision)}:"
+            f"{_format_value(point.get(y_column), precision)}"
+            for point in points
+        )
+        lines.append(f"{group}: {rendered}")
+    return "\n".join(lines)
+
+
+def select_columns(rows: Iterable[Mapping[str, object]],
+                   columns: Sequence[str]) -> List[Dict[str, object]]:
+    """Project rows onto a subset of columns (missing values become '')."""
+    return [{column: row.get(column, "") for column in columns} for row in rows]

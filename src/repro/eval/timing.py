@@ -1,0 +1,94 @@
+"""Latency measurement helpers.
+
+All timings use ``time.perf_counter`` (monotonic, highest available
+resolution).  :class:`LatencyRecorder` accumulates per-query latencies and
+reports the usual distribution summary (mean / median / p95 / max), which is
+what the latency figures plot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as timer:
+    ...     do_work()
+    >>> timer.elapsed_seconds
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed_seconds: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if self._start is not None:
+            self.elapsed_seconds = time.perf_counter() - self._start
+
+    @property
+    def elapsed_milliseconds(self) -> float:
+        """Elapsed time in milliseconds."""
+        return self.elapsed_seconds * 1000.0
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates per-query latencies (in seconds)."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample."""
+        self.samples.append(float(seconds))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def _sorted(self) -> List[float]:
+        return sorted(self.samples)
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at the given quantile (nearest-rank, 0 when empty)."""
+        if not self.samples:
+            return 0.0
+        ordered = self._sorted()
+        index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+        return ordered[index]
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds."""
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def median(self) -> float:
+        """Median latency in seconds."""
+        return self.percentile(0.5)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency in seconds."""
+        return self.percentile(0.95)
+
+    @property
+    def maximum(self) -> float:
+        """Maximum latency in seconds."""
+        return max(self.samples) if self.samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Distribution summary in milliseconds (plot-friendly units)."""
+        return {
+            "mean_ms": self.mean * 1000.0,
+            "median_ms": self.median * 1000.0,
+            "p95_ms": self.p95 * 1000.0,
+            "max_ms": self.maximum * 1000.0,
+            "count": float(len(self.samples)),
+        }

@@ -1,0 +1,84 @@
+"""Social graph substrate: CSR storage, generators, traversal, statistics, IO."""
+
+from .graph import SocialGraph, SocialGraphBuilder
+from .generators import (
+    available_generators,
+    barabasi_albert,
+    community,
+    erdos_renyi,
+    estimate_edges,
+    expected_density,
+    forest_fire,
+    generate_graph,
+    watts_strogatz,
+)
+from .traversal import (
+    bfs_levels,
+    connected_components,
+    dijkstra,
+    dijkstra_iter,
+    distance_to_proximity,
+    edge_distance,
+    largest_component,
+    reachable_within,
+    shortest_path,
+)
+from .statistics import (
+    GraphStatistics,
+    approximate_average_path_length,
+    clustering_coefficient,
+    compute_statistics,
+    degree_gini,
+)
+from .io import (
+    graph_from_dict,
+    graph_to_dict,
+    read_edge_list,
+    read_graph_json,
+    write_edge_list,
+    write_graph_json,
+)
+from .partition import (
+    communities_from_labels,
+    label_propagation,
+    modularity,
+    partition_statistics,
+)
+
+__all__ = [
+    "SocialGraph",
+    "SocialGraphBuilder",
+    "available_generators",
+    "generate_graph",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "forest_fire",
+    "community",
+    "expected_density",
+    "estimate_edges",
+    "bfs_levels",
+    "dijkstra",
+    "dijkstra_iter",
+    "shortest_path",
+    "connected_components",
+    "largest_component",
+    "reachable_within",
+    "edge_distance",
+    "distance_to_proximity",
+    "GraphStatistics",
+    "compute_statistics",
+    "degree_gini",
+    "clustering_coefficient",
+    "approximate_average_path_length",
+    "graph_to_dict",
+    "graph_from_dict",
+    "write_edge_list",
+    "read_edge_list",
+    "write_graph_json",
+    "read_graph_json",
+    "label_propagation",
+    "communities_from_labels",
+    "modularity",
+    "partition_statistics",
+]

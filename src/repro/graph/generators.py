@@ -1,0 +1,243 @@
+"""Synthetic social-graph generators.
+
+The paper-family evaluations run on crawled social networks (del.icio.us,
+Flickr, Twitter).  Those crawls are not redistributable, so the benchmark
+harness builds structurally similar synthetic graphs instead.  Each
+generator below is deterministic under a fixed seed and produces weighted,
+undirected :class:`~repro.graph.graph.SocialGraph` instances whose tie
+strengths are sampled from a configurable distribution.
+
+Available models
+----------------
+* ``erdos-renyi`` — uniform random edges (low clustering control).
+* ``barabasi-albert`` — preferential attachment (power-law degrees, the
+  closest match to real social-tagging crawls).
+* ``watts-strogatz`` — rewired ring lattice (high clustering, small world).
+* ``forest-fire`` — recursive burning model (heavy-tailed, community-ish).
+* ``community`` — planted-partition model with dense intra-community and
+  sparse inter-community edges.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .graph import SocialGraph, SocialGraphBuilder
+
+GeneratorFn = Callable[..., SocialGraph]
+
+_GENERATORS: Dict[str, GeneratorFn] = {}
+
+
+def register_generator(name: str) -> Callable[[GeneratorFn], GeneratorFn]:
+    """Class-free registry decorator for graph generators."""
+
+    def decorator(fn: GeneratorFn) -> GeneratorFn:
+        _GENERATORS[name] = fn
+        return fn
+
+    return decorator
+
+
+def available_generators() -> tuple:
+    """Names of all registered graph generators."""
+    return tuple(sorted(_GENERATORS))
+
+
+def generate_graph(model: str, num_users: int, avg_degree: float,
+                   seed: int = 0, **kwargs) -> SocialGraph:
+    """Generate a social graph with the named model.
+
+    Parameters
+    ----------
+    model:
+        One of :func:`available_generators`.
+    num_users:
+        Number of nodes.
+    avg_degree:
+        Target average degree; each model maps this to its own parameters.
+    seed:
+        Seed for the deterministic RNG.
+    kwargs:
+        Model-specific extra parameters forwarded verbatim.
+    """
+    if model not in _GENERATORS:
+        raise WorkloadError(
+            f"unknown graph model {model!r}; available: {', '.join(available_generators())}"
+        )
+    if num_users < 2:
+        raise WorkloadError(f"graph generators need at least 2 users, got {num_users}")
+    if avg_degree <= 0:
+        raise WorkloadError(f"avg_degree must be positive, got {avg_degree}")
+    return _GENERATORS[model](num_users=num_users, avg_degree=avg_degree,
+                              seed=seed, **kwargs)
+
+
+def _sample_weight(rng: np.random.Generator) -> float:
+    """Sample a tie strength in (0, 1]; skewed towards weaker ties."""
+    return float(min(1.0, max(1e-3, rng.beta(2.0, 2.0))))
+
+
+def _add_edge_safe(builder: SocialGraphBuilder, u: int, v: int,
+                   rng: np.random.Generator) -> None:
+    if u != v and not builder.has_edge(u, v):
+        builder.add_edge(u, v, _sample_weight(rng))
+
+
+@register_generator("erdos-renyi")
+def erdos_renyi(num_users: int, avg_degree: float, seed: int = 0) -> SocialGraph:
+    """G(n, p) with ``p = avg_degree / (n - 1)``."""
+    rng = np.random.default_rng(seed)
+    p = min(1.0, avg_degree / max(1, num_users - 1))
+    builder = SocialGraphBuilder(num_users)
+    # Sample the number of edges then draw endpoints; equivalent in
+    # expectation to per-pair coin flips but much faster for sparse graphs.
+    expected_edges = int(round(p * num_users * (num_users - 1) / 2))
+    attempts = 0
+    max_attempts = expected_edges * 10 + 100
+    while builder.num_edges < expected_edges and attempts < max_attempts:
+        u = int(rng.integers(num_users))
+        v = int(rng.integers(num_users))
+        _add_edge_safe(builder, u, v, rng)
+        attempts += 1
+    return builder.build()
+
+
+@register_generator("barabasi-albert")
+def barabasi_albert(num_users: int, avg_degree: float, seed: int = 0) -> SocialGraph:
+    """Preferential attachment with ``m = avg_degree / 2`` edges per new node."""
+    rng = np.random.default_rng(seed)
+    m = max(1, int(round(avg_degree / 2)))
+    m = min(m, num_users - 1)
+    builder = SocialGraphBuilder(num_users)
+    # Seed clique over the first m + 1 nodes.
+    targets = []
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            _add_edge_safe(builder, u, v, rng)
+    for u in range(m + 1):
+        targets.extend([u] * m)
+    for new_node in range(m + 1, num_users):
+        chosen = set()
+        while len(chosen) < m:
+            # Preferential attachment: sample from the repeated-targets list.
+            pick = int(targets[int(rng.integers(len(targets)))])
+            if pick != new_node:
+                chosen.add(pick)
+        for v in chosen:
+            _add_edge_safe(builder, new_node, v, rng)
+            targets.append(v)
+            targets.append(new_node)
+    return builder.build()
+
+
+@register_generator("watts-strogatz")
+def watts_strogatz(num_users: int, avg_degree: float, seed: int = 0,
+                   rewire_probability: float = 0.1) -> SocialGraph:
+    """Ring lattice with ``k = avg_degree`` neighbours, rewired with probability p."""
+    rng = np.random.default_rng(seed)
+    k = max(2, int(round(avg_degree)))
+    k = min(k, num_users - 1)
+    half = max(1, k // 2)
+    builder = SocialGraphBuilder(num_users)
+    for u in range(num_users):
+        for offset in range(1, half + 1):
+            v = (u + offset) % num_users
+            if rng.random() < rewire_probability:
+                v = int(rng.integers(num_users))
+            _add_edge_safe(builder, u, v, rng)
+    return builder.build()
+
+
+@register_generator("forest-fire")
+def forest_fire(num_users: int, avg_degree: float, seed: int = 0,
+                forward_probability: Optional[float] = None) -> SocialGraph:
+    """Simplified forest-fire model: each new node burns through ambassadors."""
+    rng = np.random.default_rng(seed)
+    if forward_probability is None:
+        # Calibrate the burning probability so that the expected out-links per
+        # new node roughly matches avg_degree / 2.
+        forward_probability = min(0.8, 1.0 - 1.0 / (1.0 + avg_degree / 2.0))
+    builder = SocialGraphBuilder(num_users)
+    adjacency: Dict[int, set] = {0: set()}
+    for new_node in range(1, num_users):
+        ambassador = int(rng.integers(new_node))
+        visited = set()
+        frontier = [ambassador]
+        burned = []
+        budget = max(1, int(round(avg_degree)))
+        while frontier and len(burned) < budget:
+            node = frontier.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            burned.append(node)
+            links = list(adjacency.get(node, ()))
+            rng.shuffle(links)
+            num_spread = rng.geometric(max(1e-6, 1.0 - forward_probability)) - 1
+            frontier.extend(links[: int(num_spread)])
+        adjacency.setdefault(new_node, set())
+        for node in burned:
+            _add_edge_safe(builder, new_node, node, rng)
+            adjacency[new_node].add(node)
+            adjacency.setdefault(node, set()).add(new_node)
+    return builder.build()
+
+
+@register_generator("community")
+def community(num_users: int, avg_degree: float, seed: int = 0,
+              num_communities: int = 8, mixing: float = 0.1) -> SocialGraph:
+    """Planted-partition graph: dense inside communities, sparse across."""
+    rng = np.random.default_rng(seed)
+    num_communities = max(1, min(num_communities, num_users))
+    membership = rng.integers(num_communities, size=num_users)
+    community_size = max(2.0, num_users / num_communities)
+    p_in = min(1.0, avg_degree * (1.0 - mixing) / max(1.0, community_size - 1))
+    expected_cross = avg_degree * mixing * num_users / 2.0
+    builder = SocialGraphBuilder(num_users)
+    # Intra-community edges.
+    members: Dict[int, list] = {}
+    for user, comm in enumerate(membership.tolist()):
+        members.setdefault(int(comm), []).append(user)
+    for comm_members in members.values():
+        n = len(comm_members)
+        if n < 2:
+            continue
+        expected = int(round(p_in * n * (n - 1) / 2))
+        added = 0
+        attempts = 0
+        while added < expected and attempts < expected * 10 + 100:
+            u = comm_members[int(rng.integers(n))]
+            v = comm_members[int(rng.integers(n))]
+            if u != v and not builder.has_edge(u, v):
+                _add_edge_safe(builder, u, v, rng)
+                added += 1
+            attempts += 1
+    # Inter-community edges.
+    added = 0
+    attempts = 0
+    target_cross = int(round(expected_cross))
+    while added < target_cross and attempts < target_cross * 10 + 100:
+        u = int(rng.integers(num_users))
+        v = int(rng.integers(num_users))
+        if membership[u] != membership[v] and u != v and not builder.has_edge(u, v):
+            _add_edge_safe(builder, u, v, rng)
+            added += 1
+        attempts += 1
+    return builder.build()
+
+
+def expected_density(num_users: int, avg_degree: float) -> float:
+    """Return the edge density implied by the target average degree."""
+    if num_users < 2:
+        return 0.0
+    return min(1.0, avg_degree / (num_users - 1))
+
+
+def estimate_edges(num_users: int, avg_degree: float) -> int:
+    """Return the expected undirected edge count for the target degree."""
+    return int(math.floor(num_users * avg_degree / 2.0))

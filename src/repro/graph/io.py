@@ -1,0 +1,103 @@
+"""Serialisation of social graphs.
+
+Two formats are supported:
+
+* a whitespace-separated **edge list** (``u v weight`` per line), the
+  interchange format most public social-network snapshots use, and
+* a **JSON document** used inside dataset snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import PersistenceError
+from .graph import SocialGraph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: SocialGraph, path: PathLike) -> None:
+    """Write the graph as ``u v weight`` lines preceded by a header comment."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# users={graph.num_users} edges={graph.num_edges}\n")
+        for u, v, w in graph.iter_edges():
+            handle.write(f"{u} {v} {w:.6f}\n")
+
+
+def read_edge_list(path: PathLike) -> SocialGraph:
+    """Read a graph written by :func:`write_edge_list`."""
+    path = Path(path)
+    num_users = None
+    edges: List = []
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    num_users = _parse_header(line, lineno)
+                    continue
+                parts = line.split()
+                if len(parts) not in (2, 3):
+                    raise PersistenceError(
+                        f"{path}:{lineno}: expected 'u v [weight]', got {line!r}"
+                    )
+                u, v = int(parts[0]), int(parts[1])
+                w = float(parts[2]) if len(parts) == 3 else 1.0
+                edges.append((u, v, w))
+    except (ValueError, OSError) as exc:
+        raise PersistenceError(f"failed to read edge list from {path}: {exc}") from exc
+    if num_users is None:
+        num_users = 1 + max((max(u, v) for u, v, _ in edges), default=-1)
+    return SocialGraph.from_edges(num_users, edges)
+
+
+def _parse_header(line: str, lineno: int) -> int:
+    for token in line.lstrip("#").split():
+        if token.startswith("users="):
+            try:
+                return int(token.split("=", 1)[1])
+            except ValueError as exc:
+                raise PersistenceError(f"line {lineno}: malformed header {line!r}") from exc
+    raise PersistenceError(f"line {lineno}: header missing 'users=' field: {line!r}")
+
+
+def graph_to_dict(graph: SocialGraph) -> Dict[str, object]:
+    """Return a JSON-serialisable dictionary representation of the graph."""
+    return {
+        "num_users": graph.num_users,
+        "edges": [[u, v, w] for u, v, w in graph.iter_edges()],
+    }
+
+
+def graph_from_dict(data: Dict[str, object]) -> SocialGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    try:
+        num_users = int(data["num_users"])
+        edges = [(int(u), int(v), float(w)) for u, v, w in data["edges"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed graph dictionary: {exc}") from exc
+    return SocialGraph.from_edges(num_users, edges)
+
+
+def write_graph_json(graph: SocialGraph, path: PathLike) -> None:
+    """Write the graph as a single JSON document."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle)
+
+
+def read_graph_json(path: PathLike) -> SocialGraph:
+    """Read a graph written by :func:`write_graph_json`."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"failed to read graph JSON from {path}: {exc}") from exc
+    return graph_from_dict(data)

@@ -1,0 +1,113 @@
+"""Descriptive statistics of social graphs.
+
+Used by the Table-1 style "dataset statistics" benchmark and by tests that
+check the synthetic generators produce graphs with the intended shape
+(degree skew, clustering, connectivity).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .graph import SocialGraph
+from .traversal import bfs_levels, connected_components
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """Summary statistics of a social graph."""
+
+    num_users: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+    min_degree: int
+    degree_gini: float
+    clustering_coefficient: float
+    num_components: int
+    largest_component_fraction: float
+    approx_avg_path_length: float
+
+    def to_dict(self) -> Dict[str, float]:
+        """Return a plain dictionary view for result tables."""
+        return asdict(self)
+
+
+def degree_gini(graph: SocialGraph) -> float:
+    """Gini coefficient of the degree distribution (0 = uniform, →1 = skewed)."""
+    degrees = np.sort(graph.degrees().astype(np.float64))
+    n = degrees.shape[0]
+    if n == 0 or degrees.sum() == 0:
+        return 0.0
+    index = np.arange(1, n + 1)
+    return float((2.0 * np.sum(index * degrees) / (n * degrees.sum())) - (n + 1.0) / n)
+
+
+def clustering_coefficient(graph: SocialGraph, sample: Optional[int] = None,
+                           seed: int = 0) -> float:
+    """Average local clustering coefficient (optionally over a node sample)."""
+    rng = np.random.default_rng(seed)
+    nodes = np.arange(graph.num_users)
+    if sample is not None and sample < graph.num_users:
+        nodes = rng.choice(nodes, size=sample, replace=False)
+    total = 0.0
+    counted = 0
+    for u in nodes.tolist():
+        nbrs = graph.neighbour_ids(u).tolist()
+        k = len(nbrs)
+        if k < 2:
+            continue
+        nbr_set = set(nbrs)
+        links = 0
+        for v in nbrs:
+            for w in graph.neighbour_ids(v).tolist():
+                if w in nbr_set and w > v:
+                    links += 1
+        total += 2.0 * links / (k * (k - 1))
+        counted += 1
+    return total / counted if counted else 0.0
+
+
+def approximate_average_path_length(graph: SocialGraph, num_sources: int = 16,
+                                    seed: int = 0) -> float:
+    """Average hop distance estimated by BFS from a sample of sources."""
+    if graph.num_users == 0:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    sources = rng.choice(graph.num_users, size=min(num_sources, graph.num_users),
+                         replace=False)
+    total = 0.0
+    pairs = 0
+    for source in sources.tolist():
+        levels = bfs_levels(graph, int(source))
+        for node, hops in levels.items():
+            if node != source:
+                total += hops
+                pairs += 1
+    return total / pairs if pairs else math.inf
+
+
+def compute_statistics(graph: SocialGraph, clustering_sample: Optional[int] = 200,
+                       path_sources: int = 16, seed: int = 0) -> GraphStatistics:
+    """Compute the full :class:`GraphStatistics` summary."""
+    degrees = graph.degrees()
+    components = connected_components(graph)
+    largest = len(components[0]) if components else 0
+    return GraphStatistics(
+        num_users=graph.num_users,
+        num_edges=graph.num_edges,
+        avg_degree=float(degrees.mean()) if degrees.size else 0.0,
+        max_degree=int(degrees.max()) if degrees.size else 0,
+        min_degree=int(degrees.min()) if degrees.size else 0,
+        degree_gini=degree_gini(graph),
+        clustering_coefficient=clustering_coefficient(graph, sample=clustering_sample,
+                                                      seed=seed),
+        num_components=len(components),
+        largest_component_fraction=(largest / graph.num_users) if graph.num_users else 0.0,
+        approx_avg_path_length=approximate_average_path_length(graph, num_sources=path_sources,
+                                                               seed=seed),
+    )

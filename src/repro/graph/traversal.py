@@ -1,0 +1,179 @@
+"""Graph traversal primitives: BFS, Dijkstra, bounded expansion, components.
+
+These are the building blocks of the proximity measures and of the
+frontier-based top-k algorithms.  Distances on the weighted graph are
+defined as the sum of ``-log(weight)`` along a path, so that the
+corresponding *proximity* (``exp(-distance)``) is the product of tie
+strengths — a standard multiplicative trust/propagation model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .graph import SocialGraph
+
+
+def edge_distance(weight: float) -> float:
+    """Convert a tie strength in (0, 1] to an additive distance."""
+    return -math.log(max(weight, 1e-12))
+
+
+def distance_to_proximity(distance: float) -> float:
+    """Convert an additive distance back to a multiplicative proximity."""
+    return math.exp(-distance)
+
+
+def bfs_levels(graph: SocialGraph, source: int,
+               max_hops: Optional[int] = None) -> Dict[int, int]:
+    """Return the hop distance of every node reachable from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        Social graph to traverse.
+    source:
+        Start node.
+    max_hops:
+        When given, nodes farther than this many hops are not returned.
+    """
+    graph.validate_user(source)
+    levels = {source: 0}
+    frontier = [source]
+    hop = 0
+    while frontier:
+        if max_hops is not None and hop >= max_hops:
+            break
+        next_frontier: List[int] = []
+        for node in frontier:
+            nbrs, _ = graph.neighbours(node)
+            for v in nbrs.tolist():
+                if v not in levels:
+                    levels[v] = hop + 1
+                    next_frontier.append(v)
+        frontier = next_frontier
+        hop += 1
+    return levels
+
+
+def dijkstra(graph: SocialGraph, source: int,
+             max_distance: Optional[float] = None,
+             max_hops: Optional[int] = None) -> Dict[int, float]:
+    """Single-source shortest (multiplicative) distances from ``source``.
+
+    Returns a mapping ``node -> distance`` where distance is the sum of
+    ``-log(weight)`` along the best path.  The source has distance 0.
+    """
+    result: Dict[int, float] = {}
+    for node, dist, _ in dijkstra_iter(graph, source, max_distance=max_distance,
+                                       max_hops=max_hops):
+        result[node] = dist
+    return result
+
+
+def dijkstra_iter(graph: SocialGraph, source: int,
+                  max_distance: Optional[float] = None,
+                  max_hops: Optional[int] = None,
+                  hop_penalty: float = 0.0
+                  ) -> Iterator[Tuple[int, float, int]]:
+    """Yield ``(node, distance, hops)`` in non-decreasing distance order.
+
+    This is the streaming primitive used by frontier-based top-k algorithms:
+    consuming it lazily visits the seeker's network in decreasing proximity
+    order without materialising the full vector.
+
+    ``hop_penalty`` is an additive distance charged per traversed edge; it
+    implements per-hop decay while preserving the non-decreasing yield order.
+    """
+    graph.validate_user(source)
+    heap: List[Tuple[float, int, int]] = [(0.0, source, 0)]
+    settled: Dict[int, float] = {}
+    while heap:
+        dist, node, hops = heapq.heappop(heap)
+        if node in settled:
+            continue
+        if max_distance is not None and dist > max_distance:
+            return
+        settled[node] = dist
+        yield node, dist, hops
+        if max_hops is not None and hops >= max_hops:
+            continue
+        nbrs, weights = graph.neighbours(node)
+        for v, w in zip(nbrs.tolist(), weights.tolist()):
+            if v not in settled:
+                heapq.heappush(
+                    heap, (dist + edge_distance(w) + hop_penalty, int(v), hops + 1)
+                )
+
+
+def shortest_path(graph: SocialGraph, source: int, target: int
+                  ) -> Tuple[float, List[int]]:
+    """Return ``(distance, path)`` between two nodes.
+
+    ``distance`` is ``math.inf`` and ``path`` empty when the nodes are
+    disconnected.
+    """
+    graph.validate_user(source)
+    graph.validate_user(target)
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    parents: Dict[int, int] = {}
+    best: Dict[int, float] = {source: 0.0}
+    settled: Dict[int, float] = {}
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled[node] = dist
+        if node == target:
+            break
+        nbrs, weights = graph.neighbours(node)
+        for v, w in zip(nbrs.tolist(), weights.tolist()):
+            v = int(v)
+            candidate = dist + edge_distance(w)
+            if v not in settled and candidate < best.get(v, math.inf):
+                best[v] = candidate
+                parents[v] = node
+                heapq.heappush(heap, (candidate, v))
+    if target not in settled:
+        return math.inf, []
+    path = [target]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return settled[target], path
+
+
+def connected_components(graph: SocialGraph) -> List[List[int]]:
+    """Return the connected components as lists of node ids (largest first)."""
+    seen = [False] * graph.num_users
+    components: List[List[int]] = []
+    for start in range(graph.num_users):
+        if seen[start]:
+            continue
+        component = []
+        stack = [start]
+        seen[start] = True
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            nbrs, _ = graph.neighbours(node)
+            for v in nbrs.tolist():
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(int(v))
+        components.append(sorted(component))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(graph: SocialGraph) -> List[int]:
+    """Return the node ids of the largest connected component."""
+    components = connected_components(graph)
+    return components[0] if components else []
+
+
+def reachable_within(graph: SocialGraph, source: int, hops: int) -> List[int]:
+    """Return all nodes within ``hops`` hops of ``source`` (including it)."""
+    return sorted(bfs_levels(graph, source, max_hops=hops))

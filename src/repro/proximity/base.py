@@ -1,0 +1,128 @@
+"""Proximity-measure interface and registry.
+
+A *proximity measure* maps a pair of users ``(seeker, target)`` to a score
+in ``[0, 1]`` quantifying how much the target's tagging actions should count
+as "help from a friend" when ranking results for the seeker.  Algorithms
+consume proximity through two access paths:
+
+* :meth:`ProximityMeasure.proximity` — point lookup, used by random-access
+  style algorithms and by the exact baseline;
+* :meth:`ProximityMeasure.iter_ranked` — a stream of ``(user, proximity)``
+  pairs in non-increasing proximity order, used by frontier-expansion
+  algorithms that want to visit the most helpful friends first.
+
+Concrete measures register themselves under a short name so configuration
+files can select them by string.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type
+
+from ..config import ProximityConfig
+from ..errors import UnknownProximityError
+from ..graph import SocialGraph
+
+RankedStream = Iterator[Tuple[int, float]]
+
+
+class ProximityMeasure(ABC):
+    """Abstract base class for social proximity measures.
+
+    Parameters
+    ----------
+    graph:
+        The social graph proximity is computed on.
+    config:
+        Shared :class:`~repro.config.ProximityConfig` carrying the measure's
+        hyper-parameters.
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = "abstract"
+
+    def __init__(self, graph: SocialGraph, config: Optional[ProximityConfig] = None) -> None:
+        self._graph = graph
+        self._config = config or ProximityConfig()
+
+    @property
+    def graph(self) -> SocialGraph:
+        """The underlying social graph."""
+        return self._graph
+
+    @property
+    def config(self) -> ProximityConfig:
+        """The proximity configuration in effect."""
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # Core interface
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def vector(self, seeker: int) -> Dict[int, float]:
+        """Return ``{user: proximity}`` for every user with proximity above the floor.
+
+        The seeker itself is never included.  Implementations must return
+        values in ``[0, 1]``.
+        """
+
+    def proximity(self, seeker: int, target: int) -> float:
+        """Proximity of ``target`` to ``seeker`` (0.0 when unrelated)."""
+        self._graph.validate_user(seeker)
+        self._graph.validate_user(target)
+        if seeker == target:
+            return 1.0
+        return self.vector(seeker).get(target, 0.0)
+
+    def iter_ranked(self, seeker: int) -> RankedStream:
+        """Yield ``(user, proximity)`` pairs in non-increasing proximity order.
+
+        The default implementation materialises :meth:`vector` and sorts it;
+        streaming measures (shortest-path) override this with a lazy
+        generator so frontier algorithms touch only the prefix they need.
+        """
+        vector = self.vector(seeker)
+        ranked = sorted(vector.items(), key=lambda pair: (-pair[1], pair[0]))
+        for user, value in ranked:
+            yield user, value
+
+    def top(self, seeker: int, limit: int) -> List[Tuple[int, float]]:
+        """Return the ``limit`` most proximate users to ``seeker``."""
+        result: List[Tuple[int, float]] = []
+        for user, value in self.iter_ranked(seeker):
+            result.append((user, value))
+            if len(result) >= limit:
+                break
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(users={self._graph.num_users})"
+
+
+_REGISTRY: Dict[str, Type[ProximityMeasure]] = {}
+
+
+def register_proximity(name: str) -> Callable[[Type[ProximityMeasure]], Type[ProximityMeasure]]:
+    """Class decorator registering a proximity measure under ``name``."""
+
+    def decorator(cls: Type[ProximityMeasure]) -> Type[ProximityMeasure]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_proximities() -> Tuple[str, ...]:
+    """Names of all registered proximity measures."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_proximity(name: str, graph: SocialGraph,
+                     config: Optional[ProximityConfig] = None) -> ProximityMeasure:
+    """Instantiate the proximity measure registered under ``name``."""
+    if name not in _REGISTRY:
+        raise UnknownProximityError(name, available_proximities())
+    return _REGISTRY[name](graph, config)

@@ -1,0 +1,118 @@
+"""LRU cache wrapper around a proximity measure.
+
+Repeated queries from the same seeker recompute the same proximity vector.
+:class:`CachedProximity` memoises the per-seeker vector with an LRU policy
+and exposes hit/miss counters, so the ablation experiment (Figure 9) can
+quantify how much of the latency is proximity recomputation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from .base import ProximityMeasure
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss counters of a :class:`CachedProximity`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of vector lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict view for result tables."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CachedProximity(ProximityMeasure):
+    """Memoising decorator for any :class:`ProximityMeasure`.
+
+    Parameters
+    ----------
+    inner:
+        The proximity measure to wrap.
+    capacity:
+        Maximum number of seeker vectors kept; 0 disables caching entirely
+        (every call is a miss), which is useful for ablations.
+    """
+
+    def __init__(self, inner: ProximityMeasure, capacity: int = 128) -> None:
+        super().__init__(inner.graph, inner.config)
+        self.name = f"cached({inner.name})"
+        self._inner = inner
+        self._capacity = max(0, int(capacity))
+        self._cache: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
+        self._ranked_cache: "OrderedDict[int, Tuple[Tuple[int, float], ...]]" = OrderedDict()
+        self.statistics = CacheStatistics()
+
+    @property
+    def inner(self) -> ProximityMeasure:
+        """The wrapped proximity measure."""
+        return self._inner
+
+    def _get_cached(self, store: OrderedDict, seeker: int):
+        if seeker in store:
+            store.move_to_end(seeker)
+            self.statistics.hits += 1
+            return store[seeker]
+        self.statistics.misses += 1
+        return None
+
+    def _put_cached(self, store: OrderedDict, seeker: int, value) -> None:
+        if self._capacity == 0:
+            return
+        store[seeker] = value
+        store.move_to_end(seeker)
+        if len(store) > self._capacity:
+            store.popitem(last=False)
+            self.statistics.evictions += 1
+
+    def vector(self, seeker: int) -> Dict[int, float]:
+        """Return the (possibly cached) proximity vector of ``seeker``."""
+        cached = self._get_cached(self._cache, seeker)
+        if cached is not None:
+            return dict(cached)
+        vector = self._inner.vector(seeker)
+        self._put_cached(self._cache, seeker, dict(vector))
+        return vector
+
+    def iter_ranked(self, seeker: int) -> Iterator[Tuple[int, float]]:
+        """Yield the cached ranked stream, materialising it on first use."""
+        cached = self._get_cached(self._ranked_cache, seeker)
+        if cached is not None:
+            yield from cached
+            return
+        ranked = tuple(self._inner.iter_ranked(seeker))
+        self._put_cached(self._ranked_cache, seeker, ranked)
+        yield from ranked
+
+    def proximity(self, seeker: int, target: int) -> float:
+        """Point lookup served from the cached vector."""
+        if seeker == target:
+            return 1.0
+        return self.vector(seeker).get(target, 0.0)
+
+    def clear(self) -> None:
+        """Drop all cached vectors and reset the statistics."""
+        self._cache.clear()
+        self._ranked_cache.clear()
+        self.statistics = CacheStatistics()

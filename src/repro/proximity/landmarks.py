@@ -1,0 +1,120 @@
+"""Landmark-based proximity sketches.
+
+Computing exact shortest-path proximity from every seeker is wasteful when
+queries arrive from many different users.  The landmark sketch picks a small
+set of high-degree *landmark* users, precomputes exact distances from each
+landmark to every user (one Dijkstra per landmark), and approximates the
+distance between any pair by triangulation through the best landmark:
+
+``dist(s, v) ≈ min_L dist(s, L) + dist(L, v)``
+
+This over-estimates distances (under-estimates proximity), so it is an
+admissible approximation for pruning.  The sketch is the reconstruction of
+the "precomputation vs. on-line computation" trade-off the paper family
+discusses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ProximityConfig
+from ..graph import SocialGraph
+from ..graph.traversal import dijkstra_iter
+from .base import ProximityMeasure, register_proximity
+
+
+def select_landmarks(graph: SocialGraph, num_landmarks: int, seed: int = 0,
+                     strategy: str = "degree") -> List[int]:
+    """Pick landmark users.
+
+    ``"degree"`` picks the highest-degree users (good coverage of hubs);
+    ``"random"`` samples uniformly.
+    """
+    num_landmarks = max(1, min(num_landmarks, graph.num_users))
+    if strategy == "random":
+        rng = np.random.default_rng(seed)
+        return sorted(int(u) for u in rng.choice(graph.num_users, size=num_landmarks,
+                                                 replace=False))
+    degrees = graph.degrees()
+    order = np.argsort(-degrees, kind="stable")
+    return [int(u) for u in order[:num_landmarks].tolist()]
+
+
+@register_proximity("landmark")
+class LandmarkProximity(ProximityMeasure):
+    """Triangulated shortest-path proximity through precomputed landmarks."""
+
+    def __init__(self, graph: SocialGraph, config: Optional[ProximityConfig] = None,
+                 num_landmarks: int = 16, seed: int = 0,
+                 strategy: str = "degree") -> None:
+        super().__init__(graph, config)
+        self._hop_penalty = -math.log(max(self.config.decay, 1e-12))
+        self._landmarks = select_landmarks(graph, num_landmarks, seed=seed,
+                                           strategy=strategy)
+        # Exact (distance, hops) maps from every landmark; the one-off
+        # precomputation the sketch trades for cheap per-query estimates.
+        self._distance_maps: List[Dict[int, Tuple[float, int]]] = [
+            {node: (dist, hops) for node, dist, hops in dijkstra_iter(graph, landmark)}
+            for landmark in self._landmarks
+        ]
+
+    @property
+    def landmarks(self) -> List[int]:
+        """The selected landmark user ids."""
+        return list(self._landmarks)
+
+    def _estimate(self, target: int,
+                  seeker_entries: List[Tuple[float, int]]) -> Tuple[float, int]:
+        """Best ``(distance, hops)`` estimate via any landmark (inf when unreachable)."""
+        best_distance = math.inf
+        best_hops = 0
+        for landmark_index, (seeker_distance, seeker_hops) in enumerate(seeker_entries):
+            if math.isinf(seeker_distance):
+                continue
+            target_entry = self._distance_maps[landmark_index].get(target)
+            if target_entry is None:
+                continue
+            distance = seeker_distance + target_entry[0]
+            if distance < best_distance:
+                best_distance = distance
+                best_hops = seeker_hops + target_entry[1]
+        return best_distance, best_hops
+
+    def vector(self, seeker: int) -> Dict[int, float]:
+        """Estimate proximity to every user reachable through some landmark."""
+        self.graph.validate_user(seeker)
+        seeker_entries = [
+            distances.get(seeker, (math.inf, 0)) for distances in self._distance_maps
+        ]
+        candidates: Dict[int, float] = {}
+        for distances in self._distance_maps:
+            for user in distances:
+                if user != seeker:
+                    candidates.setdefault(user, math.inf)
+        result: Dict[int, float] = {}
+        for target in candidates:
+            distance, hops = self._estimate(target, seeker_entries)
+            if math.isinf(distance):
+                continue
+            # Charge the per-hop decay on the estimated (over-counted) hop
+            # count so the sketch never exceeds the exact shortest-path
+            # proximity — an admissible under-estimate.
+            proximity = math.exp(-(distance + max(1, hops) * self._hop_penalty))
+            if proximity > 1e-6:
+                result[target] = min(1.0, proximity)
+        # Exact proximity for direct friends: triangulation is needlessly
+        # pessimistic one hop away and direct ties matter most.
+        nbrs, weights = self.graph.neighbours(seeker)
+        for v, w in zip(nbrs.tolist(), weights.tolist()):
+            direct = math.exp(-(-math.log(max(w, 1e-12)) + self._hop_penalty))
+            result[int(v)] = max(result.get(int(v), 0.0), min(1.0, direct))
+        return result
+
+    def memory_bytes(self) -> int:
+        """Approximate memory used by the precomputed distance maps."""
+        entries = sum(len(distances) for distances in self._distance_maps)
+        return entries * 16  # int key + float value, dict overhead ignored

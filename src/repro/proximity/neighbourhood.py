@@ -1,0 +1,93 @@
+"""Neighbourhood-overlap proximity measures.
+
+These measures only look one hop around the seeker and the target, which
+makes them cheap but myopic: they assign zero proximity to anyone who is not
+a friend or a friend-of-friend.  They serve as the "local" end of the
+proximity spectrum in the Figure-8 style experiment.
+
+* :class:`CommonNeighboursProximity` — count of shared friends (plus direct
+  friendship bonus), normalised.
+* :class:`AdamicAdarProximity` — shared friends weighted by the inverse log
+  degree of the shared friend.
+* :class:`JaccardProximity` — Jaccard overlap of friend sets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Set
+
+from ..config import ProximityConfig
+from ..graph import SocialGraph
+from .base import ProximityMeasure, register_proximity
+from .pagerank import _normalise
+
+
+class _NeighbourhoodProximity(ProximityMeasure):
+    """Shared machinery: candidate set = friends ∪ friends-of-friends."""
+
+    def __init__(self, graph: SocialGraph, config: Optional[ProximityConfig] = None) -> None:
+        super().__init__(graph, config)
+
+    def _friends(self, user: int) -> Set[int]:
+        return set(int(v) for v in self.graph.neighbour_ids(user).tolist())
+
+    def _candidates(self, seeker: int) -> Set[int]:
+        friends = self._friends(seeker)
+        candidates = set(friends)
+        for friend in friends:
+            candidates.update(self._friends(friend))
+        candidates.discard(seeker)
+        return candidates
+
+    def _pair_score(self, seeker_friends: Set[int], target: int) -> float:
+        raise NotImplementedError
+
+    def vector(self, seeker: int) -> Dict[int, float]:
+        """Score each friend / friend-of-friend and normalise to [0, 1]."""
+        self.graph.validate_user(seeker)
+        seeker_friends = self._friends(seeker)
+        scores: Dict[int, float] = {}
+        for target in self._candidates(seeker):
+            score = self._pair_score(seeker_friends, target)
+            if target in seeker_friends:
+                # Direct friendship always dominates pure overlap.
+                score += 1.0 + self.graph.edge_weight(seeker, target)
+            if score > 0.0:
+                scores[target] = score
+        return _normalise(scores)
+
+
+@register_proximity("common-neighbours")
+class CommonNeighboursProximity(_NeighbourhoodProximity):
+    """Number of shared friends."""
+
+    def _pair_score(self, seeker_friends: Set[int], target: int) -> float:
+        return float(len(seeker_friends & self._friends(target)))
+
+
+@register_proximity("adamic-adar")
+class AdamicAdarProximity(_NeighbourhoodProximity):
+    """Shared friends weighted by ``1 / log(degree)`` of the shared friend."""
+
+    def _pair_score(self, seeker_friends: Set[int], target: int) -> float:
+        score = 0.0
+        for shared in seeker_friends & self._friends(target):
+            degree = self.graph.degree(shared)
+            if degree > 1:
+                score += 1.0 / math.log(degree + 1.0)
+            else:
+                score += 1.0
+        return score
+
+
+@register_proximity("jaccard")
+class JaccardProximity(_NeighbourhoodProximity):
+    """Jaccard overlap of the two friend sets."""
+
+    def _pair_score(self, seeker_friends: Set[int], target: int) -> float:
+        target_friends = self._friends(target)
+        union = seeker_friends | target_friends
+        if not union:
+            return 0.0
+        return len(seeker_friends & target_friends) / len(union)

@@ -1,0 +1,76 @@
+"""Shortest-path (multiplicative tie strength) proximity.
+
+The proximity of ``target`` to ``seeker`` is the maximum, over all paths
+between them, of the product of edge weights along the path, additionally
+attenuated by ``decay`` per hop:
+
+``prox(s, v) = max_path  decay^{len(path)} · Π_e w(e)``
+
+This is the classical trust-propagation model: close strong ties help a lot,
+distant weak ties barely at all.  The per-hop decay is folded into the edge
+distances, so Dijkstra settles users in non-increasing proximity order and
+:meth:`iter_ranked` can *stream* them without computing the full vector —
+the property the frontier-based top-k algorithms rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from ..config import ProximityConfig
+from ..graph import SocialGraph
+from ..graph.traversal import dijkstra_iter, edge_distance
+from .base import ProximityMeasure, register_proximity
+
+#: Proximities below this value are treated as zero by the streaming walk.
+PROXIMITY_FLOOR = 1e-4
+
+
+@register_proximity("shortest-path")
+class ShortestPathProximity(ProximityMeasure):
+    """Decay-attenuated best-path product proximity."""
+
+    def __init__(self, graph: SocialGraph, config: Optional[ProximityConfig] = None) -> None:
+        super().__init__(graph, config)
+        self._hop_penalty = -math.log(max(self.config.decay, 1e-12))
+        self._max_distance = -math.log(PROXIMITY_FLOOR)
+
+    def iter_ranked(self, seeker: int) -> Iterator[Tuple[int, float]]:
+        """Stream users in non-increasing proximity order via Dijkstra."""
+        self.graph.validate_user(seeker)
+        for node, dist, _hops in dijkstra_iter(
+            self.graph, seeker,
+            max_distance=self._max_distance,
+            max_hops=self.config.max_hops,
+            hop_penalty=self._hop_penalty,
+        ):
+            if node == seeker:
+                continue
+            proximity = math.exp(-dist)
+            if proximity < PROXIMITY_FLOOR:
+                return
+            yield node, min(1.0, proximity)
+
+    def vector(self, seeker: int) -> Dict[int, float]:
+        """Materialise the proximity vector by exhausting the ranked stream."""
+        return {user: value for user, value in self.iter_ranked(seeker)}
+
+    def proximity(self, seeker: int, target: int) -> float:
+        """Point lookup; streams only until ``target`` is settled."""
+        self.graph.validate_user(seeker)
+        self.graph.validate_user(target)
+        if seeker == target:
+            return 1.0
+        for user, value in self.iter_ranked(seeker):
+            if user == target:
+                return value
+        return 0.0
+
+    @staticmethod
+    def path_proximity(weights: Iterable[float], decay: float = 0.5) -> float:
+        """Proximity of an explicit path given its edge weights (helper for tests)."""
+        weight_list = list(weights)
+        distance = sum(edge_distance(w) for w in weight_list)
+        distance += len(weight_list) * -math.log(max(decay, 1e-12))
+        return math.exp(-distance)

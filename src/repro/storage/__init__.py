@@ -1,0 +1,33 @@
+"""Storage engine: catalogues, the tagging relation, and derived indexes."""
+
+from .items import Item, ItemStore
+from .users import User, UserStore
+from .tagging import TaggingAction, TaggingStore
+from .inverted_index import InvertedIndex, Posting, PostingListCursor
+from .social_index import SocialIndex
+from .dataset import Dataset
+from .persistence import load_dataset, save_dataset
+from .statistics import DatasetStatistics, compute_dataset_statistics, graph_statistics_row
+from .updates import DatasetUpdater, UpdateSummary, replay_trace
+
+__all__ = [
+    "Item",
+    "ItemStore",
+    "User",
+    "UserStore",
+    "TaggingAction",
+    "TaggingStore",
+    "InvertedIndex",
+    "Posting",
+    "PostingListCursor",
+    "SocialIndex",
+    "Dataset",
+    "save_dataset",
+    "load_dataset",
+    "DatasetStatistics",
+    "compute_dataset_statistics",
+    "graph_statistics_row",
+    "DatasetUpdater",
+    "UpdateSummary",
+    "replay_trace",
+]

@@ -1,0 +1,174 @@
+"""Frequency-ordered inverted index over the tagging relation.
+
+For each tag ``t`` the index stores the posting list of items endorsed with
+``t``, sorted by decreasing *tag frequency* (number of distinct endorsers).
+This is the classic sorted-access source of threshold-style top-k
+algorithms: reading the list front-to-back yields items in decreasing
+textual score, and the frequency of the next unread entry is an upper bound
+for every unseen item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import UnknownTagError
+from .tagging import TaggingStore
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One entry of a tag's posting list."""
+
+    item_id: int
+    frequency: int
+
+    def to_tuple(self) -> Tuple[int, int]:
+        """Return ``(item_id, frequency)``."""
+        return (self.item_id, self.frequency)
+
+
+class PostingListCursor:
+    """Sequential-access cursor over one tag's posting list.
+
+    The cursor is the unit the access accountant charges for "sequential
+    accesses": each :meth:`next` call reads one posting.
+    """
+
+    def __init__(self, tag: str, postings: Tuple[Posting, ...]) -> None:
+        self._tag = tag
+        self._postings = postings
+        self._position = 0
+
+    @property
+    def tag(self) -> str:
+        """Tag this cursor iterates over."""
+        return self._tag
+
+    @property
+    def position(self) -> int:
+        """Number of postings consumed so far."""
+        return self._position
+
+    def exhausted(self) -> bool:
+        """Whether every posting has been consumed."""
+        return self._position >= len(self._postings)
+
+    def peek_frequency(self) -> int:
+        """Frequency of the next unread posting (0 when exhausted).
+
+        This is the textual-score upper bound for any item not yet seen on
+        this list.
+        """
+        if self.exhausted():
+            return 0
+        return self._postings[self._position].frequency
+
+    def next(self) -> Optional[Posting]:
+        """Consume and return the next posting, or ``None`` when exhausted."""
+        if self.exhausted():
+            return None
+        posting = self._postings[self._position]
+        self._position += 1
+        return posting
+
+    def remaining(self) -> int:
+        """Number of unread postings."""
+        return len(self._postings) - self._position
+
+
+class InvertedIndex:
+    """Tag → frequency-ordered posting list, plus per-tag statistics."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Tuple[Posting, ...]] = {}
+        self._max_frequency: Dict[str, int] = {}
+        self._frequency: Dict[Tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, tagging: TaggingStore) -> "InvertedIndex":
+        """Build the index from a tagging store."""
+        index = cls()
+        for tag in tagging.tags():
+            entries: List[Posting] = []
+            for item_id in tagging.items_for_tag(tag):
+                frequency = tagging.tag_frequency(item_id, tag)
+                if frequency > 0:
+                    entries.append(Posting(item_id=item_id, frequency=frequency))
+            # Sort by decreasing frequency, breaking ties by item id so the
+            # order (and therefore every algorithm's access trace) is
+            # deterministic.
+            entries.sort(key=lambda posting: (-posting.frequency, posting.item_id))
+            index._postings[tag] = tuple(entries)
+            index._max_frequency[tag] = entries[0].frequency if entries else 0
+            for posting in entries:
+                index._frequency[(tag, posting.item_id)] = posting.frequency
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._postings
+
+    def tags(self) -> List[str]:
+        """All indexed tags in sorted order."""
+        return sorted(self._postings)
+
+    def has_tag(self, tag: str) -> bool:
+        """Whether the tag has a (possibly empty) posting list."""
+        return tag in self._postings
+
+    def postings(self, tag: str) -> Tuple[Posting, ...]:
+        """The full posting list of ``tag`` (raises for unknown tags)."""
+        try:
+            return self._postings[tag]
+        except KeyError:
+            raise UnknownTagError(tag) from None
+
+    def cursor(self, tag: str) -> PostingListCursor:
+        """Sequential cursor over ``tag``'s posting list.
+
+        Unknown tags yield an empty cursor rather than an error: a query may
+        legitimately use a tag nobody has employed yet.
+        """
+        return PostingListCursor(tag, self._postings.get(tag, ()))
+
+    def frequency(self, item_id: int, tag: str) -> int:
+        """Random-access lookup of an item's frequency for a tag (0 if absent)."""
+        return self._frequency.get((tag, item_id), 0)
+
+    def max_frequency(self, tag: str) -> int:
+        """Largest frequency on ``tag``'s posting list (0 for unknown tags).
+
+        Because frequency counts distinct endorsers and proximities are at
+        most 1, this value also upper-bounds the *social* mass any single
+        item can accumulate for the tag; both scoring components are
+        normalised by it.
+        """
+        return self._max_frequency.get(tag, 0)
+
+    def list_length(self, tag: str) -> int:
+        """Number of postings for ``tag`` (0 for unknown tags)."""
+        return len(self._postings.get(tag, ()))
+
+    def num_postings(self) -> int:
+        """Total number of postings across all tags."""
+        return sum(len(postings) for postings in self._postings.values())
+
+    def iter_all(self) -> Iterator[Tuple[str, Posting]]:
+        """Yield ``(tag, posting)`` pairs across the whole index."""
+        for tag in self.tags():
+            for posting in self._postings[tag]:
+                yield tag, posting
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the posting lists in bytes."""
+        # Two ints per posting plus dict-entry overhead approximation.
+        return self.num_postings() * 32 + len(self._postings) * 64

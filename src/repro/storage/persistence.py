@@ -1,0 +1,119 @@
+"""Dataset snapshots on disk.
+
+A snapshot is a directory of line-oriented JSON files plus a metadata
+document, so it can be inspected with standard tools and diffed between
+runs:
+
+```
+snapshot/
+  meta.json        name, counts, format version
+  graph.json       social graph (see repro.graph.io)
+  users.jsonl      one user record per line
+  items.jsonl      one item record per line
+  actions.jsonl    one tagging action per line
+  holdout.jsonl    optional withheld actions
+```
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+from ..errors import PersistenceError
+from ..graph.io import read_graph_json, write_graph_json
+from .dataset import Dataset
+from .items import Item, ItemStore
+from .tagging import TaggingAction, TaggingStore
+from .users import User, UserStore
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def _write_jsonl(path: Path, records: Iterable[dict]) -> int:
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def _read_jsonl(path: Path) -> Iterator[dict]:
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise PersistenceError(f"{path}:{lineno}: malformed JSON line: {exc}") from exc
+    except OSError as exc:
+        raise PersistenceError(f"failed to read {path}: {exc}") from exc
+
+
+def save_dataset(dataset: Dataset, directory: PathLike) -> Path:
+    """Write a dataset snapshot; returns the snapshot directory path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_graph_json(dataset.graph, directory / "graph.json")
+    _write_jsonl(directory / "users.jsonl", (user.to_dict() for user in dataset.users))
+    _write_jsonl(directory / "items.jsonl", (item.to_dict() for item in dataset.items))
+    _write_jsonl(directory / "actions.jsonl",
+                 (action.to_dict() for action in dataset.tagging))
+    if dataset.holdout is not None:
+        _write_jsonl(directory / "holdout.jsonl",
+                     (action.to_dict() for action in dataset.holdout))
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "num_tags": dataset.num_tags,
+        "num_actions": dataset.num_actions,
+        "has_holdout": dataset.holdout is not None,
+    }
+    with (directory / "meta.json").open("w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+    return directory
+
+
+def load_dataset(directory: PathLike) -> Dataset:
+    """Load a dataset snapshot written by :func:`save_dataset`."""
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    try:
+        with meta_path.open("r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"failed to read snapshot metadata {meta_path}: {exc}") from exc
+    version = meta.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported snapshot format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    graph = read_graph_json(directory / "graph.json")
+    users = UserStore()
+    users.add_many(User.from_dict(record) for record in _read_jsonl(directory / "users.jsonl"))
+    items = ItemStore()
+    items.add_many(Item.from_dict(record) for record in _read_jsonl(directory / "items.jsonl"))
+    actions: List[TaggingAction] = [
+        TaggingAction.from_dict(record) for record in _read_jsonl(directory / "actions.jsonl")
+    ]
+    holdout: Optional[TaggingStore] = None
+    if meta.get("has_holdout"):
+        holdout = TaggingStore()
+        holdout.add_many(
+            TaggingAction.from_dict(record)
+            for record in _read_jsonl(directory / "holdout.jsonl")
+        )
+    return Dataset.build(
+        graph, actions, name=str(meta.get("name", "dataset")),
+        users=users, items=items, holdout=holdout,
+    )

@@ -1,0 +1,79 @@
+"""Per-user tagging profiles ("social index").
+
+Frontier-based algorithms walk the seeker's network friend by friend and,
+for each visited friend, need the friend's items for every query tag in one
+cheap lookup.  The social index materialises exactly that access path:
+
+``profile(user) : tag → tuple(item ids the user endorsed with the tag)``
+
+It is the social counterpart of the inverted index — same data, pivoted the
+other way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from .tagging import TaggingStore
+
+
+class SocialIndex:
+    """User → tag → items index over the tagging relation."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[int, Dict[str, Tuple[int, ...]]] = {}
+
+    @classmethod
+    def build(cls, tagging: TaggingStore) -> "SocialIndex":
+        """Build the per-user profiles from a tagging store."""
+        index = cls()
+        staging: Dict[int, Dict[str, List[int]]] = {}
+        for action in tagging:
+            user_profile = staging.setdefault(action.user_id, {})
+            user_profile.setdefault(action.tag, []).append(action.item_id)
+        for user_id, tags in staging.items():
+            index._profiles[user_id] = {
+                tag: tuple(sorted(set(items))) for tag, items in tags.items()
+            }
+        return index
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def users(self) -> List[int]:
+        """All users that have a non-empty profile."""
+        return sorted(self._profiles)
+
+    def profile(self, user_id: int) -> Dict[str, Tuple[int, ...]]:
+        """The user's full profile (empty dict for inactive users)."""
+        return dict(self._profiles.get(user_id, {}))
+
+    def items_for(self, user_id: int, tag: str) -> Tuple[int, ...]:
+        """Items ``user_id`` endorsed with ``tag`` (empty tuple when none)."""
+        return self._profiles.get(user_id, {}).get(tag, ())
+
+    def tags_for(self, user_id: int) -> Tuple[str, ...]:
+        """Tags the user has employed, sorted."""
+        return tuple(sorted(self._profiles.get(user_id, {})))
+
+    def num_entries(self) -> int:
+        """Total number of (user, tag, item) entries."""
+        return sum(
+            len(items)
+            for profile in self._profiles.values()
+            for items in profile.values()
+        )
+
+    def iter_entries(self) -> Iterator[Tuple[int, str, int]]:
+        """Yield every ``(user, tag, item)`` entry."""
+        for user_id in self.users():
+            for tag, items in sorted(self._profiles[user_id].items()):
+                for item_id in items:
+                    yield user_id, tag, item_id
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint in bytes."""
+        return self.num_entries() * 16 + len(self._profiles) * 64

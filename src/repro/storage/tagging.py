@@ -1,0 +1,188 @@
+"""The tagging relation ``Tagged(user, item, tag)``.
+
+This is the central fact table of the system: a row means "user *u*
+endorsed item *i* with tag *t*".  The store keeps the raw actions plus the
+hash indexes every access path needs:
+
+* ``taggers(item, tag)`` — who endorsed an item with a tag (social scoring);
+* ``items_for_user_tag(user, tag)`` — a friend's items for a query tag
+  (frontier expansion);
+* ``tag_frequency(item, tag)`` — number of distinct endorsers (textual
+  scoring; this corpus-style *tf* is what the inverted index sorts by).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class TaggingAction:
+    """One tagging action ``(user, item, tag)`` with a logical timestamp."""
+
+    user_id: int
+    item_id: int
+    tag: str
+    timestamp: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation."""
+        return {
+            "user_id": self.user_id,
+            "item_id": self.item_id,
+            "tag": self.tag,
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TaggingAction":
+        """Rebuild an action from :meth:`to_dict` output."""
+        return cls(
+            user_id=int(data["user_id"]),
+            item_id=int(data["item_id"]),
+            tag=str(data["tag"]),
+            timestamp=int(data.get("timestamp", 0)),
+        )
+
+
+class TaggingStore:
+    """In-memory store of tagging actions with secondary hash indexes."""
+
+    def __init__(self) -> None:
+        self._actions: List[TaggingAction] = []
+        self._seen: Set[Tuple[int, int, str]] = set()
+        self._taggers_by_item_tag: Dict[Tuple[int, str], Set[int]] = {}
+        self._items_by_user_tag: Dict[Tuple[int, str], Set[int]] = {}
+        self._items_by_user: Dict[int, Set[int]] = {}
+        self._tags_by_user: Dict[int, Dict[str, int]] = {}
+        self._items_by_tag: Dict[str, Set[int]] = {}
+        self._tag_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, action: TaggingAction) -> bool:
+        """Record a tagging action.
+
+        Duplicate ``(user, item, tag)`` triples are ignored (a user endorsing
+        the same item with the same tag twice carries no extra signal).
+        Returns ``True`` when the action was new.
+        """
+        key = (action.user_id, action.item_id, action.tag)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._actions.append(action)
+        self._taggers_by_item_tag.setdefault((action.item_id, action.tag), set()).add(action.user_id)
+        self._items_by_user_tag.setdefault((action.user_id, action.tag), set()).add(action.item_id)
+        self._items_by_user.setdefault(action.user_id, set()).add(action.item_id)
+        user_tags = self._tags_by_user.setdefault(action.user_id, {})
+        user_tags[action.tag] = user_tags.get(action.tag, 0) + 1
+        self._items_by_tag.setdefault(action.tag, set()).add(action.item_id)
+        self._tag_counts[action.tag] = self._tag_counts.get(action.tag, 0) + 1
+        return True
+
+    def add_many(self, actions: Iterable[TaggingAction]) -> int:
+        """Record a batch of actions; returns the number actually added."""
+        return sum(1 for action in actions if self.add(action))
+
+    # ------------------------------------------------------------------ #
+    # Access paths
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def actions(self) -> List[TaggingAction]:
+        """All stored actions in insertion order (copy)."""
+        return list(self._actions)
+
+    def __iter__(self) -> Iterator[TaggingAction]:
+        return iter(self._actions)
+
+    def contains(self, user_id: int, item_id: int, tag: str) -> bool:
+        """Whether the exact triple has been recorded."""
+        return (user_id, item_id, tag) in self._seen
+
+    def taggers(self, item_id: int, tag: str) -> FrozenSet[int]:
+        """Users who endorsed ``item_id`` with ``tag``."""
+        return frozenset(self._taggers_by_item_tag.get((item_id, tag), frozenset()))
+
+    def tag_frequency(self, item_id: int, tag: str) -> int:
+        """Number of distinct users who endorsed ``item_id`` with ``tag``."""
+        return len(self._taggers_by_item_tag.get((item_id, tag), ()))
+
+    def items_for_user_tag(self, user_id: int, tag: str) -> FrozenSet[int]:
+        """Items ``user_id`` endorsed with ``tag``."""
+        return frozenset(self._items_by_user_tag.get((user_id, tag), frozenset()))
+
+    def items_for_user(self, user_id: int) -> FrozenSet[int]:
+        """All items ``user_id`` ever endorsed (any tag)."""
+        return frozenset(self._items_by_user.get(user_id, frozenset()))
+
+    def tags_for_user(self, user_id: int) -> Dict[str, int]:
+        """The user's tag profile: tag → number of actions using it."""
+        return dict(self._tags_by_user.get(user_id, {}))
+
+    def items_for_tag(self, tag: str) -> FrozenSet[int]:
+        """All items endorsed with ``tag`` by anyone."""
+        return frozenset(self._items_by_tag.get(tag, frozenset()))
+
+    def tags(self) -> List[str]:
+        """All distinct tags in sorted order."""
+        return sorted(self._tag_counts)
+
+    def tag_popularity(self) -> Dict[str, int]:
+        """Tag → total number of actions using the tag."""
+        return dict(self._tag_counts)
+
+    def users(self) -> List[int]:
+        """All user ids that performed at least one action."""
+        return sorted(self._items_by_user)
+
+    def items(self) -> List[int]:
+        """All item ids that received at least one action."""
+        items: Set[int] = set()
+        for item_set in self._items_by_tag.values():
+            items.update(item_set)
+        return sorted(items)
+
+    def activity(self, user_id: int) -> int:
+        """Number of actions performed by ``user_id``."""
+        return sum(self._tags_by_user.get(user_id, {}).values())
+
+    def num_distinct_triples(self) -> int:
+        """Number of distinct ``(user, item, tag)`` triples stored."""
+        return len(self._seen)
+
+    def filter(self, predicate) -> "TaggingStore":
+        """Return a new store containing only the actions matching ``predicate``."""
+        filtered = TaggingStore()
+        filtered.add_many(action for action in self._actions if predicate(action))
+        return filtered
+
+    def split_holdout(self, fraction: float, seed: int = 0
+                      ) -> Tuple["TaggingStore", "TaggingStore"]:
+        """Split into (train, holdout) stores per user.
+
+        For every user, the *last* ``fraction`` of their actions (by
+        timestamp, then insertion order) is withheld.  The holdout is the
+        relevance ground truth for quality experiments: items the seeker
+        will tag in the future are what a good ranking should surface today.
+        """
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+        by_user: Dict[int, List[TaggingAction]] = {}
+        for index, action in enumerate(self._actions):
+            by_user.setdefault(action.user_id, []).append(action)
+        train = TaggingStore()
+        holdout = TaggingStore()
+        for user_id in sorted(by_user):
+            actions = sorted(by_user[user_id], key=lambda a: (a.timestamp, a.item_id, a.tag))
+            cut = len(actions) - int(len(actions) * fraction)
+            cut = max(1, cut) if actions else 0
+            train.add_many(actions[:cut])
+            holdout.add_many(actions[cut:])
+        return train, holdout

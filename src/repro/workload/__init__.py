@@ -1,0 +1,45 @@
+"""Synthetic data and workload generation (the substitute for paper-era crawls)."""
+
+from .distributions import (
+    UniformSampler,
+    WeightedSampler,
+    ZipfSampler,
+    make_tag_vocabulary,
+    poisson_at_least_one,
+    truncated_power_law,
+)
+from .tagging_model import TaggingModel, generate_actions
+from .datasets import (
+    build_dataset,
+    delicious_like,
+    flickr_like,
+    homophily_sweep_dataset,
+    scaled_dataset,
+    tiny_dataset,
+    variant,
+)
+from .queries import QueryWorkloadGenerator, generate_workload, queries_with_k
+from .trace import load_queries, save_queries
+
+__all__ = [
+    "ZipfSampler",
+    "UniformSampler",
+    "WeightedSampler",
+    "make_tag_vocabulary",
+    "poisson_at_least_one",
+    "truncated_power_law",
+    "TaggingModel",
+    "generate_actions",
+    "build_dataset",
+    "delicious_like",
+    "flickr_like",
+    "tiny_dataset",
+    "scaled_dataset",
+    "homophily_sweep_dataset",
+    "variant",
+    "QueryWorkloadGenerator",
+    "generate_workload",
+    "queries_with_k",
+    "load_queries",
+    "save_queries",
+]

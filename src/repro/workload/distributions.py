@@ -1,0 +1,121 @@
+"""Seeded samplers for skewed distributions.
+
+Real tagging corpora are heavily skewed: a few tags and items absorb most of
+the activity.  The generators therefore sample tags and items from Zipf-like
+distributions whose exponent is a configuration knob, and every sampler is
+deterministic under a fixed seed so experiments are reproducible bit for
+bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+class ZipfSampler:
+    """Sample integers ``0 .. n-1`` with probability proportional to ``1/(rank+1)^s``."""
+
+    def __init__(self, num_values: int, exponent: float, seed: int = 0) -> None:
+        if num_values < 1:
+            raise WorkloadError(f"num_values must be >= 1, got {num_values}")
+        if exponent <= 0.0:
+            raise WorkloadError(f"exponent must be positive, got {exponent}")
+        self._num_values = num_values
+        self._exponent = exponent
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, num_values + 1, dtype=np.float64)
+        weights = ranks ** (-exponent)
+        self._probabilities = weights / weights.sum()
+
+    @property
+    def num_values(self) -> int:
+        """Size of the sampled domain."""
+        return self._num_values
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The full probability vector (rank order)."""
+        return self._probabilities.copy()
+
+    def sample(self) -> int:
+        """Draw one value."""
+        return int(self._rng.choice(self._num_values, p=self._probabilities))
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` values."""
+        if count < 0:
+            raise WorkloadError(f"count must be non-negative, got {count}")
+        return [int(v) for v in self._rng.choice(self._num_values, size=count,
+                                                 p=self._probabilities)]
+
+
+class UniformSampler:
+    """Uniform sampler over ``0 .. n-1`` (seeded)."""
+
+    def __init__(self, num_values: int, seed: int = 0) -> None:
+        if num_values < 1:
+            raise WorkloadError(f"num_values must be >= 1, got {num_values}")
+        self._num_values = num_values
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> int:
+        """Draw one value."""
+        return int(self._rng.integers(self._num_values))
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` values."""
+        return [int(v) for v in self._rng.integers(self._num_values, size=count)]
+
+
+class WeightedSampler:
+    """Sample from an explicit weight vector (seeded)."""
+
+    def __init__(self, weights: Sequence[float], seed: int = 0) -> None:
+        weights = np.asarray(list(weights), dtype=np.float64)
+        if weights.size == 0:
+            raise WorkloadError("weights must be non-empty")
+        if np.any(weights < 0):
+            raise WorkloadError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise WorkloadError("weights must not all be zero")
+        self._probabilities = weights / total
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> int:
+        """Draw one index."""
+        return int(self._rng.choice(self._probabilities.size, p=self._probabilities))
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` indices."""
+        return [int(v) for v in self._rng.choice(self._probabilities.size, size=count,
+                                                 p=self._probabilities)]
+
+
+def poisson_at_least_one(rng: np.random.Generator, mean: float) -> int:
+    """Sample ``max(1, Poisson(mean - 1) + 1)`` — a count that is never zero."""
+    if mean <= 1.0:
+        return 1
+    return int(rng.poisson(mean - 1.0)) + 1
+
+
+def truncated_power_law(rng: np.random.Generator, exponent: float, maximum: int) -> int:
+    """Sample an integer in ``[1, maximum]`` with a power-law tail."""
+    if maximum <= 1:
+        return 1
+    ranks = np.arange(1, maximum + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    probabilities = weights / weights.sum()
+    return int(rng.choice(maximum, p=probabilities)) + 1
+
+
+def make_tag_vocabulary(num_tags: int, prefix: str = "tag") -> List[str]:
+    """Deterministic tag names ``tag-000 .. tag-(n-1)``."""
+    if num_tags < 1:
+        raise WorkloadError(f"num_tags must be >= 1, got {num_tags}")
+    width = max(3, len(str(num_tags - 1)))
+    return [f"{prefix}-{index:0{width}d}" for index in range(num_tags)]

@@ -1,0 +1,111 @@
+"""Query workload generation.
+
+A workload is a list of :class:`~repro.core.query.Query` objects drawn from
+a dataset.  Seekers are sampled either uniformly or proportionally to their
+activity (active users query more), and query tags come from the seeker's
+own tag profile (the realistic case: people search within their interests),
+from global tag popularity, or uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import WorkloadConfig
+from ..core.query import Query
+from ..errors import WorkloadError
+from ..storage.dataset import Dataset
+from .distributions import poisson_at_least_one
+
+
+class QueryWorkloadGenerator:
+    """Draws reproducible query workloads from a dataset."""
+
+    def __init__(self, dataset: Dataset, config: Optional[WorkloadConfig] = None) -> None:
+        self._dataset = dataset
+        self._config = config or WorkloadConfig()
+        self._rng = np.random.default_rng(self._config.seed)
+        self._tags = dataset.tags()
+        if not self._tags:
+            raise WorkloadError("cannot generate queries: the dataset has no tags")
+        popularity = dataset.tagging.tag_popularity()
+        weights = np.array([popularity.get(tag, 0) + 1.0 for tag in self._tags],
+                           dtype=np.float64)
+        self._tag_probabilities = weights / weights.sum()
+        self._active_users = dataset.active_users()
+        if not self._active_users:
+            raise WorkloadError("cannot generate queries: the dataset has no active users")
+        activity = np.array(
+            [dataset.tagging.activity(user) + 1.0 for user in self._active_users],
+            dtype=np.float64,
+        )
+        self._activity_probabilities = activity / activity.sum()
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def _sample_seeker(self) -> int:
+        if self._config.seeker_strategy == "uniform":
+            return int(self._rng.integers(self._dataset.num_users))
+        index = int(self._rng.choice(len(self._active_users),
+                                     p=self._activity_probabilities))
+        return self._active_users[index]
+
+    def _sample_tags(self, seeker: int, count: int) -> List[str]:
+        chosen: List[str] = []
+        profile = self._dataset.tagging.tags_for_user(seeker)
+        profile_tags = sorted(profile)
+        attempts = 0
+        while len(chosen) < count and attempts < count * 10 + 10:
+            attempts += 1
+            tag: Optional[str] = None
+            if self._config.tag_strategy == "profile" and profile_tags:
+                weights = np.array([profile[t] for t in profile_tags], dtype=np.float64)
+                tag = profile_tags[int(self._rng.choice(len(profile_tags),
+                                                        p=weights / weights.sum()))]
+            elif self._config.tag_strategy == "uniform":
+                tag = self._tags[int(self._rng.integers(len(self._tags)))]
+            if tag is None:  # "popular" strategy or empty profile fallback
+                tag = self._tags[int(self._rng.choice(len(self._tags),
+                                                      p=self._tag_probabilities))]
+            if tag not in chosen:
+                chosen.append(tag)
+        if not chosen:
+            chosen.append(self._tags[0])
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    def generate(self, num_queries: Optional[int] = None,
+                 k: Optional[int] = None) -> List[Query]:
+        """Generate a workload (defaults taken from the configuration)."""
+        if num_queries is None:
+            num_queries = self._config.num_queries
+        if k is None:
+            k = self._config.k
+        if num_queries < 1:
+            raise WorkloadError(f"num_queries must be >= 1, got {num_queries}")
+        queries: List[Query] = []
+        for _ in range(num_queries):
+            seeker = self._sample_seeker()
+            count = poisson_at_least_one(self._rng, self._config.tags_per_query)
+            tags = self._sample_tags(seeker, count)
+            queries.append(Query(seeker=seeker, tags=tuple(tags), k=k))
+        return queries
+
+
+def generate_workload(dataset: Dataset, config: Optional[WorkloadConfig] = None,
+                      num_queries: Optional[int] = None,
+                      k: Optional[int] = None) -> List[Query]:
+    """Convenience wrapper around :class:`QueryWorkloadGenerator`."""
+    return QueryWorkloadGenerator(dataset, config).generate(num_queries=num_queries, k=k)
+
+
+def queries_with_k(queries: Sequence[Query], k: int) -> List[Query]:
+    """Return copies of ``queries`` with a different ``k`` (used by k-sweeps)."""
+    return [Query(seeker=query.seeker, tags=query.tags, k=k) for query in queries]

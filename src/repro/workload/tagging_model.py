@@ -1,0 +1,153 @@
+"""Homophily-driven tagging action generator.
+
+The social signal the paper family exploits only exists when friends tag
+similar things.  The generator models that explicitly: each tagging action
+is produced by one of two processes,
+
+* with probability ``homophily`` the acting user **copies** a random
+  ``(item, tag)`` pair previously used by one of their direct friends
+  (social imitation — the source of "help from my friends"), and
+* otherwise the user samples an item and a tag from global Zipf
+  distributions (independent interest), except that with probability
+  ``homophily`` the item is drawn from the user's **community catalogue** —
+  a community-specific permutation of the item popularity ranking shared
+  with the user's neighbourhood.  This models the fact that groups of
+  friends do not merely copy each other, they are interested in the same
+  corner of the item space, so globally popular items are *not* the best
+  predictor of what an individual will tag next.
+
+Setting ``homophily = 0`` disables both mechanisms and yields a corpus where
+the social graph carries no information about tastes — the natural control
+condition for the quality experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DatasetConfig
+from ..errors import WorkloadError
+from ..graph import SocialGraph
+from ..graph.partition import label_propagation
+from ..storage.tagging import TaggingAction
+from .distributions import ZipfSampler, make_tag_vocabulary, poisson_at_least_one
+
+
+class TaggingModel:
+    """Generates a stream of :class:`TaggingAction` over a given social graph."""
+
+    def __init__(self, graph: SocialGraph, config: DatasetConfig) -> None:
+        if config.num_users != graph.num_users:
+            raise WorkloadError(
+                f"config.num_users ({config.num_users}) does not match the graph "
+                f"({graph.num_users})"
+            )
+        self._graph = graph
+        self._config = config
+        self._rng = np.random.default_rng(config.seed + 1)
+        self._tags = make_tag_vocabulary(config.num_tags)
+        self._tag_sampler = ZipfSampler(config.num_tags, config.tag_zipf_exponent,
+                                        seed=config.seed + 2)
+        self._item_sampler = ZipfSampler(config.num_items, config.item_zipf_exponent,
+                                         seed=config.seed + 3)
+        # Activity skew: a minority of users performs most actions, like in
+        # real tagging sites.  Shuffle so activity is independent of node id
+        # (node ids correlate with degree in preferential-attachment graphs).
+        activity = np.arange(1, config.num_users + 1, dtype=np.float64) ** -1.05
+        self._rng.shuffle(activity)
+        self._user_probabilities = activity / activity.sum()
+        #: per-user history of (item, tag) pairs, consulted by imitation.
+        self._history: Dict[int, List[Tuple[int, str]]] = {}
+        #: per-user community label: users in the same neighbourhood share a
+        #: label and therefore the same permuted item catalogue.
+        self._community = label_propagation(graph, max_rounds=5, weighted=False)
+
+    @property
+    def tags(self) -> List[str]:
+        """The generated tag vocabulary."""
+        return list(self._tags)
+
+    # ------------------------------------------------------------------ #
+    # Sampling helpers
+    # ------------------------------------------------------------------ #
+
+    def _sample_user(self) -> int:
+        return int(self._rng.choice(self._config.num_users, p=self._user_probabilities))
+
+    def _community_item(self, user: int, rank: int) -> int:
+        """Map a popularity rank into the user's community catalogue."""
+        offset = (self._community[user] * 7919) % self._config.num_items
+        return (rank + offset) % self._config.num_items
+
+    def _sample_global_pair(self, user: int) -> Tuple[int, str]:
+        rank = self._item_sampler.sample()
+        if self._rng.random() < self._config.homophily:
+            # Community interest: the same popularity curve, but over the
+            # community's own corner of the item space.
+            item = self._community_item(user, rank)
+        else:
+            item = rank
+        tag = self._tags[self._tag_sampler.sample()]
+        return item, tag
+
+    def _sample_friend_pair(self, user: int) -> Optional[Tuple[int, str]]:
+        """A random (item, tag) pair from a random friend's history, if any."""
+        neighbours = self._graph.neighbour_ids(user)
+        if neighbours.shape[0] == 0:
+            return None
+        order = self._rng.permutation(neighbours.shape[0])
+        for index in order.tolist():
+            friend = int(neighbours[index])
+            history = self._history.get(friend)
+            if history:
+                return history[int(self._rng.integers(len(history)))]
+        return None
+
+    def _record(self, user: int, item: int, tag: str) -> None:
+        self._history.setdefault(user, []).append((item, tag))
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+
+    def generate(self, num_actions: Optional[int] = None) -> List[TaggingAction]:
+        """Generate ``num_actions`` tagging actions (default from the config)."""
+        if num_actions is None:
+            num_actions = self._config.num_actions
+        if num_actions < 1:
+            raise WorkloadError(f"num_actions must be >= 1, got {num_actions}")
+        actions: List[TaggingAction] = []
+        timestamp = 0
+        while len(actions) < num_actions:
+            user = self._sample_user()
+            # Each "session" tags one item with a burst of tags.
+            pair: Optional[Tuple[int, str]] = None
+            if self._rng.random() < self._config.homophily:
+                pair = self._sample_friend_pair(user)
+            if pair is None:
+                pair = self._sample_global_pair(user)
+            item, first_tag = pair
+            burst = poisson_at_least_one(self._rng, self._config.tags_per_item)
+            session_tags = [first_tag]
+            while len(session_tags) < burst:
+                extra = self._tags[self._tag_sampler.sample()]
+                if extra not in session_tags:
+                    session_tags.append(extra)
+                else:
+                    break
+            for tag in session_tags:
+                actions.append(TaggingAction(user_id=user, item_id=item, tag=tag,
+                                             timestamp=timestamp))
+                timestamp += 1
+                self._record(user, item, tag)
+                if len(actions) >= num_actions:
+                    break
+        return actions
+
+
+def generate_actions(graph: SocialGraph, config: DatasetConfig,
+                     num_actions: Optional[int] = None) -> List[TaggingAction]:
+    """Convenience wrapper: build a :class:`TaggingModel` and generate actions."""
+    return TaggingModel(graph, config).generate(num_actions)

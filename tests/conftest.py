@@ -1,0 +1,134 @@
+"""Shared fixtures for the test suite.
+
+The heavier fixtures (synthetic datasets, engines) are session-scoped: they
+are deterministic and read-only for the tests that use them, so building
+them once keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DatasetConfig,
+    EngineConfig,
+    ProximityConfig,
+    ScoringConfig,
+    SocialSearchEngine,
+    WorkloadConfig,
+)
+from repro.graph import SocialGraph
+from repro.storage import Dataset, TaggingAction
+from repro.workload import build_dataset, generate_workload
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> SocialGraph:
+    """A hand-built 6-user graph with known structure.
+
+    Topology (weights in parentheses)::
+
+        0 --(1.0)-- 1 --(0.5)-- 2
+        |           |
+        (0.8)       (0.25)
+        |           |
+        3 --(1.0)-- 4           5 (isolated)
+    """
+    edges = [
+        (0, 1, 1.0),
+        (1, 2, 0.5),
+        (0, 3, 0.8),
+        (1, 4, 0.25),
+        (3, 4, 1.0),
+    ]
+    return SocialGraph.from_edges(6, edges)
+
+
+@pytest.fixture(scope="session")
+def hand_dataset(small_graph) -> Dataset:
+    """A tiny hand-written dataset over :func:`small_graph`.
+
+    Items 100..104; tags "jazz", "rock", "vinyl".  User 5 is socially
+    isolated but active, user 0 is the usual seeker in tests.
+    """
+    actions = [
+        TaggingAction(user_id=1, item_id=100, tag="jazz", timestamp=1),
+        TaggingAction(user_id=1, item_id=101, tag="jazz", timestamp=2),
+        TaggingAction(user_id=2, item_id=100, tag="jazz", timestamp=3),
+        TaggingAction(user_id=2, item_id=102, tag="rock", timestamp=4),
+        TaggingAction(user_id=3, item_id=101, tag="jazz", timestamp=5),
+        TaggingAction(user_id=3, item_id=103, tag="vinyl", timestamp=6),
+        TaggingAction(user_id=4, item_id=100, tag="vinyl", timestamp=7),
+        TaggingAction(user_id=4, item_id=102, tag="jazz", timestamp=8),
+        TaggingAction(user_id=5, item_id=104, tag="jazz", timestamp=9),
+        TaggingAction(user_id=5, item_id=104, tag="rock", timestamp=10),
+        TaggingAction(user_id=0, item_id=103, tag="jazz", timestamp=11),
+    ]
+    return Dataset.build(small_graph, actions, name="hand")
+
+
+@pytest.fixture(scope="session")
+def synthetic_dataset() -> Dataset:
+    """A small synthetic dataset shared across algorithm tests."""
+    config = DatasetConfig(
+        name="test-synthetic",
+        num_users=60,
+        num_items=120,
+        num_tags=15,
+        num_actions=900,
+        graph_model="barabasi-albert",
+        avg_degree=6.0,
+        homophily=0.5,
+        seed=42,
+    )
+    return build_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def holdout_dataset() -> Dataset:
+    """A synthetic dataset with a 20% per-user holdout for quality tests."""
+    config = DatasetConfig(
+        name="test-holdout",
+        num_users=60,
+        num_items=120,
+        num_tags=15,
+        num_actions=900,
+        graph_model="barabasi-albert",
+        avg_degree=6.0,
+        homophily=0.7,
+        seed=43,
+    )
+    return build_dataset(config, holdout_fraction=0.2)
+
+
+@pytest.fixture(scope="session")
+def engine(synthetic_dataset) -> SocialSearchEngine:
+    """Default engine (social-first, shortest-path proximity, alpha 0.5)."""
+    return SocialSearchEngine(synthetic_dataset)
+
+
+@pytest.fixture(scope="session")
+def workload(synthetic_dataset):
+    """A small deterministic workload over the synthetic dataset."""
+    return generate_workload(
+        synthetic_dataset,
+        WorkloadConfig(num_queries=8, k=5, seed=5),
+    )
+
+
+@pytest.fixture()
+def engine_factory(synthetic_dataset):
+    """Factory building engines with custom alpha / algorithm / proximity."""
+
+    def factory(alpha: float = 0.5, algorithm: str = "social-first",
+                measure: str = "shortest-path", early_termination: bool = True,
+                cache_size: int = 128) -> SocialSearchEngine:
+        config = EngineConfig(
+            algorithm=algorithm,
+            scoring=ScoringConfig(alpha=alpha),
+            proximity=ProximityConfig(measure=measure, cache_size=cache_size),
+            early_termination=early_termination,
+        )
+        return SocialSearchEngine(synthetic_dataset, config)
+
+    return factory

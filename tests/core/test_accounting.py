@@ -1,0 +1,47 @@
+"""Tests for access accounting."""
+
+from repro.core.accounting import AccessAccountant
+
+
+class TestAccessAccountant:
+    def test_charges_accumulate(self):
+        accountant = AccessAccountant()
+        accountant.charge_sequential(3)
+        accountant.charge_random()
+        accountant.charge_social(2)
+        accountant.charge_user_visit()
+        accountant.charge_candidate(5)
+        accountant.charge_round()
+        assert accountant.sequential_accesses == 3
+        assert accountant.random_accesses == 1
+        assert accountant.social_accesses == 2
+        assert accountant.users_visited == 1
+        assert accountant.candidates_considered == 5
+        assert accountant.rounds == 1
+
+    def test_total_accesses(self):
+        accountant = AccessAccountant(sequential_accesses=2, random_accesses=3,
+                                      social_accesses=4, users_visited=1)
+        assert accountant.total_accesses == 10
+
+    def test_merge(self):
+        a = AccessAccountant(sequential_accesses=1, rounds=2)
+        b = AccessAccountant(sequential_accesses=4, random_accesses=1)
+        a.merge(b)
+        assert a.sequential_accesses == 5
+        assert a.random_accesses == 1
+        assert a.rounds == 2
+
+    def test_sum(self):
+        total = AccessAccountant.sum([
+            AccessAccountant(sequential_accesses=1),
+            AccessAccountant(sequential_accesses=2, social_accesses=3),
+        ])
+        assert total.sequential_accesses == 3
+        assert total.social_accesses == 3
+
+    def test_to_dict(self):
+        accountant = AccessAccountant(sequential_accesses=1)
+        data = accountant.to_dict()
+        assert data["sequential_accesses"] == 1
+        assert data["total_accesses"] == 1

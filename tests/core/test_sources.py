@@ -1,0 +1,72 @@
+"""Tests for the textual and social access sources."""
+
+import pytest
+
+from repro.config import ProximityConfig
+from repro.core.topk.sources import (
+    SocialFrontier,
+    TextualSource,
+    build_textual_sources,
+    next_frequencies,
+)
+from repro.proximity import ShortestPathProximity
+
+
+class TestTextualSource:
+    def test_reads_in_frequency_order(self, hand_dataset):
+        source = TextualSource(hand_dataset.inverted_index, "jazz")
+        frequencies = []
+        while not source.exhausted():
+            assert source.next_frequency() > 0
+            frequencies.append(source.read().frequency)
+        assert frequencies == sorted(frequencies, reverse=True)
+        assert source.read() is None
+        assert source.next_frequency() == 0
+
+    def test_unknown_tag_is_empty(self, hand_dataset):
+        source = TextualSource(hand_dataset.inverted_index, "no-such-tag")
+        assert source.exhausted()
+        assert source.next_frequency() == 0
+
+    def test_consumed_counter(self, hand_dataset):
+        source = TextualSource(hand_dataset.inverted_index, "rock")
+        source.read()
+        assert source.consumed() == 1
+
+    def test_build_textual_sources_and_bounds(self, hand_dataset):
+        sources = build_textual_sources(hand_dataset.inverted_index, ("jazz", "rock"))
+        assert set(sources) == {"jazz", "rock"}
+        bounds = next_frequencies(sources)
+        assert bounds["jazz"] == hand_dataset.inverted_index.max_frequency("jazz")
+
+
+class TestSocialFrontier:
+    @pytest.fixture()
+    def frontier(self, small_graph):
+        proximity = ShortestPathProximity(small_graph, ProximityConfig(decay=0.5))
+        return SocialFrontier(proximity, 0)
+
+    def test_pops_in_non_increasing_proximity(self, frontier):
+        values = []
+        while not frontier.exhausted():
+            assert frontier.next_proximity() > 0
+            values.append(frontier.pop()[1])
+        assert values == sorted(values, reverse=True)
+        assert frontier.pop() is None
+        assert frontier.next_proximity() == 0.0
+
+    def test_next_proximity_matches_next_pop(self, frontier):
+        bound = frontier.next_proximity()
+        user, proximity = frontier.pop()
+        assert proximity == pytest.approx(bound)
+
+    def test_visited_counter(self, frontier):
+        frontier.pop()
+        frontier.pop()
+        assert frontier.visited == 2
+
+    def test_isolated_seeker_has_empty_frontier(self, small_graph):
+        proximity = ShortestPathProximity(small_graph, ProximityConfig())
+        frontier = SocialFrontier(proximity, 5)
+        assert frontier.exhausted()
+        assert frontier.pop() is None

@@ -1,0 +1,126 @@
+"""Tests for the ranking-quality metrics."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import (
+    average_precision,
+    binary_ndcg_at_k,
+    kendall_tau,
+    mean,
+    ndcg_at_k,
+    overlap_at_k,
+    precision_at_k,
+    rank_biased_overlap,
+    recall_at_k,
+    reciprocal_rank,
+    summarize_metric,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        assert precision_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+        assert recall_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+
+    def test_partial_hits(self):
+        assert precision_at_k([1, 9, 2, 8], {1, 2}, 4) == pytest.approx(0.5)
+        assert recall_at_k([1, 9], {1, 2, 3, 4}, 2) == pytest.approx(0.25)
+
+    def test_no_relevant(self):
+        assert precision_at_k([1, 2], {9}, 2) == 0.0
+        assert recall_at_k([1, 2], set(), 2) == 0.0
+
+    def test_k_shorter_than_ranking(self):
+        assert precision_at_k([9, 1, 2], {1, 2}, 1) == 0.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k([1], {1}, 0)
+        with pytest.raises(EvaluationError):
+            recall_at_k([1], {1}, 0)
+
+    def test_average_precision(self):
+        # Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        assert average_precision([1, 9, 2], {1, 2}) == pytest.approx((1.0 + 2.0 / 3.0) / 2)
+        assert average_precision([9, 8], {1}) == 0.0
+        assert average_precision([1], set()) == 0.0
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank([9, 1, 2], {1}) == pytest.approx(0.5)
+        assert reciprocal_rank([9, 8], {1}) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_binary_ranking_is_one(self):
+        assert binary_ndcg_at_k([1, 2, 3], {1, 2, 3}, 3) == pytest.approx(1.0)
+
+    def test_worse_position_lowers_ndcg(self):
+        good = binary_ndcg_at_k([1, 9, 8], {1}, 3)
+        bad = binary_ndcg_at_k([9, 8, 1], {1}, 3)
+        assert good > bad > 0.0
+
+    def test_graded_relevance_prefers_higher_gain_first(self):
+        relevance = {1: 3.0, 2: 1.0}
+        assert ndcg_at_k([1, 2], relevance, 2) > ndcg_at_k([2, 1], relevance, 2)
+
+    def test_bounds(self):
+        value = binary_ndcg_at_k([5, 1, 7], {1, 2}, 3)
+        assert 0.0 <= value <= 1.0
+
+    def test_empty_relevance_is_zero(self):
+        assert ndcg_at_k([1, 2], {}, 2) == 0.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(EvaluationError):
+            ndcg_at_k([1], {1: 1.0}, 0)
+
+
+class TestRankAgreement:
+    def test_overlap_identical(self):
+        assert overlap_at_k([1, 2, 3], [3, 2, 1], 3) == 1.0
+
+    def test_overlap_disjoint(self):
+        assert overlap_at_k([1, 2], [3, 4], 2) == 0.0
+
+    def test_overlap_short_reference(self):
+        assert overlap_at_k([1, 2, 3], [1], 3) == 1.0
+
+    def test_kendall_identical_order(self):
+        assert kendall_tau([1, 2, 3, 4], [1, 2, 3, 4]) == pytest.approx(1.0)
+
+    def test_kendall_reversed_order(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_kendall_ignores_uncommon_items(self):
+        assert kendall_tau([1, 2, 9], [1, 2, 8]) == pytest.approx(1.0)
+
+    def test_kendall_single_common_item(self):
+        assert kendall_tau([1, 9], [1, 8]) == 1.0
+
+    def test_rbo_identical(self):
+        assert rank_biased_overlap([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_rbo_disjoint(self):
+        assert rank_biased_overlap([1, 2], [3, 4]) == pytest.approx(0.0)
+
+    def test_rbo_top_weighted(self):
+        agree_top = rank_biased_overlap([1, 9, 8], [1, 5, 6])
+        agree_bottom = rank_biased_overlap([9, 8, 1], [5, 6, 1])
+        assert agree_top > agree_bottom
+
+    def test_rbo_invalid_persistence(self):
+        with pytest.raises(EvaluationError):
+            rank_biased_overlap([1], [1], persistence=1.0)
+
+
+class TestSummaries:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert mean([]) == 0.0
+
+    def test_summarize_metric(self):
+        summary = summarize_metric([0.5, 1.0])
+        assert summary["mean"] == pytest.approx(0.75)
+        assert summary["count"] == 2
+        assert summarize_metric([])["count"] == 0

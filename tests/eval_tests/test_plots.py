@@ -1,0 +1,81 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval import ascii_bar_chart, ascii_line_chart, series_from_rows
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart({"exact": 100.0, "social-first": 25.0}, width=20)
+        lines = chart.splitlines()
+        exact_line = next(line for line in lines if line.startswith("exact"))
+        social_line = next(line for line in lines if line.startswith("social-first"))
+        assert exact_line.count("#") > social_line.count("#")
+
+    def test_title_and_values_rendered(self):
+        chart = ascii_bar_chart({"a": 1.0}, title="Figure X")
+        assert chart.splitlines()[0] == "Figure X"
+        assert "1" in chart
+
+    def test_empty_data(self):
+        assert "(no data)" in ascii_bar_chart({})
+
+    def test_zero_values_have_empty_bars(self):
+        chart = ascii_bar_chart({"a": 0.0, "b": 2.0})
+        a_line = next(line for line in chart.splitlines() if line.startswith("a"))
+        assert "#" not in a_line
+
+    def test_invalid_width(self):
+        with pytest.raises(EvaluationError):
+            ascii_bar_chart({"a": 1.0}, width=0)
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_line_chart({
+            "exact": [(1, 10.0), (2, 20.0)],
+            "social": [(1, 5.0), (2, 6.0)],
+        })
+        assert "legend:" in chart
+        assert "*" in chart
+        assert "o" in chart
+
+    def test_axis_labels_show_extremes(self):
+        chart = ascii_line_chart({"s": [(0, 0.0), (10, 100.0)]})
+        assert "100" in chart
+        assert "0" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_line_chart({})
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(EvaluationError):
+            ascii_line_chart({"s": [(0, 1.0)]}, width=1)
+
+    def test_single_point_series(self):
+        chart = ascii_line_chart({"s": [(5, 5.0)]})
+        assert "*" in chart
+
+
+class TestSeriesFromRows:
+    ROWS = [
+        {"algorithm": "a", "k": 2, "latency": 4.0},
+        {"algorithm": "a", "k": 1, "latency": 2.0},
+        {"algorithm": "b", "k": 1, "latency": 3.0},
+    ]
+
+    def test_groups_and_sorts_by_x(self):
+        series = series_from_rows(self.ROWS, "k", "latency")
+        assert series["a"] == [(1.0, 2.0), (2.0, 4.0)]
+        assert series["b"] == [(1.0, 3.0)]
+
+    def test_missing_column_raises(self):
+        with pytest.raises(EvaluationError):
+            series_from_rows(self.ROWS, "nope", "latency")
+
+    def test_feeds_into_line_chart(self):
+        series = series_from_rows(self.ROWS, "k", "latency")
+        chart = ascii_line_chart(series, title="latency vs k")
+        assert "latency vs k" in chart

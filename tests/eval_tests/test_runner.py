@@ -1,0 +1,85 @@
+"""Tests for the experiment runner and parameter sweeps."""
+
+import pytest
+
+from repro.config import EngineConfig, ScoringConfig, WorkloadConfig
+from repro.core import SocialSearchEngine
+from repro.errors import EvaluationError
+from repro.eval import ExperimentRunner, sweep
+from repro.workload import generate_workload, queries_with_k
+
+
+class TestExperimentRunner:
+    def test_reports_every_algorithm(self, engine, workload):
+        runner = ExperimentRunner(engine)
+        report = runner.run(workload[:4], ["exact", "social-first"])
+        assert set(report.reports) == {"exact", "social-first"}
+        assert report.dataset_name == engine.dataset.name
+
+    def test_rows_contain_latency_and_access_columns(self, engine, workload):
+        runner = ExperimentRunner(engine)
+        report = runner.run(workload[:4], ["social-first"])
+        row = report.rows()[0]
+        assert row["algorithm"] == "social-first"
+        assert row["queries"] == 4
+        assert row["mean_latency_ms"] >= 0.0
+        assert "sequential_per_query" in row
+        assert "overlap_with_exact" in row
+
+    def test_agreement_with_exact_is_perfect_for_exact(self, engine, workload):
+        runner = ExperimentRunner(engine)
+        report = runner.run(workload[:4], ["exact"])
+        assert report.report("exact").row()["overlap_with_exact"] == pytest.approx(1.0)
+
+    def test_no_reference_skips_agreement_columns(self, engine, workload):
+        runner = ExperimentRunner(engine)
+        report = runner.run(workload[:2], ["social-first"], compare_to_reference=False)
+        assert "overlap_with_exact" not in report.rows()[0]
+
+    def test_quality_metrics_present_with_holdout(self, holdout_dataset):
+        engine = SocialSearchEngine(holdout_dataset)
+        queries = generate_workload(holdout_dataset, WorkloadConfig(num_queries=6, seed=3))
+        runner = ExperimentRunner(engine)
+        report = runner.run(queries, ["social-first", "global"])
+        row = report.report("social-first").row()
+        assert "precision_at_k" in row
+        assert 0.0 <= row["ndcg_at_k"] <= 1.0
+
+    def test_empty_inputs_rejected(self, engine, workload):
+        runner = ExperimentRunner(engine)
+        with pytest.raises(EvaluationError):
+            runner.run([], ["exact"])
+        with pytest.raises(EvaluationError):
+            runner.run(workload[:1], [])
+
+
+class TestSweep:
+    def test_sweep_produces_row_per_value_per_algorithm(self, engine, workload):
+        rows = sweep(
+            engine_factory=lambda k: engine,
+            parameter_values=[1, 3],
+            queries_factory=lambda k, eng: queries_with_k(workload[:3], k),
+            algorithms=["exact", "social-first"],
+            parameter_name="k",
+        )
+        assert len(rows) == 4
+        assert {row["k"] for row in rows} == {1, 3}
+        assert all("mean_latency_ms" in row for row in rows)
+
+    def test_sweep_parameter_reaches_engine_factory(self, synthetic_dataset, workload):
+        seen = []
+
+        def factory(alpha):
+            seen.append(alpha)
+            config = EngineConfig(scoring=ScoringConfig(alpha=alpha))
+            return SocialSearchEngine(synthetic_dataset, config)
+
+        sweep(
+            engine_factory=factory,
+            parameter_values=[0.0, 1.0],
+            queries_factory=lambda alpha, eng: workload[:2],
+            algorithms=["social-first"],
+            parameter_name="alpha",
+            compare_to_reference=False,
+        )
+        assert seen == [0.0, 1.0]

@@ -1,0 +1,81 @@
+"""Tests for the timing helpers and result-table formatting."""
+
+import time
+
+import pytest
+
+from repro.eval import LatencyRecorder, Timer, format_series, format_table, select_columns
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed_seconds >= 0.005
+        assert timer.elapsed_milliseconds == pytest.approx(timer.elapsed_seconds * 1000)
+
+
+class TestLatencyRecorder:
+    def test_summary_statistics(self):
+        recorder = LatencyRecorder()
+        for value in (0.01, 0.02, 0.03, 0.04):
+            recorder.record(value)
+        assert len(recorder) == 4
+        assert recorder.mean == pytest.approx(0.025)
+        assert recorder.maximum == pytest.approx(0.04)
+        assert recorder.median == pytest.approx(0.02, abs=0.011)
+        assert recorder.p95 >= recorder.median
+
+    def test_empty_recorder(self):
+        recorder = LatencyRecorder()
+        assert recorder.mean == 0.0
+        assert recorder.percentile(0.5) == 0.0
+        assert recorder.summary()["count"] == 0.0
+
+    def test_summary_in_milliseconds(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5)
+        assert recorder.summary()["mean_ms"] == pytest.approx(500.0)
+
+
+class TestTables:
+    ROWS = [
+        {"algorithm": "exact", "latency": 10.5, "k": 5},
+        {"algorithm": "social-first", "latency": 2.25, "k": 5},
+    ]
+
+    def test_format_table_contains_all_cells(self):
+        text = format_table(self.ROWS)
+        assert "algorithm" in text
+        assert "exact" in text
+        assert "social-first" in text
+        assert "10.500" in text
+
+    def test_format_table_with_column_subset_and_title(self):
+        text = format_table(self.ROWS, columns=["algorithm"], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+        assert "latency" not in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_bool_rendering(self):
+        text = format_table([{"flag": True}, {"flag": False}])
+        assert "yes" in text
+        assert "no" in text
+
+    def test_format_series_groups_by_algorithm(self):
+        rows = [
+            {"algorithm": "a", "k": 1, "latency": 1.0},
+            {"algorithm": "a", "k": 2, "latency": 2.0},
+            {"algorithm": "b", "k": 1, "latency": 3.0},
+        ]
+        text = format_series(rows, x_column="k", y_column="latency", title="Fig 3")
+        lines = text.splitlines()
+        assert lines[0] == "Fig 3"
+        assert any(line.startswith("a:") and "1:1.000, 2:2.000" in line for line in lines)
+        assert any(line.startswith("b:") for line in lines)
+
+    def test_select_columns(self):
+        projected = select_columns(self.ROWS, ["k", "missing"])
+        assert projected == [{"k": 5, "missing": ""}, {"k": 5, "missing": ""}]

@@ -1,0 +1,83 @@
+"""Tests for the synthetic social-graph generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph import (
+    available_generators,
+    estimate_edges,
+    expected_density,
+    generate_graph,
+)
+
+MODELS = ["erdos-renyi", "barabasi-albert", "watts-strogatz", "forest-fire", "community"]
+
+
+class TestRegistry:
+    def test_all_models_registered(self):
+        for model in MODELS:
+            assert model in available_generators()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_graph("no-such-model", 10, 2.0)
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_graph("erdos-renyi", 1, 2.0)
+
+    def test_non_positive_degree_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_graph("erdos-renyi", 10, 0.0)
+
+
+@pytest.mark.parametrize("model", MODELS)
+class TestEveryModel:
+    def test_node_count(self, model):
+        graph = generate_graph(model, 80, 6.0, seed=1)
+        assert graph.num_users == 80
+
+    def test_deterministic_under_seed(self, model):
+        a = generate_graph(model, 60, 5.0, seed=9)
+        b = generate_graph(model, 60, 5.0, seed=9)
+        assert a == b
+
+    def test_different_seed_changes_graph(self, model):
+        a = generate_graph(model, 60, 5.0, seed=1)
+        b = generate_graph(model, 60, 5.0, seed=2)
+        assert a != b
+
+    def test_weights_in_range(self, model):
+        graph = generate_graph(model, 50, 4.0, seed=3)
+        for _, _, weight in graph.iter_edges():
+            assert 0.0 < weight <= 1.0
+
+    def test_average_degree_in_reasonable_band(self, model):
+        target = 8.0
+        graph = generate_graph(model, 150, target, seed=5)
+        average = 2.0 * graph.num_edges / graph.num_users
+        assert 0.3 * target <= average <= 2.5 * target
+
+    def test_no_self_loops(self, model):
+        graph = generate_graph(model, 50, 4.0, seed=7)
+        for u, v, _ in graph.iter_edges():
+            assert u != v
+
+
+class TestModelShapes:
+    def test_barabasi_albert_is_more_skewed_than_erdos_renyi(self):
+        from repro.graph import degree_gini
+        ba = generate_graph("barabasi-albert", 300, 8.0, seed=11)
+        er = generate_graph("erdos-renyi", 300, 8.0, seed=11)
+        assert degree_gini(ba) > degree_gini(er)
+
+    def test_watts_strogatz_has_high_clustering(self):
+        from repro.graph import clustering_coefficient
+        ws = generate_graph("watts-strogatz", 200, 8.0, seed=13)
+        er = generate_graph("erdos-renyi", 200, 8.0, seed=13)
+        assert clustering_coefficient(ws, seed=1) > clustering_coefficient(er, seed=1)
+
+    def test_helpers(self):
+        assert expected_density(101, 10.0) == pytest.approx(0.1)
+        assert estimate_edges(100, 10.0) == 500
+        assert expected_density(1, 10.0) == 0.0

@@ -1,0 +1,70 @@
+"""Tests for graph serialisation."""
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.graph import (
+    graph_from_dict,
+    graph_to_dict,
+    read_edge_list,
+    read_graph_json,
+    write_edge_list,
+    write_graph_json,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded == small_graph
+
+    def test_missing_header_infers_node_count(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 0.5\n2 3 1.0\n")
+        graph = read_edge_list(path)
+        assert graph.num_users == 4
+        assert graph.num_edges == 2
+
+    def test_default_weight_is_one(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1\n")
+        graph = read_edge_list(path)
+        assert graph.edge_weight(0, 1) == pytest.approx(1.0)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 2 3 4\n")
+        with pytest.raises(PersistenceError):
+            read_edge_list(path)
+
+    def test_non_numeric_raises(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("a b 1.0\n")
+        with pytest.raises(PersistenceError):
+            read_edge_list(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            read_edge_list(tmp_path / "nope.txt")
+
+
+class TestJson:
+    def test_dict_roundtrip(self, small_graph):
+        assert graph_from_dict(graph_to_dict(small_graph)) == small_graph
+
+    def test_file_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        write_graph_json(small_graph, path)
+        assert read_graph_json(path) == small_graph
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(PersistenceError):
+            graph_from_dict({"edges": [[0, 1, 1.0]]})
+
+    def test_malformed_json_file_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError):
+            read_graph_json(path)

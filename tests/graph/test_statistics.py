@@ -1,0 +1,69 @@
+"""Tests for graph statistics."""
+
+import pytest
+
+from repro.graph import (
+    SocialGraph,
+    approximate_average_path_length,
+    clustering_coefficient,
+    compute_statistics,
+    degree_gini,
+)
+
+
+class TestDegreeGini:
+    def test_regular_graph_has_zero_gini(self):
+        # A 4-cycle: every node has degree 2.
+        graph = SocialGraph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0),
+                                           (2, 3, 1.0), (3, 0, 1.0)])
+        assert degree_gini(graph) == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_graph_is_skewed(self):
+        star = SocialGraph.from_edges(5, [(0, i, 1.0) for i in range(1, 5)])
+        assert degree_gini(star) > 0.3
+
+    def test_empty_graph(self):
+        assert degree_gini(SocialGraph.empty(3)) == 0.0
+
+
+class TestClustering:
+    def test_triangle_has_full_clustering(self):
+        triangle = SocialGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        assert clustering_coefficient(triangle) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        star = SocialGraph.from_edges(5, [(0, i, 1.0) for i in range(1, 5)])
+        assert clustering_coefficient(star) == pytest.approx(0.0)
+
+    def test_sampling_is_deterministic(self, small_graph):
+        a = clustering_coefficient(small_graph, sample=3, seed=5)
+        b = clustering_coefficient(small_graph, sample=3, seed=5)
+        assert a == b
+
+
+class TestPathLength:
+    def test_path_graph(self):
+        path = SocialGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        # Exact average over all ordered pairs is (1+2+1+1+2+1)/6 = 4/3.
+        value = approximate_average_path_length(path, num_sources=3, seed=0)
+        assert value == pytest.approx(4.0 / 3.0)
+
+    def test_empty_graph_is_zero(self):
+        assert approximate_average_path_length(SocialGraph.empty(0)) == 0.0
+
+
+class TestComputeStatistics:
+    def test_summary_fields(self, small_graph):
+        stats = compute_statistics(small_graph)
+        assert stats.num_users == 6
+        assert stats.num_edges == 5
+        assert stats.max_degree == 3
+        assert stats.min_degree == 0
+        assert stats.num_components == 2
+        assert stats.largest_component_fraction == pytest.approx(5 / 6)
+        assert 0.0 <= stats.clustering_coefficient <= 1.0
+
+    def test_to_dict_roundtrip(self, small_graph):
+        row = compute_statistics(small_graph).to_dict()
+        assert row["num_users"] == 6
+        assert "avg_degree" in row

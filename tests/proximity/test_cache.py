@@ -1,0 +1,90 @@
+"""Tests for the LRU proximity cache."""
+
+import pytest
+
+from repro.config import ProximityConfig
+from repro.proximity import CachedProximity, ShortestPathProximity
+
+
+class CountingProximity(ShortestPathProximity):
+    """Shortest-path proximity that counts vector computations."""
+
+    def __init__(self, graph, config=None):
+        super().__init__(graph, config)
+        self.vector_calls = 0
+
+    def vector(self, seeker):
+        self.vector_calls += 1
+        return super().vector(seeker)
+
+
+@pytest.fixture()
+def counting(small_graph):
+    return CountingProximity(small_graph, ProximityConfig())
+
+
+class TestCachedProximity:
+    def test_second_lookup_is_a_hit(self, counting):
+        cached = CachedProximity(counting, capacity=4)
+        first = cached.vector(0)
+        second = cached.vector(0)
+        assert first == second
+        assert counting.vector_calls == 1
+        assert cached.statistics.hits == 1
+        assert cached.statistics.misses == 1
+
+    def test_cache_returns_copies(self, counting):
+        cached = CachedProximity(counting, capacity=4)
+        vector = cached.vector(0)
+        vector[999] = 123.0
+        assert 999 not in cached.vector(0)
+
+    def test_eviction_when_capacity_exceeded(self, counting):
+        cached = CachedProximity(counting, capacity=1)
+        cached.vector(0)
+        cached.vector(1)   # evicts seeker 0
+        cached.vector(0)   # miss again
+        assert cached.statistics.evictions >= 1
+        assert counting.vector_calls == 3
+
+    def test_zero_capacity_disables_caching(self, counting):
+        cached = CachedProximity(counting, capacity=0)
+        cached.vector(0)
+        cached.vector(0)
+        assert counting.vector_calls == 2
+        assert cached.statistics.hits == 0
+
+    def test_proximity_served_from_cache(self, counting):
+        cached = CachedProximity(counting, capacity=4)
+        value = cached.proximity(0, 1)
+        assert value == pytest.approx(counting.proximity(0, 1))
+        assert cached.proximity(0, 0) == 1.0
+
+    def test_iter_ranked_cached_and_ordered(self, counting):
+        cached = CachedProximity(counting, capacity=4)
+        first = list(cached.iter_ranked(0))
+        second = list(cached.iter_ranked(0))
+        assert first == second
+        values = [value for _, value in first]
+        assert values == sorted(values, reverse=True)
+
+    def test_clear_resets_statistics(self, counting):
+        cached = CachedProximity(counting, capacity=4)
+        cached.vector(0)
+        cached.clear()
+        assert cached.statistics.lookups == 0
+        cached.vector(0)
+        assert cached.statistics.misses == 1
+
+    def test_hit_rate(self, counting):
+        cached = CachedProximity(counting, capacity=4)
+        cached.vector(0)
+        cached.vector(0)
+        cached.vector(0)
+        assert cached.statistics.hit_rate == pytest.approx(2.0 / 3.0)
+        assert cached.statistics.to_dict()["hits"] == 2
+
+    def test_name_reflects_inner_measure(self, counting):
+        cached = CachedProximity(counting, capacity=4)
+        assert "shortest-path" in cached.name
+        assert cached.inner is counting

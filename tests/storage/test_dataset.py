@@ -1,0 +1,112 @@
+"""Tests for the dataset bundle, persistence and statistics."""
+
+import pytest
+
+from repro.errors import PersistenceError, StorageError
+from repro.graph import SocialGraph
+from repro.storage import (
+    Dataset,
+    TaggingAction,
+    compute_dataset_statistics,
+    graph_statistics_row,
+    load_dataset,
+    save_dataset,
+)
+
+
+class TestDatasetBuild:
+    def test_counts(self, hand_dataset):
+        assert hand_dataset.num_users == 6
+        assert hand_dataset.num_items == 5
+        assert hand_dataset.num_tags == 3
+        assert hand_dataset.num_actions == 11
+
+    def test_indexes_are_consistent_with_tagging(self, hand_dataset):
+        assert hand_dataset.inverted_index.frequency(100, "jazz") == \
+            hand_dataset.tagging.tag_frequency(100, "jazz")
+        assert hand_dataset.social_index.items_for(1, "jazz") == (100, 101)
+
+    def test_action_with_unknown_user_rejected(self, small_graph):
+        with pytest.raises(StorageError):
+            Dataset.build(small_graph, [TaggingAction(17, 1, "x")])
+
+    def test_describe_mentions_name_and_sizes(self, hand_dataset):
+        text = hand_dataset.describe()
+        assert "hand" in text
+        assert "6 users" in text
+
+    def test_tags_and_active_users(self, hand_dataset):
+        assert hand_dataset.tags() == ["jazz", "rock", "vinyl"]
+        assert hand_dataset.active_users() == [0, 1, 2, 3, 4, 5]
+
+
+class TestHoldout:
+    def test_with_holdout_moves_actions_out_of_index(self, hand_dataset):
+        split = hand_dataset.with_holdout(0.5)
+        assert split.holdout is not None
+        assert split.num_actions + len(split.holdout) == hand_dataset.num_actions
+        assert split.num_actions < hand_dataset.num_actions
+
+    def test_holdout_dataset_keeps_graph_and_name(self, hand_dataset):
+        split = hand_dataset.with_holdout(0.3)
+        assert split.graph is hand_dataset.graph
+        assert split.name == hand_dataset.name
+
+
+class TestPersistence:
+    def test_roundtrip(self, hand_dataset, tmp_path):
+        directory = save_dataset(hand_dataset, tmp_path / "snapshot")
+        loaded = load_dataset(directory)
+        assert loaded.name == hand_dataset.name
+        assert loaded.num_users == hand_dataset.num_users
+        assert loaded.num_actions == hand_dataset.num_actions
+        assert loaded.graph == hand_dataset.graph
+        assert loaded.inverted_index.frequency(100, "jazz") == \
+            hand_dataset.inverted_index.frequency(100, "jazz")
+
+    def test_roundtrip_with_holdout(self, hand_dataset, tmp_path):
+        split = hand_dataset.with_holdout(0.5)
+        directory = save_dataset(split, tmp_path / "snapshot")
+        loaded = load_dataset(directory)
+        assert loaded.holdout is not None
+        assert len(split.holdout) > 0
+        assert len(loaded.holdout) == len(split.holdout)
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_dataset(tmp_path / "missing")
+
+    def test_wrong_format_version_rejected(self, hand_dataset, tmp_path):
+        directory = save_dataset(hand_dataset, tmp_path / "snapshot")
+        meta = directory / "meta.json"
+        meta.write_text(meta.read_text().replace('"format_version": 1',
+                                                 '"format_version": 99'))
+        with pytest.raises(PersistenceError):
+            load_dataset(directory)
+
+    def test_corrupted_actions_rejected(self, hand_dataset, tmp_path):
+        directory = save_dataset(hand_dataset, tmp_path / "snapshot")
+        (directory / "actions.jsonl").write_text("{broken\n")
+        with pytest.raises(PersistenceError):
+            load_dataset(directory)
+
+
+class TestStatistics:
+    def test_dataset_statistics(self, hand_dataset):
+        stats = compute_dataset_statistics(hand_dataset)
+        assert stats.num_users == 6
+        assert stats.num_items == 5
+        assert stats.num_tags == 3
+        assert stats.num_actions == 11
+        assert stats.max_tag_frequency == hand_dataset.inverted_index.max_frequency("jazz")
+        assert stats.index_memory_bytes > 0
+        assert stats.avg_actions_per_user == pytest.approx(11 / 6)
+
+    def test_statistics_to_dict(self, hand_dataset):
+        row = compute_dataset_statistics(hand_dataset).to_dict()
+        assert row["name"] == "hand"
+
+    def test_graph_statistics_row(self, hand_dataset):
+        row = graph_statistics_row(hand_dataset)
+        assert row["num_users"] == 6
+        assert row["name"] == "hand"

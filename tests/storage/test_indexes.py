@@ -1,0 +1,133 @@
+"""Tests for the inverted index and the per-user social index."""
+
+import pytest
+
+from repro.errors import UnknownTagError
+from repro.storage import InvertedIndex, SocialIndex, TaggingAction, TaggingStore
+
+
+@pytest.fixture()
+def tagging():
+    store = TaggingStore()
+    store.add_many([
+        TaggingAction(1, 100, "jazz"),
+        TaggingAction(2, 100, "jazz"),
+        TaggingAction(3, 100, "jazz"),
+        TaggingAction(1, 101, "jazz"),
+        TaggingAction(2, 101, "jazz"),
+        TaggingAction(1, 102, "jazz"),
+        TaggingAction(2, 102, "rock"),
+        TaggingAction(3, 103, "rock"),
+    ])
+    return store
+
+
+@pytest.fixture()
+def index(tagging):
+    return InvertedIndex.build(tagging)
+
+
+@pytest.fixture()
+def social(tagging):
+    return SocialIndex.build(tagging)
+
+
+class TestInvertedIndex:
+    def test_postings_sorted_by_decreasing_frequency(self, index):
+        postings = index.postings("jazz")
+        frequencies = [posting.frequency for posting in postings]
+        assert frequencies == sorted(frequencies, reverse=True)
+        assert postings[0].item_id == 100
+        assert postings[0].frequency == 3
+
+    def test_frequency_ties_broken_by_item_id(self, index):
+        postings = index.postings("rock")
+        assert [posting.item_id for posting in postings] == [102, 103]
+
+    def test_max_frequency(self, index):
+        assert index.max_frequency("jazz") == 3
+        assert index.max_frequency("rock") == 1
+        assert index.max_frequency("unknown") == 0
+
+    def test_random_access_frequency(self, index):
+        assert index.frequency(101, "jazz") == 2
+        assert index.frequency(101, "rock") == 0
+
+    def test_unknown_tag_postings_raise(self, index):
+        with pytest.raises(UnknownTagError):
+            index.postings("unknown")
+
+    def test_unknown_tag_cursor_is_empty(self, index):
+        cursor = index.cursor("unknown")
+        assert cursor.exhausted()
+        assert cursor.next() is None
+        assert cursor.peek_frequency() == 0
+
+    def test_cursor_consumes_in_order(self, index):
+        cursor = index.cursor("jazz")
+        read = []
+        while not cursor.exhausted():
+            assert cursor.peek_frequency() >= 0
+            read.append(cursor.next().frequency)
+        assert read == [3, 2, 1]
+        assert cursor.remaining() == 0
+        assert cursor.position == 3
+
+    def test_list_length_and_num_postings(self, index):
+        assert index.list_length("jazz") == 3
+        assert index.list_length("rock") == 2
+        assert index.num_postings() == 5
+
+    def test_tags_and_contains(self, index):
+        assert index.tags() == ["jazz", "rock"]
+        assert "jazz" in index
+        assert index.has_tag("rock")
+        assert "funk" not in index
+
+    def test_iter_all(self, index):
+        entries = list(index.iter_all())
+        assert len(entries) == index.num_postings()
+
+    def test_memory_bytes_positive(self, index):
+        assert index.memory_bytes() > 0
+
+
+class TestSocialIndex:
+    def test_items_for_user_and_tag(self, social):
+        assert social.items_for(1, "jazz") == (100, 101, 102)
+        assert social.items_for(2, "rock") == (102,)
+        assert social.items_for(2, "vinyl") == ()
+        assert social.items_for(42, "jazz") == ()
+
+    def test_profile(self, social):
+        profile = social.profile(3)
+        assert profile == {"jazz": (100,), "rock": (103,)}
+        assert social.profile(42) == {}
+
+    def test_tags_for(self, social):
+        assert social.tags_for(2) == ("jazz", "rock")
+
+    def test_users(self, social):
+        assert social.users() == [1, 2, 3]
+        assert 1 in social
+        assert len(social) == 3
+
+    def test_num_entries_matches_distinct_triples(self, social, tagging):
+        assert social.num_entries() == tagging.num_distinct_triples()
+
+    def test_iter_entries(self, social, tagging):
+        entries = set(social.iter_entries())
+        assert (1, "jazz", 100) in entries
+        assert len(entries) == tagging.num_distinct_triples()
+
+    def test_memory_bytes_positive(self, social):
+        assert social.memory_bytes() > 0
+
+
+class TestIndexConsistency:
+    def test_inverted_and_social_agree_on_frequencies(self, index, social, tagging):
+        for tag in tagging.tags():
+            for posting in index.postings(tag):
+                taggers = [user for user in social.users()
+                           if posting.item_id in social.items_for(user, tag)]
+                assert len(taggers) == posting.frequency

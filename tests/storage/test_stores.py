@@ -1,0 +1,88 @@
+"""Tests for the item and user catalogues."""
+
+import pytest
+
+from repro.errors import DuplicateItemError, UnknownItemError, UnknownUserError
+from repro.storage import Item, ItemStore, User, UserStore
+
+
+class TestItemStore:
+    def test_add_and_get(self):
+        store = ItemStore()
+        store.add(Item(item_id=3, title="Kind of Blue", url="http://example.org"))
+        item = store.get(3)
+        assert item.title == "Kind of Blue"
+        assert item.url == "http://example.org"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownItemError):
+            ItemStore().get(99)
+
+    def test_get_or_none(self):
+        store = ItemStore()
+        assert store.get_or_none(1) is None
+        store.add(Item(item_id=1))
+        assert store.get_or_none(1) is not None
+
+    def test_re_adding_identical_item_is_noop(self):
+        store = ItemStore()
+        store.add(Item(item_id=1, title="a"))
+        store.add(Item(item_id=1, title="a"))
+        assert len(store) == 1
+
+    def test_conflicting_payload_rejected(self):
+        store = ItemStore()
+        store.add(Item(item_id=1, title="a"))
+        with pytest.raises(DuplicateItemError):
+            store.add(Item(item_id=1, title="b"))
+
+    def test_ensure_creates_placeholder(self):
+        store = ItemStore()
+        item = store.ensure(7)
+        assert item.title == "item-7"
+        assert 7 in store
+
+    def test_iteration_sorted_by_id(self):
+        store = ItemStore()
+        store.add_many(iter([Item(item_id=5), Item(item_id=1), Item(item_id=3)]))
+        assert [item.item_id for item in store] == [1, 3, 5]
+        assert store.ids() == [1, 3, 5]
+
+    def test_dict_roundtrip(self):
+        item = Item(item_id=2, title="x", url=None, attributes={"lang": "en"})
+        assert Item.from_dict(item.to_dict()) == item
+
+
+class TestUserStore:
+    def test_add_and_get(self):
+        store = UserStore()
+        store.add(User(user_id=4, name="dana"))
+        assert store.get(4).name == "dana"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownUserError):
+            UserStore().get(11)
+
+    def test_ensure_creates_placeholder(self):
+        store = UserStore()
+        assert store.ensure(2).name == "user-2"
+
+    def test_with_placeholder_users(self):
+        store = UserStore.with_placeholder_users(5)
+        assert len(store) == 5
+        assert store.ids() == [0, 1, 2, 3, 4]
+
+    def test_overwrite_allowed(self):
+        store = UserStore()
+        store.add(User(user_id=1, name="a"))
+        store.add(User(user_id=1, name="b"))
+        assert store.get(1).name == "b"
+
+    def test_dict_roundtrip(self):
+        user = User(user_id=9, name="zoe", attributes={"country": "ie"})
+        assert User.from_dict(user.to_dict()) == user
+
+    def test_iteration_sorted(self):
+        store = UserStore()
+        store.add_many(iter([User(user_id=3), User(user_id=0)]))
+        assert [user.user_id for user in store] == [0, 3]

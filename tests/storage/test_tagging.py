@@ -1,0 +1,114 @@
+"""Tests for the tagging relation store."""
+
+import pytest
+
+from repro.storage import TaggingAction, TaggingStore
+
+
+@pytest.fixture()
+def store():
+    tagging = TaggingStore()
+    tagging.add_many([
+        TaggingAction(1, 100, "jazz", timestamp=1),
+        TaggingAction(1, 101, "jazz", timestamp=2),
+        TaggingAction(2, 100, "jazz", timestamp=3),
+        TaggingAction(2, 102, "rock", timestamp=4),
+        TaggingAction(3, 100, "vinyl", timestamp=5),
+    ])
+    return tagging
+
+
+class TestTaggingStore:
+    def test_length_counts_distinct_actions(self, store):
+        assert len(store) == 5
+        assert store.num_distinct_triples() == 5
+
+    def test_duplicate_triple_ignored(self, store):
+        added = store.add(TaggingAction(1, 100, "jazz", timestamp=99))
+        assert added is False
+        assert len(store) == 5
+
+    def test_tag_frequency_counts_distinct_users(self, store):
+        assert store.tag_frequency(100, "jazz") == 2
+        assert store.tag_frequency(100, "vinyl") == 1
+        assert store.tag_frequency(999, "jazz") == 0
+
+    def test_taggers(self, store):
+        assert store.taggers(100, "jazz") == frozenset({1, 2})
+        assert store.taggers(100, "funk") == frozenset()
+
+    def test_items_for_user_tag(self, store):
+        assert store.items_for_user_tag(1, "jazz") == frozenset({100, 101})
+        assert store.items_for_user_tag(1, "rock") == frozenset()
+
+    def test_items_for_user(self, store):
+        assert store.items_for_user(2) == frozenset({100, 102})
+
+    def test_tags_for_user(self, store):
+        assert store.tags_for_user(1) == {"jazz": 2}
+        assert store.tags_for_user(42) == {}
+
+    def test_items_for_tag(self, store):
+        assert store.items_for_tag("jazz") == frozenset({100, 101})
+
+    def test_tags_sorted(self, store):
+        assert store.tags() == ["jazz", "rock", "vinyl"]
+
+    def test_tag_popularity(self, store):
+        assert store.tag_popularity() == {"jazz": 3, "rock": 1, "vinyl": 1}
+
+    def test_users_and_items(self, store):
+        assert store.users() == [1, 2, 3]
+        assert store.items() == [100, 101, 102]
+
+    def test_activity(self, store):
+        assert store.activity(1) == 2
+        assert store.activity(99) == 0
+
+    def test_contains(self, store):
+        assert store.contains(1, 100, "jazz")
+        assert not store.contains(1, 100, "rock")
+
+    def test_filter(self, store):
+        jazz_only = store.filter(lambda action: action.tag == "jazz")
+        assert len(jazz_only) == 3
+        assert jazz_only.tags() == ["jazz"]
+
+    def test_action_dict_roundtrip(self):
+        action = TaggingAction(7, 8, "x", timestamp=3)
+        assert TaggingAction.from_dict(action.to_dict()) == action
+
+
+class TestHoldoutSplit:
+    def test_split_fractions(self):
+        tagging = TaggingStore()
+        for index in range(10):
+            tagging.add(TaggingAction(1, index, "t", timestamp=index))
+        train, holdout = tagging.split_holdout(0.3)
+        assert len(train) == 7
+        assert len(holdout) == 3
+
+    def test_holdout_takes_latest_actions(self):
+        tagging = TaggingStore()
+        for index in range(10):
+            tagging.add(TaggingAction(1, index, "t", timestamp=index))
+        train, holdout = tagging.split_holdout(0.2)
+        assert holdout.items_for_user(1) == frozenset({8, 9})
+
+    def test_every_user_keeps_at_least_one_action(self):
+        tagging = TaggingStore()
+        tagging.add(TaggingAction(1, 1, "t"))
+        tagging.add(TaggingAction(2, 2, "t"))
+        train, holdout = tagging.split_holdout(0.9)
+        assert train.activity(1) >= 1
+        assert train.activity(2) >= 1
+
+    def test_invalid_fraction_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.split_holdout(1.0)
+        with pytest.raises(ValueError):
+            store.split_holdout(-0.1)
+
+    def test_split_partitions_actions(self, store):
+        train, holdout = store.split_holdout(0.4)
+        assert len(train) + len(holdout) == len(store)

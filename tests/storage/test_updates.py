@@ -1,0 +1,144 @@
+"""Tests for incremental dataset maintenance."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    Dataset,
+    DatasetUpdater,
+    Item,
+    TaggingAction,
+    replay_trace,
+)
+from repro.core import SocialSearchEngine, Query
+from repro.workload import tiny_dataset
+
+
+@pytest.fixture()
+def live_dataset(small_graph):
+    actions = [
+        TaggingAction(1, 100, "jazz", timestamp=1),
+        TaggingAction(2, 100, "jazz", timestamp=2),
+        TaggingAction(3, 101, "rock", timestamp=3),
+    ]
+    return Dataset.build(small_graph, actions, name="live")
+
+
+class TestAddActions:
+    def test_new_action_updates_indexes(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        summary = updater.add_actions([TaggingAction(4, 100, "jazz", timestamp=9)])
+        assert summary.actions_added == 1
+        assert live_dataset.inverted_index.frequency(100, "jazz") == 3
+        assert 100 in live_dataset.social_index.items_for(4, "jazz")
+        assert summary.tags_touched == {"jazz"}
+
+    def test_duplicate_action_ignored(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        summary = updater.add_actions([TaggingAction(1, 100, "jazz", timestamp=50)])
+        assert summary.actions_added == 0
+        assert summary.actions_ignored == 1
+        assert live_dataset.inverted_index.frequency(100, "jazz") == 2
+
+    def test_new_tag_creates_posting_list(self, live_dataset):
+        DatasetUpdater(live_dataset).add_actions(
+            [TaggingAction(2, 102, "vinyl", timestamp=8)]
+        )
+        assert live_dataset.inverted_index.has_tag("vinyl")
+        assert live_dataset.inverted_index.max_frequency("vinyl") == 1
+
+    def test_unknown_user_rejected(self, live_dataset):
+        with pytest.raises(StorageError):
+            DatasetUpdater(live_dataset).add_actions([TaggingAction(42, 1, "x")])
+
+    def test_new_item_registered_in_catalogue(self, live_dataset):
+        DatasetUpdater(live_dataset).add_actions([TaggingAction(1, 777, "jazz")])
+        assert 777 in live_dataset.items
+
+
+class TestGraphUpdates:
+    def test_add_friendship_rebuilds_graph(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        assert not live_dataset.graph.has_edge(2, 3)
+        summary = updater.add_friendships([(2, 3, 0.9)])
+        assert summary.edges_added == 1
+        assert live_dataset.graph.has_edge(2, 3)
+
+    def test_duplicate_friendship_not_counted(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        summary = updater.add_friendships([(0, 1, 0.9)])
+        assert summary.edges_added == 0
+
+    def test_add_users_extends_domain(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        before = live_dataset.num_users
+        summary = updater.add_users(3)
+        assert summary.users_added == 3
+        assert live_dataset.num_users == before + 3
+        # The pre-existing edges survive the rebuild.
+        assert live_dataset.graph.has_edge(0, 1)
+
+    def test_add_negative_users_rejected(self, live_dataset):
+        with pytest.raises(StorageError):
+            DatasetUpdater(live_dataset).add_users(-1)
+
+    def test_add_items(self, live_dataset):
+        summary = DatasetUpdater(live_dataset).add_items(
+            [Item(item_id=500, title="new"), Item(item_id=100, title="item-100")]
+        )
+        assert summary.items_added == 1
+        assert 500 in live_dataset.items
+
+
+class TestApplyAndReplay:
+    def test_apply_mixed_batch_in_order(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        new_user = live_dataset.num_users
+        summary = updater.apply(
+            new_users=1,
+            friendships=[(new_user, 0, 0.8)],
+            actions=[TaggingAction(new_user, 100, "jazz", timestamp=99)],
+            new_items=[Item(item_id=900, title="fresh")],
+        )
+        assert summary.users_added == 1
+        assert summary.edges_added == 1
+        assert summary.actions_added == 1
+        assert summary.items_added == 1
+        assert live_dataset.inverted_index.frequency(100, "jazz") == 3
+
+    def test_updates_visible_to_queries(self, live_dataset):
+        engine = SocialSearchEngine(live_dataset)
+        query = Query(seeker=0, tags=("jazz",), k=3)
+        before = engine.run(query, algorithm="exact")
+        DatasetUpdater(live_dataset).add_actions(
+            [TaggingAction(1, 555, "jazz", timestamp=77),
+             TaggingAction(3, 555, "jazz", timestamp=78)]
+        )
+        after = engine.run(query, algorithm="exact")
+        assert 555 in after.item_ids
+        assert 555 not in before.item_ids
+
+    def test_replay_trace_batches(self):
+        dataset = tiny_dataset()
+        base_actions = dataset.num_actions
+        new_actions = [
+            TaggingAction(user_id=index % dataset.num_users, item_id=1000 + index,
+                          tag="tag-000", timestamp=10_000 + index)
+            for index in range(25)
+        ]
+        summaries = replay_trace(dataset, new_actions, batch_size=10)
+        assert len(summaries) == 3
+        assert sum(summary.actions_added for summary in summaries) == 25
+        assert dataset.num_actions == base_actions + 25
+
+    def test_replay_invalid_batch_size(self):
+        with pytest.raises(StorageError):
+            replay_trace(tiny_dataset(), [], batch_size=0)
+
+    def test_summary_to_dict(self, live_dataset):
+        summary = DatasetUpdater(live_dataset).add_actions(
+            [TaggingAction(1, 888, "rock", timestamp=5)]
+        )
+        data = summary.to_dict()
+        assert data["actions_added"] == 1
+        assert data["tags_touched"] == ["rock"]

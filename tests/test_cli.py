@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_parser_knows_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("demo", "generate", "query", "bench"):
+            assert command in text
+
+
+class TestDemo:
+    def test_demo_runs_and_prints_comparison(self, capsys):
+        assert main(["demo", "--scale", "0.1", "--k", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "algorithm" in output
+        assert "social-first" in output
+        assert "results:" in output
+
+
+class TestGenerateAndQuery:
+    def test_generate_then_query(self, tmp_path, capsys):
+        snapshot = tmp_path / "snap"
+        assert main(["generate", str(snapshot), "--users", "40", "--items", "80",
+                     "--tags", "10", "--actions", "400", "--seed", "3"]) == 0
+        generated = capsys.readouterr().out
+        assert "wrote snapshot" in generated
+
+        assert main(["query", str(snapshot), "1", "tag-000", "--k", "3"]) == 0
+        queried = capsys.readouterr().out
+        assert "query: seeker=1" in queried
+
+
+class TestBench:
+    def test_bench_prints_table(self, capsys):
+        assert main(["bench", "--scale", "0.1", "--queries", "3", "--k", "3",
+                     "--algorithms", "exact", "social-first"]) == 0
+        output = capsys.readouterr().out
+        assert "mean_latency_ms" in output
+        assert "social-first" in output

@@ -1,0 +1,77 @@
+"""Tests for the synthetic dataset builders."""
+
+import pytest
+
+from repro.config import DatasetConfig
+from repro.workload import (
+    build_dataset,
+    delicious_like,
+    flickr_like,
+    homophily_sweep_dataset,
+    scaled_dataset,
+    tiny_dataset,
+    variant,
+)
+
+
+class TestBuildDataset:
+    def test_respects_config_sizes(self):
+        config = DatasetConfig(num_users=30, num_items=60, num_tags=8,
+                               num_actions=300, seed=1, name="sized")
+        dataset = build_dataset(config)
+        assert dataset.num_users == 30
+        assert dataset.num_items == 60
+        assert dataset.num_tags <= 8
+        assert dataset.num_actions <= 300  # duplicates are dropped
+        assert dataset.name == "sized"
+
+    def test_deterministic_under_seed(self):
+        config = DatasetConfig(num_users=30, num_items=60, num_tags=8,
+                               num_actions=300, seed=9)
+        a = build_dataset(config)
+        b = build_dataset(config)
+        assert a.graph == b.graph
+        assert a.tagging.actions() == b.tagging.actions()
+
+    def test_holdout_fraction_creates_ground_truth(self):
+        config = DatasetConfig(num_users=30, num_items=60, num_tags=8,
+                               num_actions=400, seed=2)
+        dataset = build_dataset(config, holdout_fraction=0.25)
+        assert dataset.holdout is not None
+        assert len(dataset.holdout) > 0
+
+    def test_variant_helper(self):
+        config = DatasetConfig(num_users=30)
+        changed = variant(config, num_users=60, homophily=0.9)
+        assert changed.num_users == 60
+        assert changed.homophily == 0.9
+        assert config.num_users == 30
+
+
+class TestNamedCorpora:
+    def test_tiny_dataset_is_small_and_fast(self):
+        dataset = tiny_dataset()
+        assert dataset.num_users == 40
+        assert dataset.num_actions > 0
+
+    def test_delicious_like_scales(self):
+        small = delicious_like(scale=0.1, seed=1)
+        assert small.name == "delicious-like"
+        assert small.num_users == 40
+        assert small.num_tags > 0
+
+    def test_flickr_like_scales(self):
+        small = flickr_like(scale=0.1, seed=1)
+        assert small.name == "flickr-like"
+        assert small.num_users == 30
+
+    def test_scaled_dataset_grows_with_users(self):
+        small = scaled_dataset(40, seed=3)
+        large = scaled_dataset(120, seed=3)
+        assert large.num_users == 3 * small.num_users
+        assert large.num_actions > small.num_actions
+
+    def test_homophily_sweep_dataset_has_holdout(self):
+        dataset = homophily_sweep_dataset(0.5, scale=0.1, seed=4)
+        assert dataset.holdout is not None
+        assert "homophily" in dataset.name

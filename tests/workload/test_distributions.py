@@ -1,0 +1,95 @@
+"""Tests for the seeded samplers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (
+    UniformSampler,
+    WeightedSampler,
+    ZipfSampler,
+    make_tag_vocabulary,
+    poisson_at_least_one,
+    truncated_power_law,
+)
+
+
+class TestZipfSampler:
+    def test_values_in_domain(self):
+        sampler = ZipfSampler(10, 1.1, seed=1)
+        values = sampler.sample_many(500)
+        assert all(0 <= value < 10 for value in values)
+
+    def test_deterministic_under_seed(self):
+        assert ZipfSampler(10, 1.1, seed=3).sample_many(50) == \
+            ZipfSampler(10, 1.1, seed=3).sample_many(50)
+
+    def test_head_is_more_popular_than_tail(self):
+        values = ZipfSampler(50, 1.2, seed=5).sample_many(5000)
+        counts = np.bincount(values, minlength=50)
+        assert counts[0] > counts[-1]
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(20, 1.5, seed=0)
+        assert sampler.probabilities.sum() == pytest.approx(1.0)
+        assert sampler.num_values == 20
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(5, 0.0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(5, 1.0).sample_many(-1)
+
+
+class TestUniformSampler:
+    def test_values_in_domain(self):
+        values = UniformSampler(7, seed=2).sample_many(200)
+        assert all(0 <= value < 7 for value in values)
+
+    def test_deterministic(self):
+        assert UniformSampler(7, seed=4).sample_many(20) == \
+            UniformSampler(7, seed=4).sample_many(20)
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(WorkloadError):
+            UniformSampler(0)
+
+
+class TestWeightedSampler:
+    def test_zero_weight_entries_never_sampled(self):
+        sampler = WeightedSampler([0.0, 1.0, 0.0], seed=1)
+        assert set(sampler.sample_many(200)) == {1}
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(WorkloadError):
+            WeightedSampler([])
+        with pytest.raises(WorkloadError):
+            WeightedSampler([-1.0, 2.0])
+        with pytest.raises(WorkloadError):
+            WeightedSampler([0.0, 0.0])
+
+    def test_single_sample_in_domain(self):
+        assert WeightedSampler([1.0, 1.0], seed=2).sample() in (0, 1)
+
+
+class TestHelpers:
+    def test_poisson_at_least_one(self):
+        rng = np.random.default_rng(0)
+        values = [poisson_at_least_one(rng, 2.5) for _ in range(200)]
+        assert all(value >= 1 for value in values)
+        assert poisson_at_least_one(rng, 0.5) == 1
+
+    def test_truncated_power_law_in_range(self):
+        rng = np.random.default_rng(1)
+        values = [truncated_power_law(rng, 1.5, 10) for _ in range(200)]
+        assert all(1 <= value <= 10 for value in values)
+        assert truncated_power_law(rng, 1.5, 1) == 1
+
+    def test_make_tag_vocabulary(self):
+        tags = make_tag_vocabulary(3)
+        assert tags == ["tag-000", "tag-001", "tag-002"]
+        assert len(set(make_tag_vocabulary(1500))) == 1500
+        with pytest.raises(WorkloadError):
+            make_tag_vocabulary(0)

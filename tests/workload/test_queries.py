@@ -1,0 +1,96 @@
+"""Tests for query workload generation and traces."""
+
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.errors import PersistenceError, WorkloadError
+from repro.workload import (
+    QueryWorkloadGenerator,
+    generate_workload,
+    load_queries,
+    queries_with_k,
+    save_queries,
+)
+
+
+class TestQueryWorkloadGenerator:
+    def test_generates_requested_number(self, synthetic_dataset):
+        queries = generate_workload(synthetic_dataset,
+                                    WorkloadConfig(num_queries=25, seed=1))
+        assert len(queries) == 25
+
+    def test_deterministic_under_seed(self, synthetic_dataset):
+        a = generate_workload(synthetic_dataset, WorkloadConfig(num_queries=10, seed=3))
+        b = generate_workload(synthetic_dataset, WorkloadConfig(num_queries=10, seed=3))
+        assert a == b
+
+    def test_queries_reference_dataset_entities(self, synthetic_dataset):
+        tags = set(synthetic_dataset.tags())
+        for query in generate_workload(synthetic_dataset,
+                                       WorkloadConfig(num_queries=30, seed=2)):
+            assert 0 <= query.seeker < synthetic_dataset.num_users
+            assert set(query.tags) <= tags
+            assert query.k == 10
+
+    def test_k_override(self, synthetic_dataset):
+        queries = generate_workload(synthetic_dataset,
+                                    WorkloadConfig(num_queries=5, seed=2), k=3)
+        assert all(query.k == 3 for query in queries)
+
+    def test_profile_strategy_uses_seeker_tags(self, synthetic_dataset):
+        config = WorkloadConfig(num_queries=40, seed=4, tag_strategy="profile",
+                                tags_per_query=1.0)
+        hits = 0
+        total = 0
+        for query in generate_workload(synthetic_dataset, config):
+            profile = set(synthetic_dataset.tagging.tags_for_user(query.seeker))
+            if profile:
+                total += 1
+                if set(query.tags) & profile:
+                    hits += 1
+        assert total > 0
+        assert hits / total > 0.8
+
+    def test_uniform_and_popular_strategies_run(self, synthetic_dataset):
+        for strategy in ("uniform", "popular"):
+            queries = generate_workload(
+                synthetic_dataset,
+                WorkloadConfig(num_queries=5, seed=6, tag_strategy=strategy),
+            )
+            assert len(queries) == 5
+
+    def test_uniform_seeker_strategy(self, synthetic_dataset):
+        queries = generate_workload(
+            synthetic_dataset,
+            WorkloadConfig(num_queries=10, seed=7, seeker_strategy="uniform"),
+        )
+        assert len(queries) == 10
+
+    def test_invalid_count_rejected(self, synthetic_dataset):
+        generator = QueryWorkloadGenerator(synthetic_dataset)
+        with pytest.raises(WorkloadError):
+            generator.generate(num_queries=0)
+
+    def test_queries_with_k_rewrites_k(self, workload):
+        rewritten = queries_with_k(workload, 3)
+        assert all(query.k == 3 for query in rewritten)
+        assert [q.tags for q in rewritten] == [q.tags for q in workload]
+
+
+class TestQueryTrace:
+    def test_roundtrip(self, workload, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = save_queries(workload, path)
+        loaded = load_queries(path)
+        assert written == len(workload)
+        assert loaded == list(workload)
+
+    def test_malformed_trace_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"seeker": 1}\n')
+        with pytest.raises(PersistenceError):
+            load_queries(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_queries(tmp_path / "missing.jsonl")

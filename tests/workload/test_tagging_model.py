@@ -1,0 +1,89 @@
+"""Tests for the homophily-driven tagging generator."""
+
+import pytest
+
+from repro.config import DatasetConfig
+from repro.errors import WorkloadError
+from repro.graph import generate_graph
+from repro.workload import TaggingModel, generate_actions
+
+
+def _config(**overrides):
+    defaults = dict(num_users=50, num_items=100, num_tags=10, num_actions=800,
+                    avg_degree=6.0, seed=5, name="model-test")
+    defaults.update(overrides)
+    return DatasetConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_graph("barabasi-albert", 50, 6.0, seed=5)
+
+
+class TestTaggingModel:
+    def test_generates_requested_number_of_actions(self, graph):
+        actions = TaggingModel(graph, _config()).generate()
+        assert len(actions) == 800
+
+    def test_actions_reference_valid_entities(self, graph):
+        config = _config()
+        for action in TaggingModel(graph, config).generate(300):
+            assert 0 <= action.user_id < config.num_users
+            assert 0 <= action.item_id < config.num_items
+            assert action.tag.startswith("tag-")
+
+    def test_deterministic_under_seed(self, graph):
+        a = TaggingModel(graph, _config()).generate(200)
+        b = TaggingModel(graph, _config()).generate(200)
+        assert a == b
+
+    def test_different_seed_differs(self, graph):
+        a = TaggingModel(graph, _config(seed=5)).generate(200)
+        b = TaggingModel(graph, _config(seed=6)).generate(200)
+        assert a != b
+
+    def test_timestamps_strictly_increasing(self, graph):
+        actions = TaggingModel(graph, _config()).generate(300)
+        timestamps = [action.timestamp for action in actions]
+        assert timestamps == sorted(timestamps)
+        assert len(set(timestamps)) == len(timestamps)
+
+    def test_graph_mismatch_rejected(self, graph):
+        with pytest.raises(WorkloadError):
+            TaggingModel(graph, _config(num_users=49))
+
+    def test_invalid_action_count_rejected(self, graph):
+        with pytest.raises(WorkloadError):
+            TaggingModel(graph, _config()).generate(0)
+
+    def test_tag_popularity_is_skewed(self, graph):
+        actions = TaggingModel(graph, _config(num_actions=3000)).generate()
+        counts = {}
+        for action in actions:
+            counts[action.tag] = counts.get(action.tag, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        assert ordered[0] > 3 * ordered[-1]
+
+    def test_convenience_wrapper(self, graph):
+        actions = generate_actions(graph, _config(), num_actions=100)
+        assert len(actions) == 100
+
+
+class TestHomophilyEffect:
+    @staticmethod
+    def _friend_overlap(graph, actions):
+        """Fraction of actions whose (item, tag) was already used by a friend."""
+        seen = {}
+        copied = 0
+        for action in actions:
+            pair = (action.item_id, action.tag)
+            friends = set(graph.neighbour_ids(action.user_id).tolist())
+            if friends & seen.get(pair, set()):
+                copied += 1
+            seen.setdefault(pair, set()).add(action.user_id)
+        return copied / len(actions)
+
+    def test_homophily_increases_friend_overlap(self, graph):
+        low = TaggingModel(graph, _config(homophily=0.0, num_actions=2000)).generate()
+        high = TaggingModel(graph, _config(homophily=0.9, num_actions=2000)).generate()
+        assert self._friend_overlap(graph, high) > self._friend_overlap(graph, low)
