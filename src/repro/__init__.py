@@ -20,6 +20,7 @@ from .config import (
     ExperimentConfig,
     ProximityConfig,
     ScoringConfig,
+    ServiceConfig,
     WorkloadConfig,
     default_engine_config,
 )
@@ -31,6 +32,7 @@ from .errors import (
     PersistenceError,
     QueryError,
     ReproError,
+    ServiceError,
     StorageError,
     UnknownAlgorithmError,
     UnknownItemError,
@@ -81,6 +83,12 @@ from .workload import (
     tiny_dataset,
 )
 from .eval import ExperimentRunner, format_series, format_table
+from .service import (
+    QueryService,
+    ResultCache,
+    ServedResult,
+    ServiceMetrics,
+)
 
 __version__ = "1.0.0"
 
@@ -90,6 +98,7 @@ __all__ = [
     "ScoringConfig",
     "ProximityConfig",
     "EngineConfig",
+    "ServiceConfig",
     "DatasetConfig",
     "WorkloadConfig",
     "ExperimentConfig",
@@ -109,6 +118,7 @@ __all__ = [
     "UnknownProximityError",
     "WorkloadError",
     "EvaluationError",
+    "ServiceError",
     # graph
     "SocialGraph",
     "SocialGraphBuilder",
@@ -154,4 +164,9 @@ __all__ = [
     "ExperimentRunner",
     "format_table",
     "format_series",
+    # service
+    "QueryService",
+    "ResultCache",
+    "ServedResult",
+    "ServiceMetrics",
 ]

@@ -8,6 +8,7 @@ main flows without writing any Python:
 * ``repro generate`` — build a synthetic dataset and save it as a snapshot.
 * ``repro query`` — load a snapshot and answer an ad-hoc query.
 * ``repro bench`` — run a small latency/quality comparison over a workload.
+* ``repro serve`` — expose a dataset behind the concurrent JSON HTTP API.
 """
 
 from __future__ import annotations
@@ -16,7 +17,14 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .config import DatasetConfig, EngineConfig, ProximityConfig, ScoringConfig, WorkloadConfig
+from .config import (
+    DatasetConfig,
+    EngineConfig,
+    ProximityConfig,
+    ScoringConfig,
+    ServiceConfig,
+    WorkloadConfig,
+)
 from .core.engine import SocialSearchEngine
 from .core.topk.base import available_algorithms
 from .eval.runner import ExperimentRunner
@@ -105,6 +113,30 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported here so the plain library commands never pay for the service
+    # package.
+    from .service import QueryService
+    from .service.http_api import serve_forever
+
+    if args.snapshot:
+        dataset = load_dataset(args.snapshot)
+    else:
+        dataset = delicious_like(scale=args.scale, seed=args.seed)
+    engine = SocialSearchEngine(dataset, _engine_config(args))
+    config = ServiceConfig(
+        workers=args.workers,
+        cache_capacity=args.cache_capacity,
+        cache_ttl_seconds=args.ttl,
+        host=args.host,
+        port=args.port,
+    )
+    service = QueryService(engine, config)
+    print(dataset.describe())
+    serve_forever(service, host=config.host, port=config.port)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -149,6 +181,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--algorithms", nargs="*", default=None)
     _add_engine_arguments(bench)
     bench.set_defaults(handler=_command_bench)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve queries over a JSON HTTP API with caching")
+    serve.add_argument("--snapshot", default=None,
+                       help="snapshot directory written by 'repro generate' "
+                            "(default: synthetic delicious-like corpus)")
+    serve.add_argument("--scale", type=float, default=0.3,
+                       help="synthetic dataset scale when no snapshot is given")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="query executor threads (default: 4)")
+    serve.add_argument("--cache-capacity", type=int, default=1024,
+                       help="result cache entries, 0 disables (default: 1024)")
+    serve.add_argument("--ttl", type=float, default=300.0,
+                       help="result cache TTL in seconds, 0 = no expiry")
+    _add_engine_arguments(serve)
+    serve.set_defaults(handler=_command_serve)
 
     return parser
 

@@ -145,6 +145,56 @@ class EngineConfig:
 
 
 @dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of :class:`repro.service.QueryService` and its HTTP front end.
+
+    Attributes
+    ----------
+    workers:
+        Number of threads in the query executor pool.
+    cache_capacity:
+        Maximum number of query results kept in the service's LRU cache
+        (0 disables result caching entirely).
+    cache_ttl_seconds:
+        Time-to-live of a cached result; 0 means entries never expire on
+        their own (they are still evicted by LRU pressure and update-driven
+        invalidation).
+    deduplicate:
+        Whether identical in-flight requests ``(seeker, tags, k, algorithm)``
+        coalesce onto one computation instead of each occupying a worker.
+    invalidation_horizon:
+        Hop radius around a user touched by a friendship update within which
+        cached results and proximity vectors are considered stale.  0 means
+        "use the proximity measure's ``max_hops``".
+    host / port:
+        Bind address of the ``repro serve`` HTTP API.  Port 0 asks the OS
+        for an ephemeral port.
+    """
+
+    workers: int = 4
+    cache_capacity: int = 1024
+    cache_ttl_seconds: float = 300.0
+    deduplicate: bool = True
+    invalidation_horizon: int = 0
+    host: str = "127.0.0.1"
+    port: int = 8080
+
+    def __post_init__(self) -> None:
+        _require(self.workers >= 1, f"workers must be >= 1, got {self.workers}")
+        _require(self.cache_capacity >= 0,
+                 f"cache_capacity must be non-negative, got {self.cache_capacity}")
+        _require(self.cache_ttl_seconds >= 0.0,
+                 f"cache_ttl_seconds must be non-negative, got {self.cache_ttl_seconds}")
+        _require(self.invalidation_horizon >= 0,
+                 f"invalidation_horizon must be non-negative, got {self.invalidation_horizon}")
+        _require(bool(self.host), "host must be a non-empty string")
+        _require(0 <= self.port <= 65535, f"port must be in [0, 65535], got {self.port}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
 class DatasetConfig:
     """Parameters of a synthetic social-tagging dataset.
 

@@ -14,6 +14,7 @@ described declaratively.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -54,6 +55,10 @@ class SocialSearchEngine:
                                             capacity=self._config.proximity.cache_size)
         self._proximity = proximity
         self._algorithms: Dict[str, TopKAlgorithm] = {}
+        # Algorithm instances are stateless per search, so they are shared
+        # across the service's worker threads; only their lazy creation
+        # needs serialising.
+        self._algorithms_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -89,9 +94,11 @@ class SocialSearchEngine:
 
     def _algorithm(self, name: str) -> TopKAlgorithm:
         if name not in self._algorithms:
-            self._algorithms[name] = create_algorithm(
-                name, self._dataset, self._proximity, self._config,
-            )
+            with self._algorithms_lock:
+                if name not in self._algorithms:
+                    self._algorithms[name] = create_algorithm(
+                        name, self._dataset, self._proximity, self._config,
+                    )
         return self._algorithms[name]
 
     def search(self, seeker: int, tags: Sequence[str], k: int = 10,
@@ -106,9 +113,27 @@ class SocialSearchEngine:
         return self._algorithm(name).search(query)
 
     def run_many(self, queries: Iterable[Query],
-                 algorithm: Optional[str] = None) -> List[QueryResult]:
-        """Run a batch of queries and return the individual results."""
-        return [self.run(query, algorithm=algorithm) for query in queries]
+                 algorithm: Optional[str] = None, parallel: bool = False,
+                 workers: Optional[int] = None) -> List[QueryResult]:
+        """Run a batch of queries and return the individual results.
+
+        With ``parallel=False`` (the default, kept for bit-for-bit
+        reproducibility of the experiments) queries run sequentially on the
+        calling thread.  With ``parallel=True`` the batch is dispatched
+        through a transient :class:`repro.service.QueryService` executor with
+        ``workers`` threads; caching and deduplication are disabled so the
+        two paths perform exactly the same computations.
+        """
+        if not parallel:
+            return [self.run(query, algorithm=algorithm) for query in queries]
+        # Imported lazily: repro.service depends on this module.
+        from ..config import ServiceConfig
+        from ..service import QueryService
+
+        config = ServiceConfig(workers=workers or 4, cache_capacity=0,
+                               cache_ttl_seconds=0.0, deduplicate=False)
+        with QueryService(self, config) as service:
+            return service.run_many(queries, algorithm=algorithm)
 
     # ------------------------------------------------------------------ #
     # Reconfiguration

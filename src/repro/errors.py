@@ -100,3 +100,7 @@ class WorkloadError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised when an experiment or metric computation is misconfigured."""
+
+
+class ServiceError(ReproError):
+    """Raised when the query-serving subsystem is misused (e.g. closed service)."""

@@ -10,7 +10,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values``; 0.0 when empty.
+
+    ``fraction`` is in ``[0, 1]`` (e.g. 0.99 for the p99).  Shared by the
+    evaluation tables and the serving-layer metrics so both report the same
+    quantile semantics.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
 
 
 class Timer:
@@ -57,11 +73,7 @@ class LatencyRecorder:
 
     def percentile(self, fraction: float) -> float:
         """Latency at the given quantile (nearest-rank, 0 when empty)."""
-        if not self.samples:
-            return 0.0
-        ordered = self._sorted()
-        index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
-        return ordered[index]
+        return percentile(self.samples, fraction)
 
     @property
     def mean(self) -> float:

@@ -88,6 +88,21 @@ class ProximityMeasure(ABC):
         for user, value in ranked:
             yield user, value
 
+    def rebind(self, graph: SocialGraph) -> None:
+        """Point the measure at a new (updated) social graph.
+
+        :class:`~repro.storage.updates.DatasetUpdater` replaces the dataset's
+        immutable CSR graph object on every edge/user addition; a measure
+        built before the update would otherwise keep computing on the old
+        graph forever.  Subclasses with precomputed per-graph state override
+        :meth:`_on_graph_changed` to refresh it.
+        """
+        self._graph = graph
+        self._on_graph_changed()
+
+    def _on_graph_changed(self) -> None:
+        """Hook for subclasses holding state derived from the graph."""
+
     def top(self, seeker: int, limit: int) -> List[Tuple[int, float]]:
         """Return the ``limit`` most proximate users to ``seeker``."""
         result: List[Tuple[int, float]] = []

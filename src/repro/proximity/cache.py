@@ -4,13 +4,23 @@ Repeated queries from the same seeker recompute the same proximity vector.
 :class:`CachedProximity` memoises the per-seeker vector with an LRU policy
 and exposes hit/miss counters, so the ablation experiment (Figure 9) can
 quantify how much of the latency is proximity recomputation.
+
+The cache is update-aware: when :class:`~repro.storage.updates.DatasetUpdater`
+adds friendship edges, callers invalidate the affected seekers with
+:meth:`CachedProximity.invalidate` (or :meth:`CachedProximity.clear`) and
+rebind the wrapped measure to the rebuilt graph with
+:meth:`~repro.proximity.base.ProximityMeasure.rebind`, instead of silently
+serving pre-update vectors.  All cache operations take an internal lock so
+the wrapper can be shared by the concurrent query threads of
+:class:`repro.service.QueryService`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Tuple
 
 from .base import ProximityMeasure
 
@@ -22,6 +32,7 @@ class CacheStatistics:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -39,6 +50,7 @@ class CacheStatistics:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
 
@@ -62,6 +74,11 @@ class CachedProximity(ProximityMeasure):
         self._capacity = max(0, int(capacity))
         self._cache: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
         self._ranked_cache: "OrderedDict[int, Tuple[Tuple[int, float], ...]]" = OrderedDict()
+        self._lock = threading.RLock()
+        # Invalidation epoch: a vector computed concurrently with an
+        # invalidation or a graph rebind may reflect the pre-update graph,
+        # so puts from an older generation are dropped.
+        self._generation = 0
         self.statistics = CacheStatistics()
 
     @property
@@ -69,30 +86,41 @@ class CachedProximity(ProximityMeasure):
         """The wrapped proximity measure."""
         return self._inner
 
-    def _get_cached(self, store: OrderedDict, seeker: int):
-        if seeker in store:
-            store.move_to_end(seeker)
-            self.statistics.hits += 1
-            return store[seeker]
-        self.statistics.misses += 1
-        return None
+    def __len__(self) -> int:
+        """Number of seekers with a cached vector."""
+        with self._lock:
+            return len(self._cache)
 
-    def _put_cached(self, store: OrderedDict, seeker: int, value) -> None:
+    def _get_cached(self, store: OrderedDict, seeker: int):
+        with self._lock:
+            if seeker in store:
+                store.move_to_end(seeker)
+                self.statistics.hits += 1
+                return store[seeker]
+            self.statistics.misses += 1
+            return None
+
+    def _put_cached(self, store: OrderedDict, seeker: int, value,
+                    generation: int) -> None:
         if self._capacity == 0:
             return
-        store[seeker] = value
-        store.move_to_end(seeker)
-        if len(store) > self._capacity:
-            store.popitem(last=False)
-            self.statistics.evictions += 1
+        with self._lock:
+            if generation != self._generation:
+                return
+            store[seeker] = value
+            store.move_to_end(seeker)
+            if len(store) > self._capacity:
+                store.popitem(last=False)
+                self.statistics.evictions += 1
 
     def vector(self, seeker: int) -> Dict[int, float]:
         """Return the (possibly cached) proximity vector of ``seeker``."""
         cached = self._get_cached(self._cache, seeker)
         if cached is not None:
             return dict(cached)
+        generation = self._generation
         vector = self._inner.vector(seeker)
-        self._put_cached(self._cache, seeker, dict(vector))
+        self._put_cached(self._cache, seeker, dict(vector), generation)
         return vector
 
     def iter_ranked(self, seeker: int) -> Iterator[Tuple[int, float]]:
@@ -101,8 +129,9 @@ class CachedProximity(ProximityMeasure):
         if cached is not None:
             yield from cached
             return
+        generation = self._generation
         ranked = tuple(self._inner.iter_ranked(seeker))
-        self._put_cached(self._ranked_cache, seeker, ranked)
+        self._put_cached(self._ranked_cache, seeker, ranked, generation)
         yield from ranked
 
     def proximity(self, seeker: int, target: int) -> float:
@@ -111,8 +140,45 @@ class CachedProximity(ProximityMeasure):
             return 1.0
         return self.vector(seeker).get(target, 0.0)
 
+    # ------------------------------------------------------------------ #
+    # Update-driven invalidation
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self, users: Iterable[int]) -> int:
+        """Drop the cached vectors of the given seekers.
+
+        Called after a graph update for every seeker whose proximity
+        neighbourhood the update may have changed.  Returns the number of
+        cache entries removed (vector and ranked entries counted
+        separately).
+        """
+        removed = 0
+        with self._lock:
+            self._generation += 1
+            for user in set(users):
+                if self._cache.pop(user, None) is not None:
+                    removed += 1
+                if self._ranked_cache.pop(user, None) is not None:
+                    removed += 1
+            self.statistics.invalidations += removed
+        return removed
+
+    def _on_graph_changed(self) -> None:
+        # Rebinding does NOT clear the cache: entries for seekers outside
+        # the update's proximity horizon are still exact, and the caller
+        # (QueryService, or whoever drives the updater) evicts the affected
+        # seekers via invalidate()/clear().  The inner measure must see the
+        # new graph so that post-invalidation misses recompute freshly, and
+        # the generation bump drops vectors still being computed on the old
+        # graph.
+        with self._lock:
+            self._generation += 1
+        self._inner.rebind(self._graph)
+
     def clear(self) -> None:
         """Drop all cached vectors and reset the statistics."""
-        self._cache.clear()
-        self._ranked_cache.clear()
-        self.statistics = CacheStatistics()
+        with self._lock:
+            self._generation += 1
+            self._cache.clear()
+            self._ranked_cache.clear()
+            self.statistics = CacheStatistics()

@@ -53,8 +53,15 @@ class LandmarkProximity(ProximityMeasure):
                  strategy: str = "degree") -> None:
         super().__init__(graph, config)
         self._hop_penalty = -math.log(max(self.config.decay, 1e-12))
-        self._landmarks = select_landmarks(graph, num_landmarks, seed=seed,
-                                           strategy=strategy)
+        self._num_landmarks = num_landmarks
+        self._seed = seed
+        self._strategy = strategy
+        self._on_graph_changed()
+
+    def _on_graph_changed(self) -> None:
+        graph = self.graph
+        self._landmarks = select_landmarks(graph, self._num_landmarks,
+                                           seed=self._seed, strategy=self._strategy)
         # Exact (distance, hops) maps from every landmark; the one-off
         # precomputation the sketch trades for cheap per-query estimates.
         self._distance_maps: List[Dict[int, Tuple[float, int]]] = [

@@ -41,6 +41,10 @@ class PersonalizedPageRankProximity(ProximityMeasure):
 
     def __init__(self, graph: SocialGraph, config: Optional[ProximityConfig] = None) -> None:
         super().__init__(graph, config)
+        self._on_graph_changed()
+
+    def _on_graph_changed(self) -> None:
+        graph = self.graph
         self._weight_sums = np.zeros(graph.num_users, dtype=np.float64)
         for u in range(graph.num_users):
             _, weights = graph.neighbours(u)

@@ -1,0 +1,185 @@
+"""Stdlib-only JSON HTTP front end for :class:`~repro.service.QueryService`.
+
+``repro serve`` binds a :class:`ServiceHTTPServer` — a threading
+``http.server`` — so the engine can take real concurrent traffic without
+any third-party web framework.  Endpoints:
+
+``GET /health``
+    Liveness probe: dataset name, sizes, worker count.
+``GET /metrics``
+    Full service statistics (qps, latency percentiles, cache behaviour).
+``GET /query?seeker=4&tags=jazz,vinyl&k=10[&algorithm=social-first]``
+``POST /query`` with ``{"seeker": 4, "tags": ["jazz"], "k": 10}``
+    Answer one query; the response carries the ranked items, the serving
+    outcome (``hit`` / ``coalesced`` / ``computed``) and both engine- and
+    service-side latency.
+``POST /update`` with ``{"actions": [...], "friendships": [[u, v, w]], "new_users": 0}``
+    Apply a dataset update through the watched :class:`DatasetUpdater`;
+    stale cache entries are invalidated before the response is sent.
+
+Errors return ``4xx`` with ``{"error": "..."}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..core.query import Query
+from ..errors import ReproError
+from ..storage.tagging import TaggingAction
+from ..storage.updates import DatasetUpdater
+from .service import QueryService
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`QueryService`.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` bind address; port 0 picks an ephemeral port
+        (exposed afterwards as ``server.server_port``).
+    service:
+        The query service answering ``/query`` requests.
+    updater:
+        Updater handling ``/update`` requests.  When omitted, one is created
+        over the engine's dataset and watched by the service.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService,
+                 updater: Optional[DatasetUpdater] = None) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        if updater is None:
+            updater = DatasetUpdater(service.engine.dataset)
+            service.watch(updater)
+        self.updater = updater
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches JSON requests onto the bound :class:`QueryService`."""
+
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # Silence the default per-request stderr logging; the service keeps
+    # structured metrics instead.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            return {}
+        data = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/health":
+                self._handle_health()
+            elif parsed.path == "/metrics":
+                self._reply(200, self.server.service.stats())
+            elif parsed.path == "/query":
+                params = parse_qs(parsed.query)
+                payload = {
+                    "seeker": params.get("seeker", [None])[0],
+                    "tags": params.get("tags", [""])[0].split(","),
+                    "k": params.get("k", [10])[0],
+                    "algorithm": params.get("algorithm", [None])[0],
+                }
+                self._handle_query(payload)
+            else:
+                self._reply(404, {"error": f"unknown path {parsed.path!r}"})
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            self._reply(400, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/query":
+                self._handle_query(self._read_json())
+            elif parsed.path == "/update":
+                self._handle_update(self._read_json())
+            else:
+                self._reply(404, {"error": f"unknown path {parsed.path!r}"})
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            self._reply(400, {"error": str(exc)})
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+
+    def _handle_health(self) -> None:
+        dataset = self.server.service.engine.dataset
+        self._reply(200, {
+            "status": "ok",
+            "dataset": dataset.name,
+            "num_users": dataset.num_users,
+            "num_items": dataset.num_items,
+            "num_actions": dataset.num_actions,
+            "workers": self.server.service.config.workers,
+        })
+
+    def _handle_query(self, payload: Dict[str, Any]) -> None:
+        if payload.get("seeker") is None:
+            raise ValueError("missing required field 'seeker'")
+        tags = [tag for tag in (payload.get("tags") or []) if str(tag).strip()]
+        query = Query(
+            seeker=int(payload["seeker"]),
+            tags=tuple(str(tag) for tag in tags),
+            k=int(payload.get("k") or 10),
+        )
+        served = self.server.service.serve(query, algorithm=payload.get("algorithm"))
+        response = served.result.to_dict()
+        response["outcome"] = served.outcome
+        response["service_latency_seconds"] = served.latency_seconds
+        self._reply(200, response)
+
+    def _handle_update(self, payload: Dict[str, Any]) -> None:
+        actions = [TaggingAction.from_dict(entry)
+                   for entry in payload.get("actions") or []]
+        friendships = [(int(u), int(v), float(w))
+                       for u, v, w in payload.get("friendships") or []]
+        summary = self.server.updater.apply(
+            actions=actions or None,
+            friendships=friendships or None,
+            new_users=int(payload.get("new_users") or 0),
+        )
+        self._reply(200, {"applied": summary.changed, **summary.to_dict()})
+
+
+def serve_forever(service: QueryService, host: str = "127.0.0.1",
+                  port: int = 8080) -> None:
+    """Blocking convenience used by ``repro serve``; Ctrl-C shuts down cleanly."""
+    server = ServiceHTTPServer((host, port), service)
+    print(f"repro service listening on http://{host}:{server.server_port} "
+          f"(workers={service.config.workers}, "
+          f"cache={service.config.cache_capacity})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+        service.close()

@@ -1,0 +1,124 @@
+"""Serving-side metrics: throughput, latency percentiles, cache behaviour.
+
+Mirrors the philosophy of :mod:`repro.core.accounting`: mutable counters
+with a ``to_dict`` snapshot so the numbers drop straight into the result
+tables and the ``/metrics`` HTTP endpoint.  Latencies are kept in a bounded
+reservoir (the most recent ``window`` observations) so a long-running server
+reports *recent* percentiles rather than a lifetime average, at constant
+memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List
+
+from ..eval.timing import percentile
+
+
+class ServiceMetrics:
+    """Thread-safe counters and latency reservoir for a query service.
+
+    Parameters
+    ----------
+    window:
+        Number of most-recent query latencies retained for percentile
+        estimates.
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(self, window: int = 4096,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at = clock()
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self.requests = 0
+        self.computed = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.errors = 0
+        self.updates_observed = 0
+        self.entries_invalidated = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def record_request(self, outcome: str) -> None:
+        """Count one request; ``outcome`` is ``"hit"``, ``"coalesced"`` or ``"miss"``."""
+        with self._lock:
+            self.requests += 1
+            if outcome == "hit":
+                self.cache_hits += 1
+            elif outcome == "coalesced":
+                self.coalesced += 1
+
+    def record_latency(self, seconds: float) -> None:
+        """Record the service-side latency of one computed query."""
+        with self._lock:
+            self.computed += 1
+            self._latencies.append(seconds)
+
+    def record_error(self) -> None:
+        """Count one failed query execution."""
+        with self._lock:
+            self.errors += 1
+
+    def record_update(self, entries_invalidated: int) -> None:
+        """Count one observed dataset update and the entries it evicted."""
+        with self._lock:
+            self.updates_observed += 1
+            self.entries_invalidated += entries_invalidated
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the metrics object was created."""
+        return max(self._clock() - self._started_at, 0.0)
+
+    @property
+    def qps(self) -> float:
+        """Requests served per second of uptime."""
+        uptime = self.uptime_seconds
+        return self.requests / uptime if uptime > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests answered straight from the result cache."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p95/p99 over the latency reservoir, in milliseconds."""
+        with self._lock:
+            sample: List[float] = list(self._latencies)
+        return {
+            "p50_ms": percentile(sample, 0.50) * 1000.0,
+            "p95_ms": percentile(sample, 0.95) * 1000.0,
+            "p99_ms": percentile(sample, 0.99) * 1000.0,
+        }
+
+    def to_dict(self) -> Dict[str, float]:
+        """One flat snapshot for ``/metrics`` and benchmark tables."""
+        snapshot: Dict[str, float] = {
+            "uptime_seconds": self.uptime_seconds,
+            "requests": self.requests,
+            "computed": self.computed,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "qps": self.qps,
+            "cache_hit_rate": self.cache_hit_rate,
+            "updates_observed": self.updates_observed,
+            "entries_invalidated": self.entries_invalidated,
+        }
+        snapshot.update(self.latency_percentiles())
+        return snapshot

@@ -1,0 +1,305 @@
+"""Concurrent query serving over a :class:`~repro.core.engine.SocialSearchEngine`.
+
+:class:`QueryService` is the piece that turns the single-threaded library
+into something that can take traffic:
+
+* queries run on a thread pool with a configurable worker count;
+* identical in-flight requests coalesce onto one computation, so a burst of
+  the same hot query costs one engine run, not N;
+* results land in a :class:`~repro.service.cache.ResultCache` (LRU + TTL)
+  keyed by the full request identity;
+* the service subscribes to :class:`~repro.storage.updates.DatasetUpdater`
+  and invalidates *selectively*: a tagging on tag *t* evicts only results
+  touching *t*; a friendship near user *u* evicts only results whose seeker
+  is within the proximity horizon of *u* — and the engine's
+  :class:`~repro.proximity.cache.CachedProximity` is invalidated and rebound
+  the same way, fixing the staleness bug where pre-update proximity vectors
+  kept being served after graph changes.
+
+Updates and queries are not serialised against each other: the updater
+swaps whole index/graph objects, so a query racing an update sees either
+the old or the new object, never a half-built one.  Results returned after
+an update's ``apply`` call completes reflect that update.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..config import ServiceConfig
+from ..core.engine import SocialSearchEngine
+from ..core.query import Query, QueryResult
+from ..errors import ServiceError
+from ..graph.traversal import bfs_levels
+from ..proximity.cache import CachedProximity
+from ..storage.updates import DatasetUpdater, UpdateSummary
+from .cache import CacheKey, ResultCache
+from .metrics import ServiceMetrics
+
+#: Measures whose proximity vector of a seeker can only change when an edge
+#: appears within ``max_hops`` of that seeker.  For these, friendship updates
+#: invalidate selectively (a BFS ball around the touched users); for global
+#: measures (personalised PageRank, landmark triangulation) every vector may
+#: shift, so the service falls back to a full invalidation.
+HOP_BOUNDED_MEASURES = frozenset({
+    "shortest-path", "katz", "common-neighbours", "adamic-adar", "jaccard",
+})
+
+
+@dataclass
+class ServedResult:
+    """A query answer plus how the service produced it."""
+
+    result: QueryResult
+    #: ``"hit"`` (result cache), ``"coalesced"`` (joined an in-flight
+    #: computation) or ``"computed"`` (fresh engine run).
+    outcome: str
+    #: Wall-clock service-side latency, including any queueing.
+    latency_seconds: float
+
+    @property
+    def cached(self) -> bool:
+        """Whether the answer came straight from the result cache."""
+        return self.outcome == "hit"
+
+
+class QueryService:
+    """Thread-pooled, caching, update-aware front end for one engine.
+
+    Parameters
+    ----------
+    engine:
+        The search engine to serve.  Its proximity measure is shared across
+        worker threads; :class:`CachedProximity` is internally locked.
+    config:
+        Service knobs (workers, cache capacity/TTL, deduplication, horizon).
+    updater:
+        Optional :class:`DatasetUpdater` to watch from construction; more
+        can be attached later with :meth:`watch`.
+    """
+
+    def __init__(self, engine: SocialSearchEngine,
+                 config: Optional[ServiceConfig] = None,
+                 updater: Optional[DatasetUpdater] = None) -> None:
+        self._engine = engine
+        self._config = config or ServiceConfig()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.workers, thread_name_prefix="repro-query",
+        )
+        self._cache = ResultCache(capacity=self._config.cache_capacity,
+                                  ttl_seconds=self._config.cache_ttl_seconds)
+        self._metrics = ServiceMetrics()
+        self._inflight: dict = {}
+        self._lock = threading.Lock()
+        self._watched: List[DatasetUpdater] = []
+        self._closed = False
+        if updater is not None:
+            self.watch(updater)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def engine(self) -> SocialSearchEngine:
+        """The engine answering the queries."""
+        return self._engine
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The service configuration in effect."""
+        return self._config
+
+    @property
+    def cache(self) -> ResultCache:
+        """The result cache (exposed for tests and benchmarks)."""
+        return self._cache
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """The live metrics collector."""
+        return self._metrics
+
+    def stats(self) -> dict:
+        """Combined snapshot: service metrics + result and proximity caches."""
+        snapshot = {
+            "service": self._metrics.to_dict(),
+            "result_cache": dict(self._cache.statistics.to_dict(),
+                                 size=len(self._cache),
+                                 capacity=self._cache.capacity),
+        }
+        proximity = self._engine.proximity
+        if isinstance(proximity, CachedProximity):
+            snapshot["proximity_cache"] = proximity.statistics.to_dict()
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Query path
+    # ------------------------------------------------------------------ #
+
+    def _resolve_algorithm(self, algorithm: Optional[str]) -> str:
+        return algorithm or self._engine.config.algorithm
+
+    def _execute(self, key: CacheKey, query: Query, algorithm: str) -> QueryResult:
+        started = time.perf_counter()
+        # Snapshot the invalidation epoch before computing: if an update
+        # invalidates mid-computation, this (possibly pre-update) result must
+        # not be cached past the invalidation.
+        generation = self._cache.generation
+        try:
+            result = self._engine.run(query, algorithm=algorithm)
+        except Exception:
+            self._metrics.record_error()
+            raise
+        self._cache.put(key, result, generation=generation)
+        self._metrics.record_latency(time.perf_counter() - started)
+        return result
+
+    def _pop_inflight(self, key: CacheKey) -> None:
+        with self._lock:
+            self._inflight.pop(key, None)
+
+    def _submit(self, query: Query, algorithm: Optional[str]) -> "tuple[Future, str]":
+        if self._closed:
+            raise ServiceError("cannot submit queries to a closed QueryService")
+        name = self._resolve_algorithm(algorithm)
+        key = CacheKey.for_query(query, name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._metrics.record_request("hit")
+            future: Future = Future()
+            future.set_result(cached)
+            return future, "hit"
+        with self._lock:
+            if self._closed:
+                raise ServiceError("cannot submit queries to a closed QueryService")
+            if self._config.deduplicate:
+                inflight = self._inflight.get(key)
+                if inflight is not None:
+                    self._metrics.record_request("coalesced")
+                    return inflight, "coalesced"
+            future = self._executor.submit(self._execute, key, query, name)
+            if self._config.deduplicate:
+                self._inflight[key] = future
+        if self._config.deduplicate:
+            # Registered outside the lock: a future that already finished
+            # runs the callback synchronously, and _pop_inflight takes the
+            # same (non-reentrant) lock.
+            future.add_done_callback(lambda _f, key=key: self._pop_inflight(key))
+        self._metrics.record_request("miss")
+        return future, "computed"
+
+    def submit(self, query: Query, algorithm: Optional[str] = None) -> Future:
+        """Enqueue ``query`` and return a future resolving to its :class:`QueryResult`."""
+        future, _ = self._submit(query, algorithm)
+        return future
+
+    def serve(self, query: Query, algorithm: Optional[str] = None) -> ServedResult:
+        """Answer ``query`` synchronously, reporting how it was served."""
+        started = time.perf_counter()
+        future, outcome = self._submit(query, algorithm)
+        result = future.result()
+        return ServedResult(result=result, outcome=outcome,
+                            latency_seconds=time.perf_counter() - started)
+
+    def query(self, seeker: int, tags: Sequence[str], k: int = 10,
+              algorithm: Optional[str] = None) -> QueryResult:
+        """One-call convenience mirroring :meth:`SocialSearchEngine.search`."""
+        return self.serve(Query(seeker=seeker, tags=tuple(tags), k=k),
+                          algorithm=algorithm).result
+
+    def run_many(self, queries: Iterable[Query],
+                 algorithm: Optional[str] = None) -> List[QueryResult]:
+        """Run a batch concurrently, preserving input order in the output."""
+        futures = [self.submit(query, algorithm) for query in queries]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Update-driven invalidation
+    # ------------------------------------------------------------------ #
+
+    def watch(self, updater: DatasetUpdater) -> DatasetUpdater:
+        """Subscribe to ``updater`` so its changes invalidate this service."""
+        updater.subscribe(self._on_update)
+        self._watched.append(updater)
+        return updater
+
+    @property
+    def invalidation_horizon(self) -> int:
+        """Hop radius used for friendship-driven invalidation."""
+        if self._config.invalidation_horizon > 0:
+            return self._config.invalidation_horizon
+        return self._engine.config.proximity.max_hops
+
+    def _affected_seekers(self, users: Iterable[int]) -> Set[int]:
+        """Every seeker within the proximity horizon of one of ``users``.
+
+        Computed on the *new* graph, which is already in place when the
+        updater notifies.  Includes the touched users themselves.
+        """
+        graph = self._engine.dataset.graph
+        horizon = self.invalidation_horizon
+        affected: Set[int] = set()
+        # Every touched user gets its own BFS: hop-balls are not transitively
+        # closed, so a user inside another's ball can still reach seekers the
+        # other ball misses.
+        for user in users:
+            if 0 <= user < graph.num_users:
+                affected.update(bfs_levels(graph, user, max_hops=horizon))
+        return affected
+
+    def _on_update(self, summary: UpdateSummary) -> None:
+        removed = 0
+        if summary.tags_touched:
+            removed += self._cache.invalidate_tags(summary.tags_touched)
+        if summary.graph_rebuilt:
+            removed += self._refresh_proximity(summary)
+        self._metrics.record_update(removed)
+
+    def _refresh_proximity(self, summary: UpdateSummary) -> int:
+        """Rebind the proximity measure to the rebuilt graph and evict stale state."""
+        graph = self._engine.dataset.graph
+        proximity = self._engine.proximity
+        measure = self._engine.config.proximity.measure
+        removed = 0
+        # Rebind first: misses racing the invalidation below then compute on
+        # the new graph, and the rebind's generation bump discards vectors
+        # still being computed on the old one.
+        proximity.rebind(graph)
+        if summary.edges_added:
+            if measure in HOP_BOUNDED_MEASURES:
+                affected = self._affected_seekers(summary.users_touched)
+                removed += self._cache.invalidate_seekers(affected)
+                if isinstance(proximity, CachedProximity):
+                    proximity.invalidate(affected)
+            else:
+                # Global measure: any vector may have shifted.
+                removed += self._cache.clear()
+                if isinstance(proximity, CachedProximity):
+                    proximity.invalidate(range(graph.num_users))
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self, wait: bool = True) -> None:
+        """Unsubscribe from watched updaters and shut the executor down."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for updater in self._watched:
+            updater.unsubscribe(self._on_update)
+        self._watched.clear()
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

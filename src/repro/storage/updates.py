@@ -14,8 +14,9 @@ against a live dataset and interleave queries with updates.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import StorageError
 from ..graph import SocialGraph, SocialGraphBuilder
@@ -38,6 +39,17 @@ class UpdateSummary:
     items_added: int = 0
     tags_touched: Set[str] = field(default_factory=set)
     users_touched: Set[int] = field(default_factory=set)
+
+    @property
+    def changed(self) -> bool:
+        """Whether this update modified the dataset at all."""
+        return bool(self.actions_added or self.edges_added
+                    or self.users_added or self.items_added)
+
+    @property
+    def graph_rebuilt(self) -> bool:
+        """Whether the CSR graph object was replaced (observers must rebind)."""
+        return bool(self.edges_added or self.users_added)
 
     def merge(self, other: "UpdateSummary") -> None:
         """Accumulate another summary into this one."""
@@ -74,11 +86,48 @@ class DatasetUpdater:
 
     def __init__(self, dataset: Dataset) -> None:
         self._dataset = dataset
+        self._observers: List[Callable[[UpdateSummary], None]] = []
+        self._in_batch = False
+        # Serialises mutations: concurrent updates (e.g. two simultaneous
+        # HTTP /update requests) would otherwise both rebuild the graph from
+        # the same snapshot and the later assignment would drop the earlier
+        # one's edges.  Re-entrant because apply() calls the add_* methods.
+        self._mutate_lock = threading.RLock()
 
     @property
     def dataset(self) -> Dataset:
         """The live dataset being maintained."""
         return self._dataset
+
+    # ------------------------------------------------------------------ #
+    # Observer hooks
+    # ------------------------------------------------------------------ #
+
+    def subscribe(self, observer: Callable[[UpdateSummary], None]) -> Callable[[UpdateSummary], None]:
+        """Register a callback invoked after every effective update.
+
+        Observers receive the :class:`UpdateSummary` of each public update
+        call that changed the dataset — :meth:`apply` notifies once with the
+        merged summary of the whole batch, not once per component.  This is
+        how serving-layer caches (:class:`repro.service.QueryService`) learn
+        which tags and users went stale.  Returns the observer so the call
+        can be used inline.
+        """
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: Callable[[UpdateSummary], None]) -> None:
+        """Remove a previously registered observer (no-op when absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _notify(self, summary: UpdateSummary) -> UpdateSummary:
+        if not self._in_batch and summary.changed:
+            for observer in list(self._observers):
+                observer(summary)
+        return summary
 
     # ------------------------------------------------------------------ #
     # Individual update kinds
@@ -91,25 +140,27 @@ class DatasetUpdater:
         summary = UpdateSummary()
         if count == 0:
             return summary
-        old = self._dataset.graph
-        new_size = old.num_users + count
-        builder = SocialGraphBuilder(new_size)
-        for u, v, w in old.iter_edges():
-            builder.add_edge(u, v, w)
-        self._dataset.graph = builder.build()
-        for user_id in range(old.num_users, new_size):
-            self._dataset.users.add(User(user_id=user_id, name=f"user-{user_id}"))
-        summary.users_added = count
-        return summary
+        with self._mutate_lock:
+            old = self._dataset.graph
+            new_size = old.num_users + count
+            builder = SocialGraphBuilder(new_size)
+            for u, v, w in old.iter_edges():
+                builder.add_edge(u, v, w)
+            self._dataset.graph = builder.build()
+            for user_id in range(old.num_users, new_size):
+                self._dataset.users.add(User(user_id=user_id, name=f"user-{user_id}"))
+            summary.users_added = count
+            return self._notify(summary)
 
     def add_items(self, items: Iterable[Item]) -> UpdateSummary:
         """Register new items in the catalogue."""
         summary = UpdateSummary()
-        for item in items:
-            if item.item_id not in self._dataset.items:
-                self._dataset.items.add(item)
-                summary.items_added += 1
-        return summary
+        with self._mutate_lock:
+            for item in items:
+                if item.item_id not in self._dataset.items:
+                    self._dataset.items.add(item)
+                    summary.items_added += 1
+            return self._notify(summary)
 
     def add_friendships(self, edges: Iterable[Tuple[int, int, float]]) -> UpdateSummary:
         """Add friendships; the CSR graph is rebuilt once for the whole batch."""
@@ -117,46 +168,48 @@ class DatasetUpdater:
         summary = UpdateSummary()
         if not edges:
             return summary
-        old = self._dataset.graph
-        builder = SocialGraphBuilder(old.num_users)
-        for u, v, w in old.iter_edges():
-            builder.add_edge(u, v, w)
-        before = builder.num_edges
-        for u, v, w in edges:
-            builder.add_edge(u, v, w)
-            summary.users_touched.update((u, v))
-        summary.edges_added = builder.num_edges - before
-        self._dataset.graph = builder.build()
-        return summary
+        with self._mutate_lock:
+            old = self._dataset.graph
+            builder = SocialGraphBuilder(old.num_users)
+            for u, v, w in old.iter_edges():
+                builder.add_edge(u, v, w)
+            before = builder.num_edges
+            for u, v, w in edges:
+                builder.add_edge(u, v, w)
+                summary.users_touched.update((u, v))
+            summary.edges_added = builder.num_edges - before
+            self._dataset.graph = builder.build()
+            return self._notify(summary)
 
     def add_actions(self, actions: Iterable[TaggingAction]) -> UpdateSummary:
         """Record tagging actions and refresh the affected index entries."""
         summary = UpdateSummary()
         touched_tags: Set[str] = set()
         touched_users: Set[int] = set()
-        for action in actions:
-            if not 0 <= action.user_id < self._dataset.graph.num_users:
-                raise StorageError(
-                    f"tagging action references user {action.user_id}, but the "
-                    f"graph only has {self._dataset.graph.num_users} users"
-                )
-            if self._dataset.tagging.add(action):
-                summary.actions_added += 1
-                touched_tags.add(action.tag)
-                touched_users.add(action.user_id)
-                self._dataset.items.ensure(action.item_id)
-                self._dataset.users.ensure(action.user_id)
-            else:
-                summary.actions_ignored += 1
-        if summary.actions_added:
-            # Derived indexes are rebuilt from the tagging store; at the
-            # dataset sizes this library targets a full rebuild is a few
-            # milliseconds, and it is guaranteed consistent by construction.
-            self._dataset.inverted_index = InvertedIndex.build(self._dataset.tagging)
-            self._dataset.social_index = SocialIndex.build(self._dataset.tagging)
-        summary.tags_touched = touched_tags
-        summary.users_touched |= touched_users
-        return summary
+        with self._mutate_lock:
+            for action in actions:
+                if not 0 <= action.user_id < self._dataset.graph.num_users:
+                    raise StorageError(
+                        f"tagging action references user {action.user_id}, but the "
+                        f"graph only has {self._dataset.graph.num_users} users"
+                    )
+                if self._dataset.tagging.add(action):
+                    summary.actions_added += 1
+                    touched_tags.add(action.tag)
+                    touched_users.add(action.user_id)
+                    self._dataset.items.ensure(action.item_id)
+                    self._dataset.users.ensure(action.user_id)
+                else:
+                    summary.actions_ignored += 1
+            if summary.actions_added:
+                # Derived indexes are rebuilt from the tagging store; at the
+                # dataset sizes this library targets a full rebuild is a few
+                # milliseconds, and it is guaranteed consistent by construction.
+                self._dataset.inverted_index = InvertedIndex.build(self._dataset.tagging)
+                self._dataset.social_index = SocialIndex.build(self._dataset.tagging)
+            summary.tags_touched = touched_tags
+            summary.users_touched |= touched_users
+            return self._notify(summary)
 
     # ------------------------------------------------------------------ #
     # Batch application
@@ -172,15 +225,20 @@ class DatasetUpdater:
         them), then items, friendships, and finally tagging actions.
         """
         summary = UpdateSummary()
-        if new_users:
-            summary.merge(self.add_users(new_users))
-        if new_items is not None:
-            summary.merge(self.add_items(new_items))
-        if friendships is not None:
-            summary.merge(self.add_friendships(friendships))
-        if actions is not None:
-            summary.merge(self.add_actions(actions))
-        return summary
+        with self._mutate_lock:
+            self._in_batch = True
+            try:
+                if new_users:
+                    summary.merge(self.add_users(new_users))
+                if new_items is not None:
+                    summary.merge(self.add_items(new_items))
+                if friendships is not None:
+                    summary.merge(self.add_friendships(friendships))
+                if actions is not None:
+                    summary.merge(self.add_actions(actions))
+            finally:
+                self._in_batch = False
+            return self._notify(summary)
 
 
 def replay_trace(dataset: Dataset, actions: Iterable[TaggingAction],

@@ -88,3 +88,63 @@ class TestCachedProximity:
         cached = CachedProximity(counting, capacity=4)
         assert "shortest-path" in cached.name
         assert cached.inner is counting
+
+
+class TestInvalidation:
+    """Regression tests for the post-update staleness bug: a CachedProximity
+    must not keep serving pre-update vectors after the graph gains edges."""
+
+    def test_invalidate_evicts_only_given_seekers(self, counting):
+        cached = CachedProximity(counting, capacity=8)
+        cached.vector(0)
+        cached.vector(1)
+        removed = cached.invalidate([0])
+        assert removed == 1
+        assert cached.statistics.invalidations == 1
+        cached.vector(1)  # still cached
+        assert counting.vector_calls == 2
+        cached.vector(0)  # recomputed
+        assert counting.vector_calls == 3
+
+    def test_invalidate_unknown_seeker_is_noop(self, counting):
+        cached = CachedProximity(counting, capacity=8)
+        cached.vector(0)
+        assert cached.invalidate([999]) == 0
+
+    def test_rebind_and_invalidate_serve_fresh_vectors(self, small_graph):
+        """The staleness fix end to end: after the updater rebuilds the graph
+        with a new edge, rebind + invalidate must surface the new neighbour."""
+        from repro.graph import SocialGraphBuilder
+
+        inner = CountingProximity(small_graph, ProximityConfig())
+        cached = CachedProximity(inner, capacity=8)
+        before = cached.vector(0)
+        assert before.get(5, 0.0) == 0.0  # user 5 is isolated
+
+        builder = SocialGraphBuilder(small_graph.num_users)
+        for u, v, w in small_graph.iter_edges():
+            builder.add_edge(u, v, w)
+        builder.add_edge(0, 5, 1.0)
+        new_graph = builder.build()
+
+        cached.invalidate([0, 5])
+        cached.rebind(new_graph)
+        assert cached.graph is new_graph
+        assert inner.graph is new_graph
+        after = cached.vector(0)
+        assert after[5] > 0.0
+
+    def test_rebind_keeps_unaffected_entries(self, small_graph):
+        from repro.graph import SocialGraphBuilder
+
+        inner = CountingProximity(small_graph, ProximityConfig())
+        cached = CachedProximity(inner, capacity=8)
+        cached.vector(2)
+        calls_before = inner.vector_calls
+        builder = SocialGraphBuilder(small_graph.num_users)
+        for u, v, w in small_graph.iter_edges():
+            builder.add_edge(u, v, w)
+        builder.add_edge(0, 5, 1.0)
+        cached.rebind(builder.build())
+        cached.vector(2)  # not invalidated → still served from cache
+        assert inner.vector_calls == calls_before

@@ -1,0 +1,154 @@
+"""Tests for the stdlib JSON HTTP front end (``repro serve``)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import QueryService, ServiceConfig, SocialSearchEngine
+from repro.service.http_api import ServiceHTTPServer
+from repro.workload import tiny_dataset
+
+
+@pytest.fixture()
+def server():
+    """A live server on an ephemeral port over a fresh tiny dataset."""
+    dataset = tiny_dataset(seed=3)
+    engine = SocialSearchEngine(dataset)
+    service = QueryService(engine, ServiceConfig(workers=2, port=0))
+    httpd = ServiceHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+    service.close()
+    thread.join(timeout=5.0)
+
+
+def base_url(server):
+    return f"http://127.0.0.1:{server.server_port}"
+
+
+def get_json(server, path):
+    with urllib.request.urlopen(base_url(server) + path, timeout=10.0) as response:
+        return response.status, json.load(response)
+
+
+def post_json(server, path, payload):
+    request = urllib.request.Request(
+        base_url(server) + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10.0) as response:
+        return response.status, json.load(response)
+
+
+class TestHealthAndMetrics:
+    def test_health_reports_dataset(self, server):
+        status, body = get_json(server, "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["dataset"] == "tiny"
+        assert body["workers"] == 2
+
+    def test_metrics_snapshot(self, server):
+        tag = server.service.engine.dataset.tags()[0]
+        get_json(server, f"/query?seeker=1&tags={tag}&k=3")
+        status, body = get_json(server, "/metrics")
+        assert status == 200
+        assert body["service"]["requests"] >= 1
+        assert "result_cache" in body
+
+
+class TestQueryEndpoint:
+    def test_get_query(self, server):
+        tag = server.service.engine.dataset.tags()[0]
+        status, body = get_json(server, f"/query?seeker=1&tags={tag}&k=3")
+        assert status == 200
+        assert body["query"] == {"seeker": 1, "tags": [tag], "k": 3}
+        assert body["outcome"] == "computed"
+        assert len(body["items"]) <= 3
+        assert all({"item_id", "score"} <= set(item) for item in body["items"])
+
+    def test_post_query_and_cache_hit(self, server):
+        tag = server.service.engine.dataset.tags()[0]
+        payload = {"seeker": 2, "tags": [tag], "k": 4}
+        status, first = post_json(server, "/query", payload)
+        assert status == 200 and first["outcome"] == "computed"
+        _, second = post_json(server, "/query", payload)
+        assert second["outcome"] == "hit"
+        assert second["items"] == first["items"]
+
+    def test_explicit_algorithm(self, server):
+        tag = server.service.engine.dataset.tags()[0]
+        _, body = get_json(server, f"/query?seeker=1&tags={tag}&k=3&algorithm=exact")
+        assert body["algorithm"] == "exact"
+
+    def test_concurrent_requests(self, server):
+        tags = server.service.engine.dataset.tags()
+
+        def fetch(i):
+            return get_json(server, f"/query?seeker={i % 6}&tags={tags[i % 3]}&k=3")[0]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            statuses = list(pool.map(fetch, range(24)))
+        assert statuses == [200] * 24
+
+    def test_missing_seeker_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/query?tags=jazz")
+        assert excinfo.value.code == 400
+        assert "seeker" in json.load(excinfo.value)["error"]
+
+    def test_bad_seeker_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/query?seeker=notanumber&tags=jazz")
+        assert excinfo.value.code == 400
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestUpdateEndpoint:
+    def test_update_invalidates_served_results(self, server):
+        dataset = server.service.engine.dataset
+        tag = dataset.tags()[0]
+        path = f"/query?seeker=1&tags={tag}&k=5"
+        get_json(server, path)
+        _, warm = get_json(server, path)
+        assert warm["outcome"] == "hit"
+
+        new_item = max(dataset.items.ids()) + 1
+        actions = [{"user_id": u, "item_id": new_item, "tag": tag,
+                    "timestamp": 1_000_000 + u}
+                   for u in range(dataset.num_users) if u != 1]
+        status, summary = post_json(server, "/update", {"actions": actions})
+        assert status == 200
+        assert summary["applied"] is True
+        assert summary["actions_added"] == len(actions)
+
+        _, fresh = get_json(server, path)
+        assert fresh["outcome"] == "computed"
+        assert new_item in [item["item_id"] for item in fresh["items"]]
+
+    def test_friendship_update(self, server):
+        dataset = server.service.engine.dataset
+        neighbours = set(dataset.graph.neighbour_ids(1).tolist())
+        stranger = next(u for u in range(dataset.num_users)
+                        if u != 1 and u not in neighbours)
+        status, summary = post_json(
+            server, "/update", {"friendships": [[1, stranger, 1.0]]})
+        assert status == 200
+        assert summary["edges_added"] == 1
+
+    def test_empty_update_is_noop(self, server):
+        status, summary = post_json(server, "/update", {})
+        assert status == 200
+        assert summary["applied"] is False

@@ -1,0 +1,309 @@
+"""Tests for :class:`repro.service.QueryService`.
+
+Covers the three tentpole behaviours — concurrent execution with in-flight
+deduplication, result caching, and update-driven selective invalidation —
+plus the acceptance criteria of the serving scenario: a warmed cache must
+report a nonzero hit rate and serve hits at least 10x faster than a cold
+query, and a relevant update must change subsequent results (no stale
+reads).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    Query,
+    QueryService,
+    ServiceConfig,
+    ServiceError,
+    SocialSearchEngine,
+)
+from repro.service import HOP_BOUNDED_MEASURES
+from repro.storage import DatasetUpdater, TaggingAction
+from repro.workload import tiny_dataset
+
+
+@pytest.fixture()
+def live_engine():
+    """A fresh (mutable) dataset + engine per test; updates are applied to it."""
+    dataset = tiny_dataset(seed=3)
+    return SocialSearchEngine(dataset)
+
+
+@pytest.fixture()
+def service(live_engine):
+    svc = QueryService(live_engine, ServiceConfig(workers=2))
+    yield svc
+    svc.close()
+
+
+def hot_query(engine, seeker=1, k=5):
+    tag = engine.dataset.tags()[0]
+    return Query(seeker=seeker, tags=(tag,), k=k)
+
+
+class TestServing:
+    def test_matches_direct_engine_run(self, service, live_engine):
+        query = hot_query(live_engine)
+        expected = live_engine.run(query)
+        served = service.serve(query)
+        assert served.result.item_ids == expected.item_ids
+        assert served.outcome == "computed"
+
+    def test_repeat_query_hits_cache(self, service, live_engine):
+        query = hot_query(live_engine)
+        first = service.serve(query)
+        second = service.serve(query)
+        assert first.outcome == "computed"
+        assert second.outcome == "hit"
+        assert second.cached
+        assert second.result is first.result
+        assert service.metrics.cache_hit_rate > 0.0
+
+    def test_cache_hit_is_at_least_10x_faster(self, service, live_engine):
+        query = hot_query(live_engine)
+        cold = service.serve(query)
+        warm_latencies = [service.serve(query).latency_seconds for _ in range(5)]
+        assert cold.latency_seconds >= 10.0 * min(warm_latencies)
+
+    def test_tag_order_shares_cache_entry(self, service, live_engine):
+        tags = live_engine.dataset.tags()[:2]
+        first = service.serve(Query(seeker=1, tags=tuple(tags), k=5))
+        second = service.serve(Query(seeker=1, tags=tuple(reversed(tags)), k=5))
+        assert first.outcome == "computed"
+        assert second.outcome == "hit"
+
+    def test_query_convenience_wrapper(self, service, live_engine):
+        tag = live_engine.dataset.tags()[0]
+        result = service.query(seeker=1, tags=[tag], k=5)
+        assert result.algorithm == live_engine.config.algorithm
+        assert len(result.items) <= 5
+
+    def test_run_many_preserves_order(self, service, live_engine):
+        tags = live_engine.dataset.tags()
+        queries = [Query(seeker=s, tags=(tags[s % len(tags)],), k=3)
+                   for s in range(6)]
+        results = service.run_many(queries)
+        assert [r.query for r in results] == queries
+
+    def test_closed_service_rejects_queries(self, live_engine):
+        svc = QueryService(live_engine, ServiceConfig(workers=1))
+        svc.close()
+        with pytest.raises(ServiceError):
+            svc.submit(hot_query(live_engine))
+
+    def test_closed_service_rejects_even_cached_queries(self, live_engine):
+        svc = QueryService(live_engine, ServiceConfig(workers=1))
+        query = hot_query(live_engine)
+        svc.serve(query)  # warm the cache
+        svc.close()
+        with pytest.raises(ServiceError):
+            svc.submit(query)
+
+
+class TestDeduplication:
+    def test_identical_inflight_requests_coalesce(self, live_engine):
+        """N identical concurrent requests → one engine computation."""
+        gate = threading.Event()
+        calls = []
+        original_run = live_engine.run
+
+        def slow_run(query, algorithm=None):
+            calls.append(query)
+            gate.wait(timeout=5.0)
+            return original_run(query, algorithm=algorithm)
+
+        live_engine.run = slow_run
+        svc = QueryService(live_engine, ServiceConfig(workers=4))
+        try:
+            query = hot_query(live_engine)
+            futures = [svc.submit(query) for _ in range(6)]
+            gate.set()
+            results = [future.result(timeout=10.0) for future in futures]
+            assert len(calls) == 1
+            assert all(result is results[0] for result in results)
+            assert svc.metrics.coalesced == 5
+        finally:
+            live_engine.run = original_run
+            svc.close()
+
+    def test_dedup_can_be_disabled(self, live_engine):
+        gate = threading.Event()
+        calls = []
+        original_run = live_engine.run
+
+        def slow_run(query, algorithm=None):
+            calls.append(query)
+            gate.wait(timeout=5.0)
+            return original_run(query, algorithm=algorithm)
+
+        live_engine.run = slow_run
+        svc = QueryService(
+            live_engine,
+            ServiceConfig(workers=4, deduplicate=False, cache_capacity=0),
+        )
+        try:
+            query = hot_query(live_engine)
+            futures = [svc.submit(query) for _ in range(3)]
+            gate.set()
+            for future in futures:
+                future.result(timeout=10.0)
+            assert len(calls) == 3
+        finally:
+            live_engine.run = original_run
+            svc.close()
+
+
+class TestUpdateInvalidation:
+    def test_relevant_tagging_changes_result(self, service, live_engine):
+        """A burst of taggings on the queried tag must flow into the answer."""
+        dataset = live_engine.dataset
+        updater = service.watch(DatasetUpdater(dataset))
+        query = hot_query(live_engine, seeker=1)
+        tag = query.tags[0]
+        before = service.serve(query)
+
+        # Every other user tags a brand-new item with the queried tag,
+        # making it the tag's most popular item; it must enter the answer.
+        taggers = [u for u in range(dataset.num_users) if u != 1]
+        new_item = max(dataset.items.ids()) + 1 if dataset.num_items else 10_000
+        actions = [TaggingAction(user_id=u, item_id=new_item, tag=tag,
+                                 timestamp=1_000_000 + i)
+                   for i, u in enumerate(taggers)]
+        updater.add_actions(actions)
+
+        after = service.serve(query)
+        assert after.outcome == "computed", "stale cache entry served after update"
+        assert new_item in after.result.item_ids
+        assert before.result.item_ids != after.result.item_ids
+
+    def test_irrelevant_tagging_keeps_cache_entry(self, service, live_engine):
+        dataset = live_engine.dataset
+        updater = service.watch(DatasetUpdater(dataset))
+        tags = dataset.tags()
+        query = Query(seeker=1, tags=(tags[0],), k=5)
+        service.serve(query)
+        updater.add_actions([TaggingAction(user_id=2, item_id=55_555, tag=tags[-1],
+                                           timestamp=1_000_000)])
+        assert service.serve(query).outcome == "hit"
+
+    def test_new_friendship_invalidates_nearby_seekers_only(self, live_engine):
+        dataset = live_engine.dataset
+        graph = dataset.graph
+        svc = QueryService(live_engine, ServiceConfig(workers=2))
+        updater = svc.watch(DatasetUpdater(dataset))
+        try:
+            tag = dataset.tags()[0]
+            seeker = 1
+            neighbours = set(graph.neighbour_ids(seeker).tolist())
+            stranger = next(u for u in range(graph.num_users)
+                            if u != seeker and u not in neighbours)
+            near_query = Query(seeker=seeker, tags=(tag,), k=5)
+            # A seeker more than max_hops from both endpoints keeps its entry.
+            from repro.graph.traversal import bfs_levels
+            horizon = svc.invalidation_horizon
+            ball = set(bfs_levels(graph, seeker, max_hops=horizon))
+            ball |= set(bfs_levels(graph, stranger, max_hops=horizon))
+            far = [u for u in range(graph.num_users) if u not in ball]
+            svc.serve(near_query)
+            far_query = None
+            if far:
+                far_query = Query(seeker=far[0], tags=(tag,), k=5)
+                svc.serve(far_query)
+
+            summary = updater.add_friendships([(seeker, stranger, 1.0)])
+            assert summary.edges_added == 1
+            assert svc.serve(near_query).outcome == "computed"
+            if far_query is not None:
+                assert svc.serve(far_query).outcome == "hit"
+        finally:
+            svc.close()
+
+    def test_friendship_update_changes_scores(self, service, live_engine):
+        """Acceptance: post-update answers reflect the new edge (no stale reads)."""
+        dataset = live_engine.dataset
+        updater = service.watch(DatasetUpdater(dataset))
+        tag = dataset.tags()[0]
+        query = Query(seeker=1, tags=(tag,), k=5)
+        before = service.serve(query)
+        neighbours = set(dataset.graph.neighbour_ids(1).tolist())
+        # Befriend an active stranger so the social component shifts.
+        stranger = next(u for u in range(dataset.num_users)
+                        if u != 1 and u not in neighbours
+                        and dataset.tagging.activity(u) > 0)
+        updater.add_friendships([(1, stranger, 1.0)])
+        after = service.serve(query)
+        assert after.outcome == "computed"
+        # Proximity now sees the rebuilt graph.
+        assert live_engine.proximity.graph is dataset.graph
+        assert (before.result.scores != after.result.scores
+                or before.result.item_ids != after.result.item_ids)
+
+    def test_apply_notifies_once_with_merged_summary(self, service, live_engine):
+        dataset = live_engine.dataset
+        updater = service.watch(DatasetUpdater(dataset))
+        observed = []
+        updater.subscribe(observed.append)
+        tag = dataset.tags()[0]
+        updater.apply(
+            actions=[TaggingAction(user_id=2, item_id=77_777, tag=tag,
+                                   timestamp=2_000_000)],
+            new_users=2,
+        )
+        assert len(observed) == 1
+        assert observed[0].users_added == 2
+        assert observed[0].tags_touched == {tag}
+        assert service.metrics.updates_observed == 1
+
+    def test_global_measure_falls_back_to_full_invalidation(self):
+        from repro import EngineConfig, ProximityConfig
+
+        dataset = tiny_dataset(seed=3)
+        engine = SocialSearchEngine(
+            dataset, EngineConfig(algorithm="exact",
+                                  proximity=ProximityConfig(measure="ppr")))
+        assert "ppr" not in HOP_BOUNDED_MEASURES
+        svc = QueryService(engine, ServiceConfig(workers=1))
+        updater = svc.watch(DatasetUpdater(dataset))
+        try:
+            tags = dataset.tags()
+            q1 = Query(seeker=1, tags=(tags[0],), k=3)
+            q2 = Query(seeker=2, tags=(tags[1],), k=3)
+            svc.serve(q1)
+            svc.serve(q2)
+            neighbours = set(dataset.graph.neighbour_ids(5).tolist())
+            stranger = next(u for u in range(dataset.num_users)
+                            if u != 5 and u not in neighbours)
+            updater.add_friendships([(5, stranger, 0.5)])
+            # PPR vectors are global: every cached result is stale.
+            assert svc.serve(q1).outcome == "computed"
+            assert svc.serve(q2).outcome == "computed"
+        finally:
+            svc.close()
+
+
+class TestParallelRunMany:
+    def test_parallel_matches_sequential(self, live_engine):
+        tags = live_engine.dataset.tags()
+        queries = [Query(seeker=s % live_engine.dataset.num_users,
+                         tags=(tags[s % len(tags)],), k=5)
+                   for s in range(10)]
+        sequential = live_engine.run_many(queries)
+        parallel = live_engine.run_many(queries, parallel=True, workers=4)
+        assert [r.item_ids for r in sequential] == [r.item_ids for r in parallel]
+        assert [r.scores for r in sequential] == [r.scores for r in parallel]
+
+    def test_sequential_is_the_default(self, live_engine):
+        query = hot_query(live_engine)
+        assert live_engine.run_many([query])[0].item_ids == \
+            live_engine.run(query).item_ids
+
+    def test_concurrent_distinct_queries_all_answered(self, service, live_engine):
+        tags = live_engine.dataset.tags()
+        queries = [Query(seeker=s, tags=(tags[s % len(tags)],), k=3)
+                   for s in range(12)]
+        futures = [service.submit(q) for q in queries]
+        results = [f.result(timeout=30.0) for f in futures]
+        assert all(r.query == q for r, q in zip(results, queries))

@@ -1,0 +1,173 @@
+"""Tests for the serving-layer result cache (LRU + TTL + invalidation)."""
+
+import pytest
+
+from repro.core.query import Query, QueryResult, ScoredItem
+from repro.service import CacheKey, ResultCache
+
+
+def make_result(seeker=0, tags=("jazz",), k=3, algorithm="social-first"):
+    query = Query(seeker=seeker, tags=tuple(tags), k=k)
+    items = [ScoredItem(item_id=i, score=1.0 - i / 10.0) for i in range(k)]
+    return QueryResult(query=query, items=items, algorithm=algorithm)
+
+
+def key_of(result):
+    return CacheKey.for_query(result.query, result.algorithm)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCacheKey:
+    def test_tag_order_is_normalised(self):
+        a = CacheKey.for_query(Query(seeker=1, tags=("b", "a"), k=5), "ta")
+        b = CacheKey.for_query(Query(seeker=1, tags=("a", "b"), k=5), "ta")
+        assert a == b
+
+    def test_distinct_requests_distinct_keys(self):
+        base = Query(seeker=1, tags=("a",), k=5)
+        assert CacheKey.for_query(base, "ta") != CacheKey.for_query(base, "nra")
+        assert (CacheKey.for_query(Query(seeker=2, tags=("a",), k=5), "ta")
+                != CacheKey.for_query(base, "ta"))
+        assert (CacheKey.for_query(Query(seeker=1, tags=("a",), k=6), "ta")
+                != CacheKey.for_query(base, "ta"))
+
+
+class TestGetPut:
+    def test_roundtrip_and_counters(self):
+        cache = ResultCache(capacity=4)
+        result = make_result()
+        key = key_of(result)
+        assert cache.get(key) is None
+        cache.put(key, result)
+        assert cache.get(key) is result
+        assert cache.statistics.hits == 1
+        assert cache.statistics.misses == 1
+        assert cache.statistics.hit_rate == 0.5
+
+    def test_capacity_zero_disables_cache(self):
+        cache = ResultCache(capacity=0)
+        result = make_result()
+        cache.put(key_of(result), result)
+        assert cache.get(key_of(result)) is None
+        assert len(cache) == 0
+
+
+class TestLRU:
+    def test_least_recently_used_is_evicted(self):
+        cache = ResultCache(capacity=2)
+        a, b, c = (make_result(seeker=s) for s in (0, 1, 2))
+        cache.put(key_of(a), a)
+        cache.put(key_of(b), b)
+        cache.get(key_of(a))  # refresh a → b is now LRU
+        cache.put(key_of(c), c)
+        assert cache.get(key_of(a)) is a
+        assert cache.get(key_of(b)) is None
+        assert cache.get(key_of(c)) is c
+        assert cache.statistics.evictions == 1
+
+    def test_eviction_cleans_secondary_indexes(self):
+        cache = ResultCache(capacity=1)
+        a = make_result(seeker=0, tags=("jazz",))
+        b = make_result(seeker=1, tags=("rock",))
+        cache.put(key_of(a), a)
+        cache.put(key_of(b), b)  # evicts a
+        assert cache.invalidate_tags(["jazz"]) == 0
+        assert cache.invalidate_seekers([0]) == 0
+
+
+class TestTTL:
+    def test_entry_expires_after_ttl(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        result = make_result()
+        cache.put(key_of(result), result)
+        clock.advance(9.9)
+        assert cache.get(key_of(result)) is result
+        clock.advance(0.2)
+        assert cache.get(key_of(result)) is None
+        assert cache.statistics.expirations == 1
+
+    def test_zero_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl_seconds=0.0, clock=clock)
+        result = make_result()
+        cache.put(key_of(result), result)
+        clock.advance(1e9)
+        assert cache.get(key_of(result)) is result
+
+
+class TestInvalidation:
+    def test_invalidate_by_tag_is_selective(self):
+        cache = ResultCache(capacity=8)
+        jazz = make_result(seeker=0, tags=("jazz", "vinyl"))
+        rock = make_result(seeker=0, tags=("rock",))
+        cache.put(key_of(jazz), jazz)
+        cache.put(key_of(rock), rock)
+        assert cache.invalidate_tags(["jazz"]) == 1
+        assert cache.get(key_of(jazz)) is None
+        assert cache.get(key_of(rock)) is rock
+        assert cache.statistics.invalidations == 1
+
+    def test_invalidate_by_seeker_is_selective(self):
+        cache = ResultCache(capacity=8)
+        mine = make_result(seeker=3)
+        theirs = make_result(seeker=4)
+        cache.put(key_of(mine), mine)
+        cache.put(key_of(theirs), theirs)
+        assert cache.invalidate_seekers([3]) == 1
+        assert cache.get(key_of(mine)) is None
+        assert cache.get(key_of(theirs)) is theirs
+
+    def test_unknown_tag_or_seeker_is_noop(self):
+        cache = ResultCache(capacity=8)
+        result = make_result()
+        cache.put(key_of(result), result)
+        assert cache.invalidate_tags(["nope"]) == 0
+        assert cache.invalidate_seekers([999]) == 0
+        assert cache.get(key_of(result)) is result
+
+    def test_clear_empties_everything(self):
+        cache = ResultCache(capacity=8)
+        for seeker in range(3):
+            result = make_result(seeker=seeker)
+            cache.put(key_of(result), result)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert cache.statistics.invalidations == 3
+
+
+class TestGenerationGuard:
+    """Puts from computations that straddle an invalidation must be dropped."""
+
+    def test_put_with_stale_generation_is_dropped(self):
+        cache = ResultCache(capacity=8)
+        result = make_result(seeker=0, tags=("jazz",))
+        generation = cache.generation
+        # An invalidation event lands while the result is being computed.
+        cache.invalidate_tags(["jazz"])
+        cache.put(key_of(result), result, generation=generation)
+        assert cache.get(key_of(result)) is None
+
+    def test_put_with_current_generation_is_stored(self):
+        cache = ResultCache(capacity=8)
+        result = make_result()
+        cache.put(key_of(result), result, generation=cache.generation)
+        assert cache.get(key_of(result)) is result
+
+    def test_every_invalidation_kind_bumps_generation(self):
+        cache = ResultCache(capacity=8)
+        start = cache.generation
+        cache.invalidate_tags(["x"])
+        cache.invalidate_seekers([1])
+        cache.clear()
+        assert cache.generation == start + 3

@@ -1,0 +1,79 @@
+"""Tests for the serving-side metrics collector."""
+
+import pytest
+
+from repro.service import ServiceMetrics, percentile
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_known_values(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 100
+        assert percentile(values, 0.5) == 51  # nearest-rank on 0-based index
+
+    def test_order_independent(self):
+        assert percentile([5, 1, 3], 1.0) == 5
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestServiceMetrics:
+    def test_request_outcomes_counted(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("hit")
+        metrics.record_request("miss")
+        metrics.record_request("coalesced")
+        assert metrics.requests == 3
+        assert metrics.cache_hits == 1
+        assert metrics.coalesced == 1
+        assert metrics.cache_hit_rate == pytest.approx(1 / 3)
+
+    def test_qps_uses_uptime(self):
+        clock = FakeClock()
+        metrics = ServiceMetrics(clock=clock)
+        for _ in range(10):
+            metrics.record_request("miss")
+        clock.now = 2.0
+        assert metrics.qps == pytest.approx(5.0)
+
+    def test_latency_percentiles_in_ms(self):
+        metrics = ServiceMetrics()
+        for value in (0.001, 0.002, 0.010):
+            metrics.record_latency(value)
+        snapshot = metrics.latency_percentiles()
+        assert snapshot["p50_ms"] == pytest.approx(2.0)
+        assert snapshot["p99_ms"] == pytest.approx(10.0)
+
+    def test_window_bounds_reservoir(self):
+        metrics = ServiceMetrics(window=4)
+        for value in (1.0, 1.0, 1.0, 0.1, 0.1, 0.1, 0.1):
+            metrics.record_latency(value)
+        assert metrics.latency_percentiles()["p99_ms"] == pytest.approx(100.0)
+
+    def test_update_counters_and_snapshot(self):
+        metrics = ServiceMetrics()
+        metrics.record_update(entries_invalidated=3)
+        metrics.record_error()
+        snapshot = metrics.to_dict()
+        assert snapshot["updates_observed"] == 1
+        assert snapshot["entries_invalidated"] == 3
+        assert snapshot["errors"] == 1
+        assert {"qps", "p50_ms", "p95_ms", "p99_ms", "cache_hit_rate"} <= set(snapshot)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics(window=0)

@@ -142,3 +142,52 @@ class TestApplyAndReplay:
         data = summary.to_dict()
         assert data["actions_added"] == 1
         assert data["tags_touched"] == ["rock"]
+
+
+class TestObservers:
+    def test_subscriber_notified_per_public_call(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        observed = []
+        updater.subscribe(observed.append)
+        updater.add_actions([TaggingAction(4, 300, "jazz", timestamp=20)])
+        updater.add_users(1)
+        assert len(observed) == 2
+        assert observed[0].tags_touched == {"jazz"}
+        assert observed[1].users_added == 1
+
+    def test_apply_notifies_once_with_merged_summary(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        observed = []
+        updater.subscribe(observed.append)
+        updater.apply(
+            actions=[TaggingAction(4, 300, "jazz", timestamp=20)],
+            new_users=1,
+        )
+        assert len(observed) == 1
+        assert observed[0].actions_added == 1
+        assert observed[0].users_added == 1
+
+    def test_no_notification_when_nothing_changed(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        observed = []
+        updater.subscribe(observed.append)
+        # Duplicate action: ignored, dataset unchanged.
+        updater.add_actions([TaggingAction(1, 100, "jazz", timestamp=99)])
+        updater.apply()
+        assert observed == []
+
+    def test_unsubscribe_stops_notifications(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        observed = []
+        updater.subscribe(observed.append)
+        updater.unsubscribe(observed.append)
+        updater.add_users(1)
+        assert observed == []
+        updater.unsubscribe(observed.append)  # double-unsubscribe is a no-op
+
+    def test_summary_change_flags(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        tagging = updater.add_actions([TaggingAction(4, 300, "jazz", timestamp=20)])
+        assert tagging.changed and not tagging.graph_rebuilt
+        growth = updater.add_users(1)
+        assert growth.changed and growth.graph_rebuilt

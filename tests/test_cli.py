@@ -13,8 +13,17 @@ class TestParser:
     def test_parser_knows_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("demo", "generate", "query", "bench"):
+        for command in ("demo", "generate", "query", "bench", "serve"):
             assert command in text
+
+    def test_serve_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--workers", "2"])
+        assert args.handler is not None
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.cache_capacity == 1024
+        assert args.ttl == 300.0
 
 
 class TestDemo:
