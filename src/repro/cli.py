@@ -37,7 +37,8 @@ from .workload.queries import generate_workload
 def _engine_config(args: argparse.Namespace) -> EngineConfig:
     return EngineConfig(
         algorithm=args.algorithm,
-        scoring=ScoringConfig(alpha=args.alpha),
+        scoring=ScoringConfig(alpha=args.alpha,
+                              vectorized=not getattr(args, "scalar", False)),
         proximity=ProximityConfig(measure=args.proximity),
     )
 
@@ -49,6 +50,9 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="default top-k algorithm (default: social-first)")
     parser.add_argument("--proximity", default="shortest-path",
                         help="proximity measure (default: shortest-path)")
+    parser.add_argument("--scalar", action="store_true",
+                        help="disable the vectorized numpy scoring kernels "
+                             "(scalar fallback; identical results, slower)")
 
 
 def _command_demo(args: argparse.Namespace) -> int:
@@ -99,6 +103,8 @@ def _command_query(args: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
+    if args.suite:
+        return _run_bench_suite(args)
     dataset = delicious_like(scale=args.scale, seed=args.seed,
                              holdout_fraction=args.holdout)
     engine = SocialSearchEngine(dataset, _engine_config(args))
@@ -110,6 +116,39 @@ def _command_bench(args: argparse.Namespace) -> int:
     print(dataset.describe())
     print()
     print(format_table(report.rows()))
+    return 0
+
+
+def _run_bench_suite(args: argparse.Namespace) -> int:
+    """Headless ``bench_fig*``-style suite with machine-readable output."""
+    from .eval.bench import DEFAULT_ALGORITHMS, format_report, run_topk_suite, write_report
+
+    if args.scalar:
+        # The suite always measures both modes (the speedup IS the point);
+        # silently benchmarking something else than asked would be worse
+        # than refusing.
+        print("--scalar has no effect with --suite: the suite benchmarks "
+              "both the vectorized and the scalar exact path")
+        return 1
+    report = run_topk_suite(
+        num_users=args.users,
+        num_queries=args.queries,
+        k=args.k,
+        rounds=args.rounds,
+        alpha=args.alpha,
+        measure=args.proximity,
+        algorithms=tuple(args.algorithms) if args.algorithms else DEFAULT_ALGORITHMS,
+        seed=args.seed,
+    )
+    print(format_report(report))
+    if args.json:
+        path = write_report(report, args.json)
+        print(f"wrote {path}")
+    speedup = float(report["speedup_vectorized_exact"])
+    if args.min_speedup > 0.0 and speedup < args.min_speedup:
+        print(f"FAIL: vectorized exact speedup {speedup:.2f}x is below the "
+              f"required {args.min_speedup:.2f}x")
+        return 1
     return 0
 
 
@@ -172,13 +211,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(query)
     query.set_defaults(handler=_command_query)
 
-    bench = subparsers.add_parser("bench", help="run a small algorithm comparison")
-    bench.add_argument("--scale", type=float, default=0.3)
+    bench = subparsers.add_parser(
+        "bench", help="run a small algorithm comparison, or the headless "
+                      "benchmark suite with --suite")
+    bench.add_argument("--scale", type=float, default=0.3,
+                       help="comparison-mode dataset scale (the suite sizes "
+                            "its corpus with --users instead)")
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--queries", type=int, default=20)
     bench.add_argument("--k", type=int, default=10)
-    bench.add_argument("--holdout", type=float, default=0.2)
-    bench.add_argument("--algorithms", nargs="*", default=None)
+    bench.add_argument("--holdout", type=float, default=0.2,
+                       help="comparison-mode holdout fraction (unused by --suite)")
+    bench.add_argument("--algorithms", nargs="*", default=None,
+                       help="algorithms to measure (both modes)")
+    bench.add_argument("--suite", action="store_true",
+                       help="run the headless bench_fig*-style top-k suite "
+                            "(p50/p95/qps + vectorized-vs-scalar speedup)")
+    bench.add_argument("--users", type=int, default=200,
+                       help="suite dataset size in users (default: 200, the "
+                            "Figure-6 medium point)")
+    bench.add_argument("--rounds", type=int, default=3,
+                       help="suite timing passes over the workload (default: 3)")
+    bench.add_argument("--json", default=None, metavar="PATH",
+                       help="suite: write the machine-readable report here "
+                            "(e.g. benchmarks/results/BENCH_topk.json)")
+    bench.add_argument("--min-speedup", type=float, default=0.0,
+                       help="suite: exit non-zero when the vectorized exact "
+                            "speedup falls below this factor (CI smoke gate)")
     _add_engine_arguments(bench)
     bench.set_defaults(handler=_command_bench)
 

@@ -36,11 +36,18 @@ class ScoringConfig:
     proximity_floor:
         Proximity values below this threshold are treated as zero.  This
         bounds the social expansion of frontier-based algorithms.
+    vectorized:
+        Whether algorithms may use the numpy scoring kernels (batched
+        posting-list reads, CSR endorser reductions, ``argpartition``
+        top-k).  The kernels return exactly the same rankings as the scalar
+        path; disabling them is the scalar fallback for debugging and for
+        the benchmark suite's speedup baseline.
     """
 
     alpha: float = 0.5
     include_seeker: bool = False
     proximity_floor: float = 1e-4
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         _require(0.0 <= self.alpha <= 1.0, f"alpha must be in [0, 1], got {self.alpha}")

@@ -8,6 +8,7 @@ latency, access counts and whether the algorithm stopped early.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,6 +44,10 @@ class Query:
         for tag in self.tags:
             if not isinstance(tag, str) or not tag.strip():
                 raise InvalidQueryError(f"query tags must be non-empty strings, got {tag!r}")
+            # Interned query tags hit the same objects the dataset's indexes
+            # were built with (TaggingAction interns at build time), so the
+            # per-posting dict lookups compare by pointer first.
+            tag = sys.intern(tag)
             if tag not in cleaned:
                 cleaned.append(tag)
         if not cleaned:

@@ -21,10 +21,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+import numpy as np
+
 from ..config import ScoringConfig
 from ..proximity.base import ProximityMeasure
 from ..storage.dataset import Dataset
 from .accounting import AccessAccountant
+
+
+@dataclass(frozen=True)
+class ScoredBlock:
+    """Vectorized scores of a block of candidate items (parallel arrays).
+
+    ``random_charges`` (present when requested) is the number of random
+    accesses the scalar path would spend scoring each item exactly — one
+    frequency lookup per tag plus one per charged endorser — so callers can
+    mirror the scalar access accounting without redoing the gathers.
+    """
+
+    item_ids: np.ndarray
+    scores: np.ndarray
+    textual: np.ndarray
+    social: np.ndarray
+    random_charges: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return int(self.item_ids.shape[0])
 
 
 @dataclass(frozen=True)
@@ -84,9 +106,14 @@ class ScoringModel:
     def social_mass(self, seeker: int, item_id: int, tag: str,
                     proximity_vector: Mapping[int, float],
                     accountant: Optional[AccessAccountant] = None) -> float:
-        """Raw proximity-weighted endorser mass ``Σ_v prox(s, v)``."""
+        """Raw proximity-weighted endorser mass ``Σ_v prox(s, v)``.
+
+        Taggers are visited in ascending id order — the same order the
+        endorser index stores its CSR segments in — so the scalar and
+        vectorized scorers accumulate floating-point mass identically.
+        """
         mass = 0.0
-        for tagger in self._dataset.tagging.taggers(item_id, tag):
+        for tagger in self._dataset.tagging.taggers_sorted(item_id, tag):
             if tagger == seeker and not self._config.include_seeker:
                 continue
             if accountant is not None:
@@ -123,6 +150,81 @@ class ScoringModel:
     def proximity_vector(self, seeker: int) -> Dict[int, float]:
         """Full proximity vector of the seeker (used by exact baselines)."""
         return self._proximity.vector(seeker)
+
+    def proximity_vector_array(self, seeker: int) -> np.ndarray:
+        """Dense per-user proximity array of the seeker (read-only).
+
+        The seeker's own entry is always 0, which is exactly the value the
+        scalar path observes (``vector()`` never contains the seeker), so
+        gathering from this array needs no seeker-exclusion branch.
+        """
+        return self._proximity.vector_array(seeker)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized scoring
+    # ------------------------------------------------------------------ #
+
+    def score_block(self, seeker: int, item_ids: np.ndarray,
+                    tags: Tuple[str, ...],
+                    proximity: Optional[np.ndarray] = None,
+                    with_charges: bool = False) -> ScoredBlock:
+        """Exact blended scores of a block of items, computed with numpy.
+
+        ``item_ids`` must be ascending (use :meth:`candidate_block` for the
+        full per-query candidate set).  The arithmetic mirrors
+        :meth:`exact_score` operation for operation — per-tag accumulation
+        in query order, endorser mass reduced in ascending tagger order —
+        so the two paths agree to within one or two ulps and produce
+        identical rankings under the (score desc, item id asc) order.
+
+        With ``with_charges`` the returned block also carries the per-item
+        scalar-equivalent random-access counts (computed in the same pass,
+        from the same gathers).
+        """
+        if proximity is None:
+            proximity = self.proximity_vector_array(seeker)
+        n = int(item_ids.shape[0])
+        alpha = self._config.alpha
+        textual_total = np.zeros(n, dtype=np.float64)
+        social_total = np.zeros(n, dtype=np.float64)
+        charges = np.zeros(n, dtype=np.int64) if with_charges else None
+        if n and tags:
+            for tag in tags:
+                normaliser = self.normaliser(tag)
+                bundle = self._dataset.endorser_index.for_tag(tag)
+                if bundle is None or len(bundle) == 0:
+                    if charges is not None:
+                        charges += 1  # the frequency lookup still happens
+                    continue
+                positions, found = bundle.positions_of(item_ids)
+                # prox[seeker] is 0 by the vector_array contract, so the
+                # include_seeker flag needs no branch here: the seeker's own
+                # endorsements contribute zero mass either way (it only
+                # affects access accounting).
+                mass = bundle.social_mass(proximity)
+                textual = np.where(found, bundle.frequencies[positions], 0) / normaliser
+                social = np.minimum(1.0, np.where(found, mass[positions], 0.0) / normaliser)
+                textual_total += textual
+                social_total += social
+                if charges is not None:
+                    endorsers = np.where(found, bundle.frequencies[positions], 0)
+                    if not self._config.include_seeker:
+                        # The scalar path skips the seeker before charging.
+                        seeker_flags = bundle.seeker_flags(seeker)
+                        endorsers = endorsers - np.where(
+                            found, seeker_flags[positions].astype(np.int64), 0)
+                    charges += 1 + endorsers
+        m = float(len(tags)) if tags else 1.0
+        textual_component = textual_total / m
+        social_component = social_total / m
+        scores = alpha * textual_component + (1.0 - alpha) * social_component
+        return ScoredBlock(item_ids=item_ids, scores=scores,
+                           textual=textual_component, social=social_component,
+                           random_charges=charges)
+
+    def candidate_block(self, tags: Tuple[str, ...]) -> np.ndarray:
+        """Ascending ids of every item carrying at least one query tag."""
+        return self._dataset.endorser_index.candidate_items(tags)
 
     # ------------------------------------------------------------------ #
     # Bound arithmetic (used by threshold-style algorithms)

@@ -12,27 +12,51 @@ From that partial knowledge the candidate derives a lower bound (what the
 item is certainly worth) and an upper bound (what it could still become,
 given the frequency of the next unread posting and the proximity of the
 next unvisited friend).  The bounds drive both pruning and termination.
+
+The pool answers "what is the best upper bound outside the current top-k"
+*incrementally*: upper bounds only ever decrease as a search progresses
+(posting frequencies and frontier proximities are non-increasing, and
+refining a candidate's knowledge can only tighten its bound), so the pool
+keeps a lazy max-heap of previously computed bounds and re-evaluates just
+the entries whose stale value still beats the best fresh one.  The naive
+alternative — rescanning every candidate each round — made NRA-style
+termination checks quadratic in the candidate count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+import heapq
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..scoring import ScoringModel
 
+#: No blended score can exceed 1: both components are normalised into
+#: [0, 1] and the blend is convex.  Fresh candidates enter the bound heap
+#: with this value and get an exact bound lazily on the first query.
+_SCORE_CEILING = 1.0
 
-@dataclass
+
 class Candidate:
     """Partial knowledge about one item during query processing."""
 
-    item_id: int
-    #: tag -> exact frequency, for tags where frequency is known.
-    known_frequency: Dict[str, int] = field(default_factory=dict)
-    #: tag -> accumulated proximity mass from visited endorsers.
-    social_mass: Dict[str, float] = field(default_factory=dict)
-    #: tag -> number of endorsers already seen from the frontier.
-    endorsers_seen: Dict[str, int] = field(default_factory=dict)
+    __slots__ = ("item_id", "known_frequency", "social_mass", "endorsers_seen")
+
+    def __init__(self, item_id: int,
+                 known_frequency: Optional[Dict[str, int]] = None,
+                 social_mass: Optional[Dict[str, float]] = None,
+                 endorsers_seen: Optional[Dict[str, int]] = None) -> None:
+        self.item_id = item_id
+        #: tag -> exact frequency, for tags where frequency is known.
+        self.known_frequency: Dict[str, int] = known_frequency or {}
+        #: tag -> accumulated proximity mass from visited endorsers.
+        self.social_mass: Dict[str, float] = social_mass or {}
+        #: tag -> number of endorsers already seen from the frontier.
+        self.endorsers_seen: Dict[str, int] = endorsers_seen or {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Candidate(item_id={self.item_id}, "
+                f"known_frequency={self.known_frequency}, "
+                f"social_mass={self.social_mass})")
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -100,8 +124,15 @@ class Candidate:
 class CandidatePool:
     """The set of candidates an algorithm is currently reasoning about."""
 
+    __slots__ = ("_candidates", "_bound_heap")
+
     def __init__(self) -> None:
         self._candidates: Dict[int, Candidate] = {}
+        # Lazy max-heap of (-stale_upper_bound, item_id).  Every candidate
+        # has exactly one live entry; stale values over-estimate (bounds are
+        # non-increasing over a search), which is what makes the lazy
+        # re-evaluation in max_upper_bound_excluding sound.
+        self._bound_heap: List[Tuple[float, int]] = []
 
     def __len__(self) -> int:
         return len(self._candidates)
@@ -123,6 +154,7 @@ class CandidatePool:
             return candidate, False
         candidate = Candidate(item_id=item_id)
         self._candidates[item_id] = candidate
+        heapq.heappush(self._bound_heap, (-_SCORE_CEILING, item_id))
         return candidate, True
 
     def item_ids(self) -> Tuple[int, ...]:
@@ -132,12 +164,35 @@ class CandidatePool:
     def max_upper_bound_excluding(self, scoring: ScoringModel, tags: Tuple[str, ...],
                                   next_tf: Mapping[str, int], frontier_proximity: float,
                                   excluded: frozenset) -> float:
-        """Largest upper bound among candidates outside ``excluded``."""
+        """Largest upper bound among candidates outside ``excluded``.
+
+        Amortised cost is the number of candidates whose cached bound still
+        exceeds the answer, not the pool size: entries are popped in stale
+        order, re-evaluated with the current ``next_tf`` / frontier values,
+        and pushed back fresh; as soon as the best remaining stale value
+        cannot beat the best fresh non-excluded bound found so far, every
+        untouched candidate is certifiably below it.
+
+        Correctness relies on bounds never increasing between calls within
+        one search (monotone ``next_tf`` / ``frontier_proximity`` and
+        knowledge refinement), which every interleaving algorithm satisfies
+        by construction.
+        """
+        heap = self._bound_heap
         best = 0.0
-        for item_id, candidate in self._candidates.items():
-            if item_id in excluded:
+        refreshed: List[Tuple[float, int]] = []
+        while heap:
+            stale_negative, item_id = heap[0]
+            if -stale_negative <= best:
+                break
+            heapq.heappop(heap)
+            candidate = self._candidates.get(item_id)
+            if candidate is None:
                 continue
-            bound = candidate.upper_bound(scoring, tags, next_tf, frontier_proximity)
-            if bound > best:
-                best = bound
+            fresh = candidate.upper_bound(scoring, tags, next_tf, frontier_proximity)
+            refreshed.append((-fresh, item_id))
+            if fresh > best and item_id not in excluded:
+                best = fresh
+        for entry in refreshed:
+            heapq.heappush(heap, entry)
         return best

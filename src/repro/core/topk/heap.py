@@ -13,7 +13,14 @@ from typing import Dict, List, Tuple
 
 
 class TopKHeap:
-    """Fixed-capacity max-collection implemented over a min-heap."""
+    """Fixed-capacity max-collection implemented over a min-heap.
+
+    Entries are plain ``(score, -item_id)`` tuples (no per-entry objects to
+    allocate) and the heap itself is slotted, so offering candidates in the
+    per-query hot loop does not churn instance dictionaries.
+    """
+
+    __slots__ = ("_k", "_heap", "_scores")
 
     def __init__(self, k: int) -> None:
         if k < 1:

@@ -21,6 +21,8 @@ from ...storage.inverted_index import InvertedIndex, Posting, PostingListCursor
 class TextualSource:
     """Sequential access to one tag's frequency-ordered posting list."""
 
+    __slots__ = ("_tag", "_cursor")
+
     def __init__(self, index: InvertedIndex, tag: str) -> None:
         self._tag = tag
         self._cursor: PostingListCursor = index.cursor(tag)
@@ -49,6 +51,8 @@ class TextualSource:
 
 class SocialFrontier:
     """Best-first stream of the seeker's friends in decreasing proximity."""
+
+    __slots__ = ("_stream", "_peeked", "_exhausted", "_visited")
 
     def __init__(self, proximity: ProximityMeasure, seeker: int) -> None:
         self._stream: Iterator[Tuple[int, float]] = proximity.iter_ranked(seeker)

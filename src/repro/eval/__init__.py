@@ -15,6 +15,7 @@ from .metrics import (
 )
 from .timing import LatencyRecorder, Timer
 from .runner import AlgorithmReport, ExperimentRunner, WorkloadReport, sweep
+from .bench import format_report, run_topk_suite, write_report
 from .tables import format_series, format_table, select_columns
 from .plots import ascii_bar_chart, ascii_line_chart, series_from_rows
 
@@ -36,6 +37,9 @@ __all__ = [
     "AlgorithmReport",
     "WorkloadReport",
     "sweep",
+    "run_topk_suite",
+    "write_report",
+    "format_report",
     "format_table",
     "format_series",
     "select_columns",

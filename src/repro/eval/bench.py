@@ -1,0 +1,159 @@
+"""Headless top-k benchmark suite (``repro bench --suite``).
+
+Runs the same shapes as the ``benchmarks/bench_fig*`` harness — per-query
+latency across algorithms, vectorized vs scalar exact scoring on the
+Figure-6 medium corpus — without pytest, and emits one machine-readable
+JSON document so the performance trajectory of the engine can be tracked
+commit over commit (``benchmarks/results/BENCH_topk.json`` in this repo).
+
+The suite deliberately separates two numbers:
+
+* the **kernel speedup** — vectorized vs scalar exact search with a warm
+  proximity cache, isolating the scoring/top-k kernels this PR vectorizes;
+* the **per-algorithm serving view** — p50/p95 latency and throughput per
+  algorithm with the engine's normal cache configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from ..config import EngineConfig, ProximityConfig, ScoringConfig, WorkloadConfig
+from ..core.engine import SocialSearchEngine
+from ..core.query import Query
+from ..storage.dataset import Dataset
+from ..workload.datasets import scaled_dataset
+from ..workload.queries import generate_workload
+from .timing import percentile
+
+PathLike = Union[str, Path]
+
+#: Figure-6 user counts; the suite benchmarks the "medium" point.
+MEDIUM_USERS = 200
+
+DEFAULT_ALGORITHMS = ("exact", "ta", "nra", "social-first", "hybrid")
+
+
+def _time_queries(engine: SocialSearchEngine, queries: Sequence[Query],
+                  algorithm: str, rounds: int) -> List[float]:
+    """Per-query wall-clock latencies (seconds) over ``rounds`` passes."""
+    # Warm-up pass: fills the proximity cache and JIT-warms numpy buffers so
+    # the measured rounds reflect steady-state serving, as in PR 1's service.
+    for query in queries:
+        engine.run(query, algorithm=algorithm)
+    samples: List[float] = []
+    for _ in range(rounds):
+        for query in queries:
+            started = time.perf_counter()
+            engine.run(query, algorithm=algorithm)
+            samples.append(time.perf_counter() - started)
+    return samples
+
+
+def _summarise(samples: List[float]) -> Dict[str, float]:
+    total = sum(samples)
+    return {
+        "queries": len(samples),
+        "p50_ms": percentile(samples, 0.5) * 1000.0,
+        "p95_ms": percentile(samples, 0.95) * 1000.0,
+        "mean_ms": (total / len(samples)) * 1000.0 if samples else 0.0,
+        "qps": len(samples) / total if total > 0 else 0.0,
+    }
+
+
+def _engine(dataset: Dataset, vectorized: bool, alpha: float,
+            measure: str, algorithm: str = "social-first") -> SocialSearchEngine:
+    config = EngineConfig(
+        algorithm=algorithm,
+        scoring=ScoringConfig(alpha=alpha, vectorized=vectorized),
+        proximity=ProximityConfig(measure=measure, cache_size=256),
+    )
+    return SocialSearchEngine(dataset, config)
+
+
+def run_topk_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
+                   k: int = 10, rounds: int = 3, alpha: float = 0.5,
+                   measure: str = "shortest-path",
+                   algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+                   seed: int = 23) -> Dict[str, object]:
+    """Run the suite and return the JSON-serialisable report."""
+    dataset = scaled_dataset(num_users, seed=seed, homophily=0.5)
+    queries = generate_workload(
+        dataset, WorkloadConfig(num_queries=num_queries, k=k, seed=3))
+
+    report: Dict[str, object] = {
+        "suite": "topk",
+        "dataset": {
+            "name": dataset.name,
+            "num_users": dataset.num_users,
+            "num_items": dataset.num_items,
+            "num_tags": dataset.num_tags,
+            "num_actions": dataset.num_actions,
+        },
+        "workload": {"num_queries": len(queries), "k": k, "rounds": rounds,
+                     "alpha": alpha, "proximity": measure},
+        "platform": {"python": platform.python_version(),
+                     "machine": platform.machine()},
+        "entries": [],
+    }
+
+    # Kernel speedup: vectorized vs scalar exact, identical engine otherwise.
+    vectorized_exact = _time_queries(
+        _engine(dataset, vectorized=True, alpha=alpha, measure=measure),
+        queries, "exact", rounds)
+    scalar_exact = _time_queries(
+        _engine(dataset, vectorized=False, alpha=alpha, measure=measure),
+        queries, "exact", rounds)
+    entries: List[Dict[str, object]] = report["entries"]  # type: ignore[assignment]
+    entries.append(dict(_summarise(vectorized_exact),
+                        algorithm="exact", mode="vectorized"))
+    entries.append(dict(_summarise(scalar_exact),
+                        algorithm="exact", mode="scalar"))
+    vectorized_qps = entries[0]["qps"]
+    scalar_qps = entries[1]["qps"]
+    report["speedup_vectorized_exact"] = (
+        float(vectorized_qps) / float(scalar_qps) if scalar_qps else 0.0)
+
+    # Per-algorithm serving view with the default (vectorized) engine.
+    serving_engine = _engine(dataset, vectorized=True, alpha=alpha, measure=measure)
+    for algorithm in algorithms:
+        if algorithm == "exact":
+            continue  # already covered above in both modes
+        samples = _time_queries(serving_engine, queries, algorithm, rounds)
+        entries.append(dict(_summarise(samples), algorithm=algorithm,
+                            mode="vectorized"))
+    return report
+
+
+def write_report(report: Dict[str, object], output: PathLike) -> Path:
+    """Persist the report as pretty-printed JSON; returns the path."""
+    path = Path(output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable one-screen summary of a suite report."""
+    lines = [
+        "top-k benchmark suite "
+        f"({report['dataset']['num_users']} users, "  # type: ignore[index]
+        f"{report['workload']['num_queries']} queries x "  # type: ignore[index]
+        f"{report['workload']['rounds']} rounds)",  # type: ignore[index]
+        f"{'algorithm':<14} {'mode':<11} {'p50 ms':>8} {'p95 ms':>8} {'qps':>9}",
+    ]
+    for entry in report["entries"]:  # type: ignore[union-attr]
+        lines.append(
+            f"{entry['algorithm']:<14} {entry['mode']:<11} "
+            f"{entry['p50_ms']:>8.3f} {entry['p95_ms']:>8.3f} {entry['qps']:>9.1f}"
+        )
+    lines.append(
+        f"vectorized exact speedup vs scalar: "
+        f"{report['speedup_vectorized_exact']:.2f}x"
+    )
+    return "\n".join(lines)

@@ -155,6 +155,15 @@ class SocialGraph:
         """Return the degree of every node as an array."""
         return np.diff(self._offsets)
 
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the raw ``(offsets, neighbours, weights)`` CSR arrays.
+
+        The arrays are the graph's own storage and must not be mutated;
+        they exist so vectorized kernels (PPR power iteration, Monte-Carlo
+        walks) can operate on the full adjacency without per-node slicing.
+        """
+        return self._offsets, self._neighbours, self._weights
+
     # ------------------------------------------------------------------ #
     # Derived views
     # ------------------------------------------------------------------ #

@@ -20,6 +20,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Type
 
+import numpy as np
+
 from ..config import ProximityConfig
 from ..errors import UnknownProximityError
 from ..graph import SocialGraph
@@ -67,6 +69,23 @@ class ProximityMeasure(ABC):
         The seeker itself is never included.  Implementations must return
         values in ``[0, 1]``.
         """
+
+    def vector_array(self, seeker: int) -> np.ndarray:
+        """Dense form of :meth:`vector`: one float per user, 0 where unrelated.
+
+        The seeker's own entry is always 0 (matching the dict form, which
+        never contains the seeker), so vectorized scoring kernels can gather
+        from the array without re-checking the seeker-exclusion rule.  The
+        returned array must be treated as read-only; measures with a native
+        array representation override this to skip the dict round-trip.
+        """
+        vector = self.vector(seeker)
+        dense = np.zeros(self._graph.num_users, dtype=np.float64)
+        if vector:
+            users = np.fromiter(vector.keys(), dtype=np.int64, count=len(vector))
+            values = np.fromiter(vector.values(), dtype=np.float64, count=len(vector))
+            dense[users] = values
+        return dense
 
     def proximity(self, seeker: int, target: int) -> float:
         """Proximity of ``target`` to ``seeker`` (0.0 when unrelated)."""

@@ -5,6 +5,12 @@ Repeated queries from the same seeker recompute the same proximity vector.
 and exposes hit/miss counters, so the ablation experiment (Figure 9) can
 quantify how much of the latency is proximity recomputation.
 
+Entries are stored as **dense numpy arrays** (one float per user): that is
+the form the vectorized scoring kernels consume directly via
+:meth:`vector_array`, and the dict form handed to the scalar algorithms is
+derived from the cached array on demand.  A second small cache keeps the
+ranked ``(user, proximity)`` streams used by frontier expansion.
+
 The cache is update-aware: when :class:`~repro.storage.updates.DatasetUpdater`
 adds friendship edges, callers invalidate the affected seekers with
 :meth:`CachedProximity.invalidate` (or :meth:`CachedProximity.clear`) and
@@ -20,9 +26,17 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from .base import ProximityMeasure
+
+
+def _sparse_from_dense(dense: np.ndarray) -> Dict[int, float]:
+    """Bulk dict view of a dense proximity array's positive entries."""
+    users = np.nonzero(dense > 0.0)[0]
+    return dict(zip(users.tolist(), dense[users].tolist()))
 
 
 @dataclass
@@ -72,7 +86,10 @@ class CachedProximity(ProximityMeasure):
         self.name = f"cached({inner.name})"
         self._inner = inner
         self._capacity = max(0, int(capacity))
-        self._cache: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
+        # One entry per seeker: [dense array, lazily derived sparse dict].
+        # Keeping both forms in the same slot means LRU eviction and
+        # invalidation treat them as one cached vector.
+        self._cache: "OrderedDict[int, List[object]]" = OrderedDict()
         self._ranked_cache: "OrderedDict[int, Tuple[Tuple[int, float], ...]]" = OrderedDict()
         self._lock = threading.RLock()
         # Invalidation epoch: a vector computed concurrently with an
@@ -113,15 +130,57 @@ class CachedProximity(ProximityMeasure):
                 store.popitem(last=False)
                 self.statistics.evictions += 1
 
-    def vector(self, seeker: int) -> Dict[int, float]:
-        """Return the (possibly cached) proximity vector of ``seeker``."""
-        cached = self._get_cached(self._cache, seeker)
-        if cached is not None:
-            return dict(cached)
+    def _lookup_entry(self, seeker: int) -> Optional[List[object]]:
+        """Cached [dense, sparse] entry of ``seeker``, counting hit/miss."""
+        num_users = self._graph.num_users
+        with self._lock:
+            entry = self._cache.get(seeker)
+            if entry is not None and entry[0].shape[0] == num_users:  # type: ignore[union-attr]
+                self._cache.move_to_end(seeker)
+                self.statistics.hits += 1
+                return entry
+            if entry is not None:
+                # Stale length: the graph gained users since this entry was
+                # cached (rebind without invalidation is legal for seekers
+                # outside the update horizon, but the dense form must match
+                # the current user count).
+                del self._cache[seeker]
+            self.statistics.misses += 1
+            return None
+
+    def _compute_entry(self, seeker: int) -> List[object]:
         generation = self._generation
-        vector = self._inner.vector(seeker)
-        self._put_cached(self._cache, seeker, dict(vector), generation)
-        return vector
+        dense = self._inner.vector_array(seeker)
+        entry: List[object] = [dense, None]
+        self._put_cached(self._cache, seeker, entry, generation)
+        return entry
+
+    def vector_array(self, seeker: int) -> np.ndarray:
+        """The (possibly cached) dense proximity array of ``seeker``.
+
+        The returned array is the cache's own storage and must be treated as
+        read-only; the seeker's entry is always 0.
+        """
+        entry = self._lookup_entry(seeker)
+        if entry is None:
+            entry = self._compute_entry(seeker)
+        return entry[0]  # type: ignore[return-value]
+
+    def vector(self, seeker: int) -> Dict[int, float]:
+        """Sparse dict view of the cached vector (a fresh copy per call).
+
+        The dict form is derived from the dense array once per cached entry
+        and memoised alongside it, so repeat scalar-path lookups pay one
+        dict copy — not an O(num_users) rebuild.
+        """
+        entry = self._lookup_entry(seeker)
+        if entry is None:
+            entry = self._compute_entry(seeker)
+        sparse = entry[1]
+        if sparse is None:
+            sparse = _sparse_from_dense(entry[0])  # type: ignore[arg-type]
+            entry[1] = sparse
+        return dict(sparse)  # type: ignore[arg-type]
 
     def iter_ranked(self, seeker: int) -> Iterator[Tuple[int, float]]:
         """Yield the cached ranked stream, materialising it on first use."""
@@ -135,10 +194,11 @@ class CachedProximity(ProximityMeasure):
         yield from ranked
 
     def proximity(self, seeker: int, target: int) -> float:
-        """Point lookup served from the cached vector."""
+        """Point lookup served from the cached dense array."""
         if seeker == target:
             return 1.0
-        return self.vector(seeker).get(target, 0.0)
+        self._graph.validate_user(target)
+        return float(self.vector_array(seeker)[target])
 
     # ------------------------------------------------------------------ #
     # Update-driven invalidation

@@ -9,6 +9,12 @@ is found at the target.  Two estimators are provided:
 * :class:`MonteCarloPageRankProximity` — walk sampling, useful to model the
   approximate sketches large deployments would use.
 
+Both operate directly on the graph's CSR arrays: the power iteration is one
+gather + ``bincount`` scatter per step over the whole edge set, and the
+Monte-Carlo estimator advances every walk simultaneously, sampling each
+step's neighbours with a single ``searchsorted`` against per-node cumulative
+edge weights.
+
 Scores are normalised by the maximum non-seeker entry so the top friend has
 proximity 1, making the measure comparable with path-based proximities in
 the blended scoring function.
@@ -26,7 +32,11 @@ from .base import ProximityMeasure, register_proximity
 
 
 def _normalise(vector: Dict[int, float]) -> Dict[int, float]:
-    """Scale a proximity vector so its maximum entry is 1 (empty-safe)."""
+    """Scale a proximity vector so its maximum entry is 1 (empty-safe).
+
+    Shared by the dict-based measures (Katz, neighbourhood overlap) whose
+    working sets are sparse enough that dense arrays would be wasteful.
+    """
     if not vector:
         return {}
     peak = max(vector.values())
@@ -35,86 +45,134 @@ def _normalise(vector: Dict[int, float]) -> Dict[int, float]:
     return {user: value / peak for user, value in vector.items()}
 
 
+def _normalise_array(dense: np.ndarray, seeker: int) -> np.ndarray:
+    """Zero the seeker's entry and scale so the maximum entry is 1."""
+    dense[seeker] = 0.0
+    peak = float(dense.max()) if dense.shape[0] else 0.0
+    if peak <= 0.0:
+        return np.zeros_like(dense)
+    return dense / peak
+
+
+def _dense_to_vector(dense: np.ndarray, seeker: int) -> Dict[int, float]:
+    """Dict view of the positive entries of a dense proximity array."""
+    users = np.nonzero(dense > 0.0)[0]
+    return {int(user): float(dense[user]) for user in users if int(user) != seeker}
+
+
 @register_proximity("ppr")
 class PersonalizedPageRankProximity(ProximityMeasure):
-    """Power-iteration personalised PageRank."""
+    """Power-iteration personalised PageRank on the CSR arrays."""
 
     def __init__(self, graph: SocialGraph, config: Optional[ProximityConfig] = None) -> None:
         super().__init__(graph, config)
         self._on_graph_changed()
 
     def _on_graph_changed(self) -> None:
-        graph = self.graph
-        self._weight_sums = np.zeros(graph.num_users, dtype=np.float64)
-        for u in range(graph.num_users):
-            _, weights = graph.neighbours(u)
-            self._weight_sums[u] = float(weights.sum())
+        offsets, neighbours, weights = self.graph.csr_arrays()
+        n = self.graph.num_users
+        self._neighbours = neighbours
+        self._weights = weights
+        # Source node of every directed CSR edge, so one gather turns the
+        # per-node rank vector into per-edge outgoing mass.
+        self._edge_src = np.repeat(np.arange(n, dtype=np.int64),
+                                   np.diff(offsets))
+        self._weight_sums = np.bincount(self._edge_src, weights=weights,
+                                        minlength=n).astype(np.float64)
+        self._inv_weight_sums = np.where(self._weight_sums > 0.0,
+                                         1.0 / np.where(self._weight_sums > 0.0,
+                                                        self._weight_sums, 1.0),
+                                         0.0)
+        self._dangling = self._weight_sums <= 0.0
 
-    def vector(self, seeker: int) -> Dict[int, float]:
-        """Run power iteration from the seeker's restart distribution."""
+    def vector_array(self, seeker: int) -> np.ndarray:
+        """Run the vectorized power iteration from the seeker's restart point."""
         graph = self.graph
         graph.validate_user(seeker)
         n = graph.num_users
         damping = self.config.damping
         rank = np.zeros(n, dtype=np.float64)
         rank[seeker] = 1.0
-        restart = np.zeros(n, dtype=np.float64)
-        restart[seeker] = 1.0
         for _ in range(self.config.ppr_iterations):
-            nxt = np.zeros(n, dtype=np.float64)
-            for u in np.nonzero(rank > 0.0)[0].tolist():
-                mass = rank[u]
-                if mass <= 0.0:
-                    continue
-                nbrs, weights = graph.neighbours(int(u))
-                if nbrs.shape[0] == 0 or self._weight_sums[u] <= 0.0:
-                    # Dangling mass returns to the seeker.
-                    nxt[seeker] += damping * mass
-                    continue
-                share = damping * mass / self._weight_sums[u]
-                np.add.at(nxt, nbrs, share * weights)
-            nxt += (1.0 - damping) * restart
+            share = damping * rank * self._inv_weight_sums
+            nxt = np.bincount(self._neighbours,
+                              weights=share[self._edge_src] * self._weights,
+                              minlength=n)
+            # Dangling mass returns to the seeker, as does the restart mass.
+            nxt[seeker] += damping * float(rank[self._dangling].sum())
+            nxt[seeker] += 1.0 - damping
             delta = float(np.abs(nxt - rank).sum())
             rank = nxt
             if delta < self.config.ppr_tolerance:
                 break
-        result = {
-            int(user): float(score)
-            for user, score in enumerate(rank.tolist())
-            if user != seeker and score > 0.0
-        }
-        return _normalise(result)
+        return _normalise_array(rank, seeker)
+
+    def vector(self, seeker: int) -> Dict[int, float]:
+        """Dict view of :meth:`vector_array` (positive entries only)."""
+        return _dense_to_vector(self.vector_array(seeker), seeker)
 
 
 @register_proximity("ppr-mc")
 class MonteCarloPageRankProximity(ProximityMeasure):
-    """Monte-Carlo personalised PageRank (walk sampling)."""
+    """Monte-Carlo personalised PageRank (vectorized walk sampling)."""
 
     def __init__(self, graph: SocialGraph, config: Optional[ProximityConfig] = None,
                  num_walks: int = 2000, seed: int = 13) -> None:
         super().__init__(graph, config)
         self._num_walks = int(num_walks)
         self._seed = int(seed)
+        self._on_graph_changed()
 
-    def vector(self, seeker: int) -> Dict[int, float]:
-        """Estimate visit frequencies with restart-terminated random walks."""
+    def _on_graph_changed(self) -> None:
+        offsets, neighbours, weights = self.graph.csr_arrays()
+        n = self.graph.num_users
+        self._offsets = offsets
+        self._neighbours = neighbours
+        self._degrees = np.diff(offsets)
+        # Per-node cumulative transition probabilities, shifted by the source
+        # node index: entry e of node u lies in (u, u + 1].  A single global
+        # searchsorted of ``u + r`` then lands inside u's segment, which is
+        # how every active walk samples its next neighbour at once.
+        cumulative = np.zeros(neighbours.shape[0], dtype=np.float64)
+        for u in range(n):
+            start, end = int(offsets[u]), int(offsets[u + 1])
+            if start == end:
+                continue
+            segment = np.cumsum(weights[start:end])
+            segment /= segment[-1]
+            segment[-1] = 1.0  # guard against cumsum rounding below 1
+            cumulative[start:end] = segment + u
+        self._cumulative = cumulative
+
+    def vector_array(self, seeker: int) -> np.ndarray:
+        """Advance all walks in lock-step until every one has restarted."""
         graph = self.graph
         graph.validate_user(seeker)
+        n = graph.num_users
         rng = np.random.default_rng(self._seed + seeker)
         damping = self.config.damping
-        visits: Dict[int, int] = {}
-        for _ in range(self._num_walks):
-            node = seeker
-            for _hop in range(self.config.max_hops * 4):
-                if rng.random() > damping:
-                    break
-                nbrs, weights = graph.neighbours(node)
-                if nbrs.shape[0] == 0:
-                    break
-                total = float(weights.sum())
-                probabilities = weights / total
-                node = int(rng.choice(nbrs, p=probabilities))
-                if node != seeker:
-                    visits[node] = visits.get(node, 0) + 1
-        result = {user: float(count) for user, count in visits.items()}
-        return _normalise(result)
+        visits = np.zeros(n, dtype=np.float64)
+        current = np.full(self._num_walks, seeker, dtype=np.int64)
+        active = np.ones(self._num_walks, dtype=bool)
+        for _hop in range(self.config.max_hops * 4):
+            active &= rng.random(self._num_walks) <= damping
+            active &= self._degrees[current] > 0
+            if not active.any():
+                break
+            walkers = np.nonzero(active)[0]
+            # Clip away from exactly 0 so ``u + r`` can never bisect into the
+            # previous node's segment (whose last entry is exactly ``u``).
+            r = np.clip(rng.random(walkers.shape[0]), 1e-12, None)
+            positions = np.searchsorted(self._cumulative,
+                                        current[walkers].astype(np.float64) + r,
+                                        side="left")
+            nodes = self._neighbours[positions]
+            current[walkers] = nodes
+            counted = nodes[nodes != seeker]
+            if counted.shape[0]:
+                visits += np.bincount(counted, minlength=n)
+        return _normalise_array(visits, seeker)
+
+    def vector(self, seeker: int) -> Dict[int, float]:
+        """Dict view of the sampled visit frequencies."""
+        return _dense_to_vector(self.vector_array(seeker), seeker)

@@ -126,8 +126,15 @@ class QueryService:
 
     def stats(self) -> dict:
         """Combined snapshot: service metrics + result and proximity caches."""
+        engine_config = self._engine.config
         snapshot = {
             "service": self._metrics.to_dict(),
+            "engine": {
+                "algorithm": engine_config.algorithm,
+                "alpha": engine_config.scoring.alpha,
+                "proximity": engine_config.proximity.measure,
+                "vectorized": engine_config.scoring.vectorized,
+            },
             "result_cache": dict(self._cache.statistics.to_dict(),
                                  size=len(self._cache),
                                  capacity=self._cache.capacity),

@@ -3,7 +3,8 @@
 from .items import Item, ItemStore
 from .users import User, UserStore
 from .tagging import TaggingAction, TaggingStore
-from .inverted_index import InvertedIndex, Posting, PostingListCursor
+from .inverted_index import InvertedIndex, Posting, PostingList, PostingListCursor
+from .endorser_index import EndorserIndex, TagEndorsers
 from .social_index import SocialIndex
 from .dataset import Dataset
 from .persistence import load_dataset, save_dataset
@@ -19,7 +20,10 @@ __all__ = [
     "TaggingStore",
     "InvertedIndex",
     "Posting",
+    "PostingList",
     "PostingListCursor",
+    "EndorserIndex",
+    "TagEndorsers",
     "SocialIndex",
     "Dataset",
     "save_dataset",

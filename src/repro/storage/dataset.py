@@ -14,6 +14,7 @@ from typing import Iterable, List, Optional
 
 from ..errors import StorageError
 from ..graph import SocialGraph
+from .endorser_index import EndorserIndex
 from .inverted_index import InvertedIndex
 from .items import Item, ItemStore
 from .social_index import SocialIndex
@@ -36,6 +37,7 @@ class Dataset:
     tagging: TaggingStore
     inverted_index: InvertedIndex
     social_index: SocialIndex
+    endorser_index: EndorserIndex
     holdout: Optional[TaggingStore] = field(default=None)
 
     # ------------------------------------------------------------------ #
@@ -81,6 +83,7 @@ class Dataset:
             tagging=tagging,
             inverted_index=InvertedIndex.build(tagging),
             social_index=SocialIndex.build(tagging),
+            endorser_index=EndorserIndex.build(tagging),
             holdout=holdout,
         )
 

@@ -1,0 +1,180 @@
+"""Per-tag CSR index of item → endorser (tagger) ids.
+
+The social component of the blended score is, for every candidate item, a
+sum of the seeker's proximity over the item's endorsers.  Scalar scoring
+walks a Python set per ``(item, tag)`` pair; the endorser index stores the
+same relation in a compressed-sparse-row layout per tag so the social mass
+of a whole block of candidates is a single gather + segmented reduction:
+
+``mass = np.add.reduceat(prox[taggers], offsets[:-1])``
+
+Layout per tag (see :class:`TagEndorsers`):
+
+* ``item_ids`` — the items carrying the tag, ascending (binary-searchable);
+* ``frequencies`` — distinct-endorser counts aligned with ``item_ids``;
+* ``offsets`` — CSR offsets of length ``len(item_ids) + 1``;
+* ``taggers`` — concatenated endorser ids, ascending within each segment.
+
+Every segment is non-empty by construction (an item appears only when at
+least one user endorsed it with the tag), which keeps ``reduceat`` exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .tagging import TaggingStore
+
+
+class TagEndorsers:
+    """CSR arrays of one tag's item → endorser relation (read-only)."""
+
+    __slots__ = ("tag", "item_ids", "frequencies", "offsets", "taggers")
+
+    def __init__(self, tag: str, item_ids: np.ndarray, frequencies: np.ndarray,
+                 offsets: np.ndarray, taggers: np.ndarray) -> None:
+        self.tag = tag
+        self.item_ids = item_ids
+        self.frequencies = frequencies
+        self.offsets = offsets
+        self.taggers = taggers
+
+    def __len__(self) -> int:
+        return int(self.item_ids.shape[0])
+
+    @property
+    def num_entries(self) -> int:
+        """Total number of ``(item, tagger)`` pairs for this tag."""
+        return int(self.taggers.shape[0])
+
+    def taggers_of(self, item_id: int) -> np.ndarray:
+        """Endorser ids of one item (empty array when the item lacks the tag)."""
+        position = int(np.searchsorted(self.item_ids, item_id))
+        if position >= len(self) or int(self.item_ids[position]) != item_id:
+            return self.taggers[0:0]
+        return self.taggers[self.offsets[position]:self.offsets[position + 1]]
+
+    def social_mass(self, proximity: np.ndarray) -> np.ndarray:
+        """Proximity-weighted endorser mass of every item carrying the tag.
+
+        ``proximity`` is a dense per-user array (the seeker's entry must be
+        zero, which every :meth:`~repro.proximity.base.ProximityMeasure.vector_array`
+        guarantees).  Returns one float per entry of :attr:`item_ids`.
+        """
+        if len(self) == 0:
+            return np.zeros(0, dtype=np.float64)
+        return np.add.reduceat(proximity[self.taggers], self.offsets[:-1])
+
+    def positions_of(self, item_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Locate ``item_ids`` (ascending) in this tag's item array.
+
+        Returns ``(positions, found)`` where ``found`` marks the queried
+        items that carry the tag and ``positions`` indexes :attr:`item_ids`
+        for them (positions of absent items are clipped and must be masked
+        with ``found``).
+        """
+        if len(self) == 0:
+            return (np.zeros(item_ids.shape[0], dtype=np.int64),
+                    np.zeros(item_ids.shape[0], dtype=bool))
+        positions = np.searchsorted(self.item_ids, item_ids)
+        positions = np.minimum(positions, len(self) - 1)
+        found = self.item_ids[positions] == item_ids
+        return positions, found
+
+    def seeker_flags(self, seeker: int) -> np.ndarray:
+        """Boolean per item: did the seeker endorse it with this tag?"""
+        flags = np.zeros(len(self), dtype=bool)
+        if len(self) == 0:
+            return flags
+        hits = np.nonzero(self.taggers == seeker)[0]
+        if hits.shape[0]:
+            item_positions = np.searchsorted(self.offsets, hits, side="right") - 1
+            flags[item_positions] = True
+        return flags
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the CSR arrays in bytes."""
+        return int(self.item_ids.nbytes + self.frequencies.nbytes
+                   + self.offsets.nbytes + self.taggers.nbytes)
+
+
+class EndorserIndex:
+    """Tag → :class:`TagEndorsers` CSR bundle over the tagging relation.
+
+    This is the third derived index of a dataset (next to the inverted and
+    social indexes) and the backbone of the vectorized scoring kernels.
+    """
+
+    def __init__(self) -> None:
+        self._tags: Dict[str, TagEndorsers] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, tagging: TaggingStore) -> "EndorserIndex":
+        """Build the per-tag CSR arrays from a tagging store."""
+        index = cls()
+        for tag in tagging.tags():
+            items: List[int] = sorted(tagging.items_for_tag(tag))
+            if not items:
+                continue
+            offsets = np.zeros(len(items) + 1, dtype=np.int64)
+            segments: List[List[int]] = []
+            for position, item_id in enumerate(items):
+                # Sorted segments make the reduction order deterministic and
+                # identical to the scalar scorer's iteration order.
+                taggers = list(tagging.taggers_sorted(item_id, tag))
+                segments.append(taggers)
+                offsets[position + 1] = offsets[position] + len(taggers)
+            taggers_flat = np.array(
+                [tagger for segment in segments for tagger in segment],
+                dtype=np.int64,
+            ) if offsets[-1] else np.zeros(0, dtype=np.int64)
+            index._tags[tag] = TagEndorsers(
+                tag=tag,
+                item_ids=np.array(items, dtype=np.int64),
+                frequencies=np.diff(offsets),
+                offsets=offsets,
+                taggers=taggers_flat,
+            )
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._tags
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def tags(self) -> List[str]:
+        """All indexed tags in sorted order."""
+        return sorted(self._tags)
+
+    def for_tag(self, tag: str) -> Optional[TagEndorsers]:
+        """The CSR bundle of ``tag``, or ``None`` for unknown tags."""
+        return self._tags.get(tag)
+
+    def candidate_items(self, tags: Tuple[str, ...]) -> np.ndarray:
+        """Ascending union of the items carrying any of ``tags``."""
+        arrays = [self._tags[tag].item_ids for tag in tags if tag in self._tags]
+        if not arrays:
+            return np.zeros(0, dtype=np.int64)
+        if len(arrays) == 1:
+            return arrays[0]
+        return np.unique(np.concatenate(arrays))
+
+    def num_entries(self) -> int:
+        """Total number of ``(item, tag, tagger)`` entries."""
+        return sum(bundle.num_entries for bundle in self._tags.values())
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of all CSR arrays in bytes."""
+        return sum(bundle.memory_bytes() for bundle in self._tags.values()) \
+            + len(self._tags) * 64

@@ -62,7 +62,7 @@ def compute_dataset_statistics(dataset: Dataset) -> DatasetStatistics:
     )
 
     index_memory = dataset.inverted_index.memory_bytes() + dataset.social_index.memory_bytes() \
-        + dataset.graph.memory_bytes()
+        + dataset.endorser_index.memory_bytes() + dataset.graph.memory_bytes()
 
     return DatasetStatistics(
         name=dataset.name,

@@ -13,8 +13,10 @@ hash indexes every access path needs:
 
 from __future__ import annotations
 
+import sys
+from bisect import insort
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True, order=True)
@@ -25,6 +27,13 @@ class TaggingAction:
     item_id: int
     tag: str
     timestamp: int = 0
+
+    def __post_init__(self) -> None:
+        # Intern the tag: a dataset repeats the same few thousand tag
+        # strings across millions of actions and index keys, so interning
+        # collapses them to one object each — less allocation churn and
+        # pointer-equality fast paths in every per-query dict lookup.
+        object.__setattr__(self, "tag", sys.intern(self.tag))
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable representation."""
@@ -52,7 +61,12 @@ class TaggingStore:
     def __init__(self) -> None:
         self._actions: List[TaggingAction] = []
         self._seen: Set[Tuple[int, int, str]] = set()
-        self._taggers_by_item_tag: Dict[Tuple[int, str], Set[int]] = {}
+        # Taggers are kept as ascending lists (duplicates are filtered by
+        # ``_seen`` before insertion): scoring iterates them in sorted order
+        # on every exact-score call, and the endorser index copies them into
+        # its CSR segments verbatim, so sorting once at insert time beats
+        # re-sorting a set copy per lookup.
+        self._taggers_by_item_tag: Dict[Tuple[int, str], List[int]] = {}
         self._items_by_user_tag: Dict[Tuple[int, str], Set[int]] = {}
         self._items_by_user: Dict[int, Set[int]] = {}
         self._tags_by_user: Dict[int, Dict[str, int]] = {}
@@ -75,7 +89,8 @@ class TaggingStore:
             return False
         self._seen.add(key)
         self._actions.append(action)
-        self._taggers_by_item_tag.setdefault((action.item_id, action.tag), set()).add(action.user_id)
+        insort(self._taggers_by_item_tag.setdefault((action.item_id, action.tag), []),
+               action.user_id)
         self._items_by_user_tag.setdefault((action.user_id, action.tag), set()).add(action.item_id)
         self._items_by_user.setdefault(action.user_id, set()).add(action.item_id)
         user_tags = self._tags_by_user.setdefault(action.user_id, {})
@@ -108,7 +123,16 @@ class TaggingStore:
 
     def taggers(self, item_id: int, tag: str) -> FrozenSet[int]:
         """Users who endorsed ``item_id`` with ``tag``."""
-        return frozenset(self._taggers_by_item_tag.get((item_id, tag), frozenset()))
+        return frozenset(self._taggers_by_item_tag.get((item_id, tag), ()))
+
+    def taggers_sorted(self, item_id: int, tag: str) -> Sequence[int]:
+        """Taggers in ascending id order, with no per-call copy.
+
+        The returned sequence is the store's own list and must not be
+        mutated; it is the zero-allocation path the scorer and the endorser
+        index build on.
+        """
+        return self._taggers_by_item_tag.get((item_id, tag), ())
 
     def tag_frequency(self, item_id: int, tag: str) -> int:
         """Number of distinct users who endorsed ``item_id`` with ``tag``."""

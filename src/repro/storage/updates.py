@@ -21,6 +21,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 from ..errors import StorageError
 from ..graph import SocialGraph, SocialGraphBuilder
 from .dataset import Dataset
+from .endorser_index import EndorserIndex
 from .inverted_index import InvertedIndex
 from .social_index import SocialIndex
 from .items import Item
@@ -207,6 +208,7 @@ class DatasetUpdater:
                 # milliseconds, and it is guaranteed consistent by construction.
                 self._dataset.inverted_index = InvertedIndex.build(self._dataset.tagging)
                 self._dataset.social_index = SocialIndex.build(self._dataset.tagging)
+                self._dataset.endorser_index = EndorserIndex.build(self._dataset.tagging)
             summary.tags_touched = touched_tags
             summary.users_touched |= touched_users
             return self._notify(summary)

@@ -1,9 +1,16 @@
-"""Tests for the inverted index and the per-user social index."""
+"""Tests for the inverted, social and endorser indexes."""
 
+import numpy as np
 import pytest
 
 from repro.errors import UnknownTagError
-from repro.storage import InvertedIndex, SocialIndex, TaggingAction, TaggingStore
+from repro.storage import (
+    EndorserIndex,
+    InvertedIndex,
+    SocialIndex,
+    TaggingAction,
+    TaggingStore,
+)
 
 
 @pytest.fixture()
@@ -90,6 +97,90 @@ class TestInvertedIndex:
 
     def test_memory_bytes_positive(self, index):
         assert index.memory_bytes() > 0
+
+    def test_arrays_parallel_to_postings(self, index):
+        postings = index.arrays("jazz")
+        assert postings.item_ids.tolist() == [100, 101, 102]
+        assert postings.frequencies.tolist() == [3, 2, 1]
+        assert index.arrays("unknown").item_ids.shape == (0,)
+
+    def test_next_block_consumes_in_batches(self, index):
+        cursor = index.cursor("jazz")
+        item_ids, frequencies = cursor.next_block(2)
+        assert item_ids.tolist() == [100, 101]
+        assert frequencies.tolist() == [3, 2]
+        assert cursor.position == 2
+        assert cursor.peek_frequency() == 1
+        item_ids, frequencies = cursor.next_block(10)
+        assert item_ids.tolist() == [102]
+        assert cursor.exhausted()
+        item_ids, _ = cursor.next_block(4)
+        assert item_ids.shape == (0,)
+
+    def test_next_block_interleaves_with_scalar_next(self, index):
+        cursor = index.cursor("jazz")
+        assert cursor.next().item_id == 100
+        item_ids, _ = cursor.next_block(5)
+        assert item_ids.tolist() == [101, 102]
+
+    def test_next_block_rejects_negative(self, index):
+        with pytest.raises(ValueError):
+            index.cursor("jazz").next_block(-1)
+
+
+class TestEndorserIndex:
+    @pytest.fixture()
+    def endorsers(self, tagging):
+        return EndorserIndex.build(tagging)
+
+    def test_tags_and_contains(self, endorsers):
+        assert endorsers.tags() == ["jazz", "rock"]
+        assert "jazz" in endorsers
+        assert "funk" not in endorsers
+        assert endorsers.for_tag("funk") is None
+
+    def test_items_ascending_with_frequencies(self, endorsers):
+        bundle = endorsers.for_tag("jazz")
+        assert bundle.item_ids.tolist() == [100, 101, 102]
+        assert bundle.frequencies.tolist() == [3, 2, 1]
+        assert bundle.offsets.tolist() == [0, 3, 5, 6]
+
+    def test_taggers_sorted_within_segments(self, endorsers):
+        bundle = endorsers.for_tag("jazz")
+        assert bundle.taggers_of(100).tolist() == [1, 2, 3]
+        assert bundle.taggers_of(101).tolist() == [1, 2]
+        assert bundle.taggers_of(999).shape == (0,)
+
+    def test_social_mass_is_segmented_proximity_sum(self, endorsers):
+        proximity = np.zeros(6)
+        proximity[1] = 0.5
+        proximity[2] = 0.25
+        bundle = endorsers.for_tag("jazz")
+        masses = bundle.social_mass(proximity)
+        # jazz taggers: 100 -> {1,2,3}, 101 -> {1,2}, 102 -> {1}
+        assert masses.tolist() == pytest.approx([0.75, 0.75, 0.5])
+
+    def test_positions_of_marks_missing_items(self, endorsers):
+        bundle = endorsers.for_tag("rock")
+        positions, found = bundle.positions_of(np.array([100, 102, 103]))
+        assert found.tolist() == [False, True, True]
+        assert positions[found].tolist() == [0, 1]
+
+    def test_seeker_flags(self, endorsers):
+        bundle = endorsers.for_tag("jazz")
+        assert bundle.seeker_flags(1).tolist() == [True, True, True]
+        assert bundle.seeker_flags(3).tolist() == [True, False, False]
+        assert bundle.seeker_flags(99).tolist() == [False, False, False]
+
+    def test_candidate_items_union(self, endorsers):
+        assert endorsers.candidate_items(("jazz", "rock")).tolist() == \
+            [100, 101, 102, 103]
+        assert endorsers.candidate_items(("funk",)).shape == (0,)
+
+    def test_entry_counts_and_memory(self, endorsers, tagging):
+        assert endorsers.num_entries() == tagging.num_distinct_triples()
+        assert endorsers.memory_bytes() > 0
+        assert len(endorsers) == 2
 
 
 class TestSocialIndex:

@@ -55,3 +55,35 @@ class TestBench:
         output = capsys.readouterr().out
         assert "mean_latency_ms" in output
         assert "social-first" in output
+
+    def test_bench_suite_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_topk.json"
+        assert main(["bench", "--suite", "--users", "40", "--queries", "2",
+                     "--rounds", "1", "--json", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert target.exists()
+
+    def test_bench_suite_min_speedup_gate(self, tmp_path, capsys):
+        # An impossible bar must flip the exit code (the CI smoke gate).
+        assert main(["bench", "--suite", "--users", "40", "--queries", "2",
+                     "--rounds", "1", "--min-speedup", "1e9"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bench_suite_honours_algorithm_selection(self, capsys):
+        assert main(["bench", "--suite", "--users", "40", "--queries", "2",
+                     "--rounds", "1", "--algorithms", "exact", "ta"]) == 0
+        output = capsys.readouterr().out
+        assert "ta" in output
+        assert "social-first" not in output
+
+    def test_bench_suite_rejects_scalar_flag(self, capsys):
+        assert main(["bench", "--suite", "--scalar"]) == 1
+        assert "no effect" in capsys.readouterr().out
+
+    def test_scalar_flag_disables_vectorized_kernels(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "--scalar"])
+        assert args.scalar is True
+        args = parser.parse_args(["query", "snap", "1", "tag"])
+        assert args.scalar is False
