@@ -7,8 +7,14 @@ main flows without writing any Python:
   every algorithm, printing the comparison table.
 * ``repro generate`` — build a synthetic dataset and save it as a snapshot.
 * ``repro query`` — load a snapshot and answer an ad-hoc query.
-* ``repro bench`` — run a small latency/quality comparison over a workload.
-* ``repro serve`` — expose a dataset behind the concurrent JSON HTTP API.
+* ``repro bench`` — run a small latency/quality comparison over a workload,
+  or the headless suites (``--suite topk`` / ``--suite proximity``).
+* ``repro build-arena`` — serialise a dataset (and optionally materialized
+  proximity shards) into the memory-mapped index arena.
+* ``repro serve`` — expose a dataset behind the concurrent JSON HTTP API
+  (``--arena`` for mmap cold start, ``--warmup N`` for cache pre-population).
+* ``repro profile`` — cProfile a batched run over a query trace and print
+  the top cumulative hotspots.
 """
 
 from __future__ import annotations
@@ -39,7 +45,11 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
         algorithm=args.algorithm,
         scoring=ScoringConfig(alpha=args.alpha,
                               vectorized=not getattr(args, "scalar", False)),
-        proximity=ProximityConfig(measure=args.proximity),
+        proximity=ProximityConfig(
+            measure=args.proximity,
+            materialize=getattr(args, "materialize", False),
+            cluster_rounds=getattr(args, "cluster_rounds", 5),
+        ),
     )
 
 
@@ -120,7 +130,7 @@ def _command_bench(args: argparse.Namespace) -> int:
 
 
 def _run_bench_suite(args: argparse.Namespace) -> int:
-    """Headless ``bench_fig*``-style suite with machine-readable output."""
+    """Headless ``bench_fig*``-style suites with machine-readable output."""
     from .eval.bench import DEFAULT_ALGORITHMS, format_report, run_topk_suite, write_report
 
     if args.scalar:
@@ -130,6 +140,8 @@ def _run_bench_suite(args: argparse.Namespace) -> int:
         print("--scalar has no effect with --suite: the suite benchmarks "
               "both the vectorized and the scalar exact path")
         return 1
+    if args.suite == "proximity":
+        return _run_proximity_suite(args)
     report = run_topk_suite(
         num_users=args.users,
         num_queries=args.queries,
@@ -152,17 +164,91 @@ def _run_bench_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_proximity_suite(args: argparse.Namespace) -> int:
+    """Materialization/arena/batching suite with its equivalence gate."""
+    from .eval.bench import format_proximity_report, run_proximity_suite, write_report
+
+    measure = args.proximity
+    if measure == "shortest-path":
+        # The suite's cold-seeker comparison targets measures whose online
+        # cost is a full per-seeker computation (the paper's PPR case);
+        # shortest-path streams lazily and has no comparable cold cost.
+        measure = "ppr"
+        print("proximity suite: using measure 'ppr' "
+              "(the shortest-path default streams lazily and has no "
+              "cold-seeker cost to materialize away)")
+    report = run_proximity_suite(
+        num_users=args.users,
+        num_queries=args.queries,
+        k=args.k,
+        rounds=args.rounds,
+        alpha=args.alpha,
+        measure=measure,
+        seed=args.seed,
+    )
+    print(format_proximity_report(report))
+    if args.json:
+        path = write_report(report, args.json)
+        print(f"wrote {path}")
+    if not report["equivalent"]:
+        print("FAIL: materialized/batched rankings diverge from the online path")
+        return 1
+    speedup = float(report["speedup_cold_seeker"])
+    if args.min_speedup > 0.0 and speedup < args.min_speedup:
+        print(f"FAIL: cold-seeker speedup {speedup:.2f}x is below the "
+              f"required {args.min_speedup:.2f}x")
+        return 1
+    return 0
+
+
+def _load_serving_dataset(args: argparse.Namespace):
+    if getattr(args, "arena", None):
+        from .storage.dataset import Dataset
+
+        return Dataset.from_arena(args.arena)
+    if args.snapshot:
+        return load_dataset(args.snapshot)
+    return delicious_like(scale=args.scale, seed=args.seed)
+
+
+def _warmup_seekers(dataset, queries, limit: int) -> List[int]:
+    """The ``limit`` most frequent valid seekers of a workload trace, hot first.
+
+    Out-of-range ids (a trace recorded against a different corpus) are
+    dropped *before* ranking so they never consume warm-up slots.
+    """
+    counts: dict = {}
+    for query in queries:
+        if 0 <= query.seeker < dataset.num_users:
+            counts[query.seeker] = counts.get(query.seeker, 0) + 1
+    ranked = sorted(counts, key=lambda seeker: (-counts[seeker], seeker))
+    return ranked[:limit]
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     # Imported here so the plain library commands never pay for the service
     # package.
+    import time as _time
+
     from .service import QueryService
     from .service.http_api import serve_forever
 
-    if args.snapshot:
-        dataset = load_dataset(args.snapshot)
-    else:
-        dataset = delicious_like(scale=args.scale, seed=args.seed)
+    dataset = _load_serving_dataset(args)
     engine = SocialSearchEngine(dataset, _engine_config(args))
+    if getattr(args, "arena", None) and args.materialize:
+        from .errors import PersistenceError
+        from .proximity import MaterializedProximity
+        from .storage.arena import attach_shards
+
+        if isinstance(engine.proximity, MaterializedProximity):
+            try:
+                if attach_shards(engine.proximity, args.arena):
+                    print(f"attached {engine.proximity.num_rows()} materialized "
+                          f"proximity rows from {args.arena}")
+            except PersistenceError as exc:
+                # Mixed measures would silently serve two proximity
+                # semantics; refine lazily with the engine's measure instead.
+                print(f"not attaching arena shards: {exc}")
     config = ServiceConfig(
         workers=args.workers,
         cache_capacity=args.cache_capacity,
@@ -171,8 +257,81 @@ def _command_serve(args: argparse.Namespace) -> int:
         port=args.port,
     )
     service = QueryService(engine, config)
+    if args.warmup > 0:
+        # Pre-populate the proximity cache/shards for the hottest seekers of
+        # the workload trace before accepting traffic.
+        if args.trace:
+            from .workload.trace import load_queries
+
+            trace = load_queries(args.trace)
+        else:
+            trace = generate_workload(
+                dataset, WorkloadConfig(num_queries=max(args.warmup * 5, 100),
+                                        seed=args.seed))
+        started = _time.perf_counter()
+        warmed = service.warm_proximity(_warmup_seekers(dataset, trace, args.warmup))
+        print(f"warmed proximity for {warmed} seekers in "
+              f"{(_time.perf_counter() - started) * 1000.0:.1f} ms")
     print(dataset.describe())
     serve_forever(service, host=config.host, port=config.port)
+    return 0
+
+
+def _command_build_arena(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .storage.arena import build_arena
+
+    dataset = _load_serving_dataset(args)
+    proximity = None
+    if args.materialize:
+        from .config import ProximityConfig as _ProximityConfig
+        from .proximity import MaterializedProximity, create_proximity
+
+        measure = create_proximity(args.proximity, dataset.graph,
+                                   _ProximityConfig(measure=args.proximity))
+        proximity = MaterializedProximity(measure,
+                                          cluster_rounds=args.cluster_rounds)
+        started = _time.perf_counter()
+        rows = proximity.build()
+        print(f"materialized {rows} proximity rows in "
+              f"{(_time.perf_counter() - started) * 1000.0:.1f} ms "
+              f"({len(proximity.shards())} clusters)")
+    started = _time.perf_counter()
+    path = build_arena(dataset, args.output, proximity=proximity)
+    elapsed = (_time.perf_counter() - started) * 1000.0
+    size = path.stat().st_size
+    print(f"wrote arena {path} ({size} bytes) in {elapsed:.1f} ms: "
+          f"{dataset.describe()}")
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    """cProfile a batched run over a query trace (hotspot regression guard)."""
+    import cProfile
+    import io
+    import pstats
+
+    from .workload.trace import load_queries
+
+    queries = load_queries(args.queries_file)
+    if not queries:
+        print(f"no queries in {args.queries_file}")
+        return 1
+    dataset = _load_serving_dataset(args)
+    engine = SocialSearchEngine(dataset, _engine_config(args))
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(args.rounds):
+        engine.run_batch(queries)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(f"profiled {len(queries)} queries x {args.rounds} rounds "
+          f"({engine.config.algorithm}, {engine.config.proximity.measure}) "
+          f"on {dataset.name}")
+    print(buffer.getvalue())
     return 0
 
 
@@ -224,9 +383,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comparison-mode holdout fraction (unused by --suite)")
     bench.add_argument("--algorithms", nargs="*", default=None,
                        help="algorithms to measure (both modes)")
-    bench.add_argument("--suite", action="store_true",
-                       help="run the headless bench_fig*-style top-k suite "
-                            "(p50/p95/qps + vectorized-vs-scalar speedup)")
+    bench.add_argument("--suite", nargs="?", const="topk", default=None,
+                       choices=("topk", "proximity"),
+                       help="run a headless bench_fig*-style suite: 'topk' "
+                            "(p50/p95/qps + vectorized-vs-scalar speedup; "
+                            "the default when no value is given) or "
+                            "'proximity' (materialized shards vs online "
+                            "computation, arena cold start, batching, with "
+                            "an exact-equivalence gate)")
     bench.add_argument("--users", type=int, default=200,
                        help="suite dataset size in users (default: 200, the "
                             "Figure-6 medium point)")
@@ -236,16 +400,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suite: write the machine-readable report here "
                             "(e.g. benchmarks/results/BENCH_topk.json)")
     bench.add_argument("--min-speedup", type=float, default=0.0,
-                       help="suite: exit non-zero when the vectorized exact "
-                            "speedup falls below this factor (CI smoke gate)")
+                       help="suite: exit non-zero when the suite's headline "
+                            "speedup (vectorized exact for 'topk', cold "
+                            "seeker for 'proximity') falls below this "
+                            "factor (CI smoke gate)")
     _add_engine_arguments(bench)
     bench.set_defaults(handler=_command_bench)
+
+    build_arena = subparsers.add_parser(
+        "build-arena", help="serialise a dataset into the memory-mapped "
+                            "index arena (optionally with materialized "
+                            "proximity shards)")
+    build_arena.add_argument("output", help="arena file to create")
+    build_arena.add_argument("--snapshot", default=None,
+                             help="snapshot directory written by 'repro "
+                                  "generate' (default: synthetic corpus)")
+    build_arena.add_argument("--scale", type=float, default=0.3,
+                             help="synthetic dataset scale when no snapshot "
+                                  "is given")
+    build_arena.add_argument("--seed", type=int, default=7)
+    build_arena.add_argument("--materialize", action="store_true",
+                             help="precompute per-cluster proximity shards "
+                                  "and store them in the arena")
+    build_arena.add_argument("--proximity", default="ppr",
+                             help="measure to materialize (default: ppr)")
+    build_arena.add_argument("--cluster-rounds", type=int, default=5,
+                             help="label-propagation rounds for the seeker "
+                                  "partition (default: 5)")
+    build_arena.set_defaults(handler=_command_build_arena)
 
     serve = subparsers.add_parser(
         "serve", help="serve queries over a JSON HTTP API with caching")
     serve.add_argument("--snapshot", default=None,
                        help="snapshot directory written by 'repro generate' "
                             "(default: synthetic delicious-like corpus)")
+    serve.add_argument("--arena", default=None,
+                       help="arena file written by 'repro build-arena' "
+                            "(memory-mapped cold start; overrides --snapshot)")
     serve.add_argument("--scale", type=float, default=0.3,
                        help="synthetic dataset scale when no snapshot is given")
     serve.add_argument("--seed", type=int, default=7)
@@ -258,8 +449,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result cache entries, 0 disables (default: 1024)")
     serve.add_argument("--ttl", type=float, default=300.0,
                        help="result cache TTL in seconds, 0 = no expiry")
+    serve.add_argument("--warmup", type=int, default=0, metavar="N",
+                       help="pre-populate the proximity cache/shards for the "
+                            "N most frequent seekers of the workload trace "
+                            "before accepting traffic (default: 0 = off)")
+    serve.add_argument("--trace", default=None,
+                       help="query trace (JSON lines) supplying the --warmup "
+                            "seeker frequencies; defaults to a synthetic "
+                            "workload over the served dataset")
+    serve.add_argument("--materialize", action="store_true",
+                       help="serve proximity from materialized shards "
+                            "(attached from --arena when present, refined "
+                            "lazily otherwise)")
+    serve.add_argument("--cluster-rounds", type=int, default=5,
+                       help=argparse.SUPPRESS)
     _add_engine_arguments(serve)
     serve.set_defaults(handler=_command_serve)
+
+    profile = subparsers.add_parser(
+        "profile", help="cProfile a batched run over a query trace and "
+                        "print the top cumulative hotspots")
+    profile.add_argument("queries_file",
+                         help="query trace (JSON lines, see "
+                              "repro.workload.trace.save_queries)")
+    profile.add_argument("--snapshot", default=None,
+                         help="snapshot directory to query (default: "
+                              "synthetic corpus)")
+    profile.add_argument("--arena", default=None,
+                         help="arena file to query (overrides --snapshot)")
+    profile.add_argument("--scale", type=float, default=0.3,
+                         help="synthetic dataset scale when no snapshot is "
+                              "given")
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--rounds", type=int, default=3,
+                         help="batched passes over the trace (default: 3)")
+    profile.add_argument("--top", type=int, default=20,
+                         help="number of cumulative hotspots to print "
+                              "(default: 20)")
+    _add_engine_arguments(profile)
+    profile.set_defaults(handler=_command_profile)
 
     return parser
 

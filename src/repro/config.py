@@ -86,6 +86,19 @@ class ProximityConfig:
     cache_size:
         Number of seeker proximity vectors kept in the LRU cache
         (0 disables caching).
+    materialize:
+        Wrap the measure in
+        :class:`~repro.proximity.materialized.MaterializedProximity`: exact
+        per-seeker proximity rows are served from per-cluster shards
+        (precomputed offline) and refined lazily through the online measure
+        for seekers the shards do not cover.  The LRU cache wrapper is
+        skipped in this mode — shard lookups are already O(touch).
+    materialize_eager:
+        Build all shard rows at engine construction.  Off by default: the
+        offline build belongs in ``repro build-arena`` or an explicit
+        warm-up, not on the query path.
+    cluster_rounds:
+        Label-propagation rounds used to partition seekers into shards.
     """
 
     measure: str = "shortest-path"
@@ -96,6 +109,9 @@ class ProximityConfig:
     ppr_iterations: int = 30
     ppr_tolerance: float = 1e-8
     cache_size: int = 128
+    materialize: bool = False
+    materialize_eager: bool = False
+    cluster_rounds: int = 5
 
     def __post_init__(self) -> None:
         _require(bool(self.measure), "measure name must be a non-empty string")
@@ -106,6 +122,10 @@ class ProximityConfig:
         _require(self.ppr_iterations >= 1, "ppr_iterations must be >= 1")
         _require(self.ppr_tolerance > 0.0, "ppr_tolerance must be positive")
         _require(self.cache_size >= 0, "cache_size must be non-negative")
+        _require(self.cluster_rounds >= 1,
+                 f"cluster_rounds must be >= 1, got {self.cluster_rounds}")
+        _require(not (self.materialize_eager and not self.materialize),
+                 "materialize_eager requires materialize")
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)

@@ -19,9 +19,10 @@ from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..config import EngineConfig, ScoringConfig
-from ..proximity import CachedProximity, create_proximity
+from ..proximity import CachedProximity, MaterializedProximity, create_proximity
 from ..proximity.base import ProximityMeasure
 from ..storage.dataset import Dataset
+from .batch import run_batch as _run_batch
 from .query import Query, QueryResult
 from .scoring import ScoringModel
 from .topk.base import TopKAlgorithm, available_algorithms, create_algorithm
@@ -50,7 +51,15 @@ class SocialSearchEngine:
         if proximity is None:
             proximity = create_proximity(self._config.proximity.measure,
                                          dataset.graph, self._config.proximity)
-            if self._config.proximity.cache_size > 0:
+            if self._config.proximity.materialize:
+                # Shard-served proximity replaces the LRU cache: a shard row
+                # lookup is already O(touch), and lazy refinements are
+                # memoised in the shard overlay.
+                proximity = MaterializedProximity(
+                    proximity, cluster_rounds=self._config.proximity.cluster_rounds)
+                if self._config.proximity.materialize_eager:
+                    proximity.build()
+            elif self._config.proximity.cache_size > 0:
                 proximity = CachedProximity(proximity,
                                             capacity=self._config.proximity.cache_size)
         self._proximity = proximity
@@ -134,6 +143,18 @@ class SocialSearchEngine:
                                cache_ttl_seconds=0.0, deduplicate=False)
         with QueryService(self, config) as service:
             return service.run_many(queries, algorithm=algorithm)
+
+    def run_batch(self, queries: Iterable[Query],
+                  algorithm: Optional[str] = None) -> List[QueryResult]:
+        """Run a batch with shared scans, coalesced by (cluster, tags).
+
+        Queries over the same tags share one candidate scan (and, with
+        materialized proximity, cluster-bound pruning of the social
+        gather); see :mod:`repro.core.batch`.  Results are returned in
+        input order and are identical — rankings, scores and access
+        accounting — to :meth:`run_many` over the same queries.
+        """
+        return _run_batch(self, list(queries), algorithm=algorithm)
 
     # ------------------------------------------------------------------ #
     # Reconfiguration

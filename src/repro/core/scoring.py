@@ -61,11 +61,16 @@ class ScoreBreakdown:
 class ScoringModel:
     """Computes exact scores and the bound terms algorithms reason with."""
 
+    #: Upper bound on memoised candidate blocks (distinct tag combinations).
+    _CANDIDATE_CACHE_LIMIT = 1024
+
     def __init__(self, dataset: Dataset, proximity: ProximityMeasure,
                  config: Optional[ScoringConfig] = None) -> None:
         self._dataset = dataset
         self._proximity = proximity
         self._config = config or ScoringConfig()
+        self._candidate_cache: Dict[Tuple[str, ...], np.ndarray] = {}
+        self._candidate_cache_index: Optional[object] = None
 
     @property
     def dataset(self) -> Dataset:
@@ -196,23 +201,35 @@ class ScoringModel:
                     if charges is not None:
                         charges += 1  # the frequency lookup still happens
                     continue
-                positions, found = bundle.positions_of(item_ids)
                 # prox[seeker] is 0 by the vector_array contract, so the
                 # include_seeker flag needs no branch here: the seeker's own
                 # endorsements contribute zero mass either way (it only
                 # affects access accounting).
                 mass = bundle.social_mass(proximity)
-                textual = np.where(found, bundle.frequencies[positions], 0) / normaliser
-                social = np.minimum(1.0, np.where(found, mass[positions], 0.0) / normaliser)
-                textual_total += textual
+                if item_ids is bundle.item_ids:
+                    # Single-tag fast path: the candidate block IS this
+                    # tag's item array (candidate_block returns it by
+                    # identity), so every item is found at its own position
+                    # and the gather/mask machinery would be a no-op.
+                    frequencies = bundle.frequencies
+                    social = np.minimum(1.0, mass / normaliser)
+                else:
+                    positions, found = bundle.positions_of(item_ids)
+                    frequencies = np.where(found, bundle.frequencies[positions], 0)
+                    social = np.minimum(
+                        1.0, np.where(found, mass[positions], 0.0) / normaliser)
+                textual_total += frequencies / normaliser
                 social_total += social
                 if charges is not None:
-                    endorsers = np.where(found, bundle.frequencies[positions], 0)
+                    endorsers = frequencies
                     if not self._config.include_seeker:
                         # The scalar path skips the seeker before charging.
                         seeker_flags = bundle.seeker_flags(seeker)
-                        endorsers = endorsers - np.where(
-                            found, seeker_flags[positions].astype(np.int64), 0)
+                        if item_ids is bundle.item_ids:
+                            endorsers = endorsers - seeker_flags.astype(np.int64)
+                        else:
+                            endorsers = endorsers - np.where(
+                                found, seeker_flags[positions].astype(np.int64), 0)
                     charges += 1 + endorsers
         m = float(len(tags)) if tags else 1.0
         textual_component = textual_total / m
@@ -223,8 +240,26 @@ class ScoringModel:
                            random_charges=charges)
 
     def candidate_block(self, tags: Tuple[str, ...]) -> np.ndarray:
-        """Ascending ids of every item carrying at least one query tag."""
-        return self._dataset.endorser_index.candidate_items(tags)
+        """Ascending ids of every item carrying at least one query tag.
+
+        The block depends only on the tag combination, so it is memoised
+        per :class:`ScoringModel` (one model lives per algorithm instance):
+        repeated queries over popular tag sets skip the union/unique pass.
+        The returned array must be treated as read-only.
+        """
+        index = self._dataset.endorser_index
+        if index is not self._candidate_cache_index:
+            # DatasetUpdater swaps whole index objects on updates; a block
+            # memoised against the previous index would be stale.
+            self._candidate_cache.clear()
+            self._candidate_cache_index = index
+        block = self._candidate_cache.get(tags)
+        if block is None:
+            if len(self._candidate_cache) >= self._CANDIDATE_CACHE_LIMIT:
+                self._candidate_cache.clear()
+            block = index.candidate_items(tags)
+            self._candidate_cache[tags] = block
+        return block
 
     # ------------------------------------------------------------------ #
     # Bound arithmetic (used by threshold-style algorithms)

@@ -50,18 +50,35 @@ class TextualSource:
 
 
 class SocialFrontier:
-    """Best-first stream of the seeker's friends in decreasing proximity."""
+    """Best-first stream of the seeker's friends in decreasing proximity.
 
-    __slots__ = ("_stream", "_peeked", "_exhausted", "_visited")
+    The underlying ranked stream is opened *lazily*: when the proximity
+    measure can answer :meth:`~repro.proximity.base.ProximityMeasure.frontier_bound`
+    cheaply (a materialized shard row, a warm cache entry), the peeks that
+    drive termination tests — :meth:`next_proximity` / :meth:`exhausted` —
+    are served from that bound, and the stream (which for some measures
+    materialises and sorts the full proximity vector) is only built once a
+    friend is actually visited.  ``frontier_bound`` is contractually equal
+    to the first streamed value, so the deferred path takes exactly the
+    same termination decisions as the eager one.
+    """
+
+    __slots__ = ("_proximity", "_seeker", "_stream", "_peeked", "_exhausted",
+                 "_visited", "_bound")
 
     def __init__(self, proximity: ProximityMeasure, seeker: int) -> None:
-        self._stream: Iterator[Tuple[int, float]] = proximity.iter_ranked(seeker)
+        self._proximity = proximity
+        self._seeker = seeker
+        self._stream: Optional[Iterator[Tuple[int, float]]] = None
         self._peeked: Optional[Tuple[int, float]] = None
         self._exhausted = False
         self._visited = 0
+        self._bound: Optional[float] = proximity.frontier_bound(seeker)
 
     def _fill(self) -> None:
         if self._peeked is None and not self._exhausted:
+            if self._stream is None:
+                self._stream = self._proximity.iter_ranked(self._seeker)
             try:
                 self._peeked = next(self._stream)
             except StopIteration:
@@ -69,6 +86,8 @@ class SocialFrontier:
 
     def exhausted(self) -> bool:
         """Whether every reachable friend has been visited."""
+        if self._stream is None and self._bound is not None:
+            return self._bound <= 0.0
         self._fill()
         return self._exhausted and self._peeked is None
 
@@ -78,6 +97,8 @@ class SocialFrontier:
         This value upper-bounds the proximity of *every* friend not yet
         visited, because the stream is non-increasing.
         """
+        if self._stream is None and self._bound is not None:
+            return self._bound if self._bound > 0.0 else 0.0
         self._fill()
         if self._peeked is None:
             return 0.0

@@ -1,23 +1,26 @@
-"""Headless top-k benchmark suite (``repro bench --suite``).
+"""Headless benchmark suites (``repro bench --suite [topk|proximity]``).
 
-Runs the same shapes as the ``benchmarks/bench_fig*`` harness — per-query
-latency across algorithms, vectorized vs scalar exact scoring on the
-Figure-6 medium corpus — without pytest, and emits one machine-readable
-JSON document so the performance trajectory of the engine can be tracked
-commit over commit (``benchmarks/results/BENCH_topk.json`` in this repo).
+Runs the same shapes as the ``benchmarks/bench_fig*`` harness without
+pytest and emits machine-readable JSON documents so the performance
+trajectory of the engine can be tracked commit over commit
+(``benchmarks/results/BENCH_*.json`` in this repo).
 
-The suite deliberately separates two numbers:
+Two suites:
 
-* the **kernel speedup** — vectorized vs scalar exact search with a warm
-  proximity cache, isolating the scoring/top-k kernels this PR vectorizes;
-* the **per-algorithm serving view** — p50/p95 latency and throughput per
-  algorithm with the engine's normal cache configuration.
+* ``topk`` — per-query latency across algorithms plus vectorized vs scalar
+  exact scoring on the Figure-6 medium corpus (PR 2's kernel layer);
+* ``proximity`` — the offline/online materialization trade-off: cold-seeker
+  latency with shard-served vs online-computed proximity, mmap-arena vs
+  JSON-snapshot cold start, batched vs sequential execution, and a strict
+  equivalence check (rankings *and* access accounting) across the online,
+  materialized and batched paths that doubles as a CI gate.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
@@ -127,6 +130,242 @@ def run_topk_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
         entries.append(dict(_summarise(samples), algorithm=algorithm,
                             mode="vectorized"))
     return report
+
+
+def _result_signature(result) -> Dict[str, object]:
+    """Comparable identity of a query answer: ranking, scores, accounting."""
+    return {
+        "items": [(item.item_id, item.score) for item in result.items],
+        "accounting": result.accounting.to_dict(),
+    }
+
+
+def run_proximity_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
+                        k: int = 10, rounds: int = 3, alpha: float = 0.5,
+                        measure: str = "ppr",
+                        algorithms: Sequence[str] = ("exact", "social-first"),
+                        seed: int = 23) -> Dict[str, object]:
+    """Run the materialization/arena/batching suite; returns the JSON report.
+
+    The three headline numbers:
+
+    * ``speedup_cold_seeker`` — p50 latency of online proximity computation
+      (no cache, every query recomputes, e.g. a PPR power iteration) over
+      p50 latency with prebuilt materialized shards;
+    * ``speedup_cold_start`` — JSON-snapshot load time over mmap-arena load
+      time for the same corpus;
+    * ``speedup_batched`` — sequential ``run_many`` throughput vs coalesced
+      ``run_batch`` throughput on the exact algorithm.
+
+    ``equivalent`` is a hard correctness verdict: rankings, scores and
+    access accounting must be identical across the online, materialized and
+    batched execution paths for every query and algorithm measured.
+    """
+    dataset = scaled_dataset(num_users, seed=seed, homophily=0.5)
+    queries = generate_workload(
+        dataset, WorkloadConfig(num_queries=num_queries, k=k, seed=3))
+
+    def online_engine() -> SocialSearchEngine:
+        # cache_size=0: every query is a cold seeker paying the full online
+        # proximity computation — the "no precomputation" end of the
+        # trade-off.
+        return _engine_with(dataset, ProximityConfig(measure=measure, cache_size=0),
+                            alpha)
+
+    def materialized_engine() -> SocialSearchEngine:
+        return _engine_with(
+            dataset,
+            ProximityConfig(measure=measure, materialize=True, cluster_rounds=5),
+            alpha)
+
+    report: Dict[str, object] = {
+        "suite": "proximity",
+        "dataset": {
+            "name": dataset.name,
+            "num_users": dataset.num_users,
+            "num_items": dataset.num_items,
+            "num_tags": dataset.num_tags,
+            "num_actions": dataset.num_actions,
+        },
+        "workload": {"num_queries": len(queries), "k": k, "rounds": rounds,
+                     "alpha": alpha, "proximity": measure},
+        "platform": {"python": platform.python_version(),
+                     "machine": platform.machine()},
+    }
+
+    # 1. Cold-seeker latency: online per-query computation vs shard lookup.
+    # Each query keeps its *minimum* across rounds — the intrinsic cost with
+    # scheduler/allocator noise stripped — and the distribution summary runs
+    # over those per-query minima.
+    online = online_engine()
+    online_samples = _best_of_rounds(online, queries, rounds)
+
+    materialized = materialized_engine()
+    build_started = time.perf_counter()
+    rows_built = materialized.proximity.build()
+    build_seconds = time.perf_counter() - build_started
+    materialized_samples = _best_of_rounds(materialized, queries, rounds)
+    report["cold_seeker"] = {
+        "online": _summarise(online_samples),
+        "materialized": _summarise(materialized_samples),
+        "offline_build_seconds": build_seconds,
+        "rows_built": rows_built,
+        "shard_bytes": materialized.proximity.memory_bytes(),
+    }
+    online_p50 = report["cold_seeker"]["online"]["p50_ms"]  # type: ignore[index]
+    materialized_p50 = report["cold_seeker"]["materialized"]["p50_ms"]  # type: ignore[index]
+    report["speedup_cold_seeker"] = (
+        float(online_p50) / float(materialized_p50) if materialized_p50 else 0.0)
+
+    # 2. Cold start: JSON snapshot load vs mmap arena load.
+    from ..storage.arena import build_arena
+    from ..storage.persistence import load_dataset, save_dataset
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+        snapshot_dir = Path(scratch) / "snapshot"
+        arena_path = Path(scratch) / "dataset.arena"
+        save_dataset(dataset, snapshot_dir)
+        build_arena(dataset, arena_path, proximity=materialized.proximity)
+        repeats = max(3, rounds)
+        snapshot_seconds = min(
+            _timed(lambda: load_dataset(snapshot_dir)) for _ in range(repeats))
+        arena_seconds = min(
+            _timed(lambda: Dataset.from_arena(arena_path)) for _ in range(repeats))
+        arena_bytes = arena_path.stat().st_size
+        # Prove the mapped dataset actually serves queries before timing is
+        # trusted: one query through a fresh arena-backed engine.
+        arena_engine = _engine_with(Dataset.from_arena(arena_path),
+                                    ProximityConfig(measure=measure), alpha)
+        arena_engine.run(queries[0], algorithm="exact")
+    report["cold_start"] = {
+        "snapshot_ms": snapshot_seconds * 1000.0,
+        "arena_ms": arena_seconds * 1000.0,
+        "arena_bytes": arena_bytes,
+    }
+    report["speedup_cold_start"] = (
+        snapshot_seconds / arena_seconds if arena_seconds else 0.0)
+
+    # 3. Batched execution: shared scans + in-batch coalescing vs sequential
+    # runs (warm engine) over a Zipf-skewed serving trace — the request mix
+    # QueryService.run_batch sees when concurrent clients hammer the hot
+    # head of the query distribution (cf. bench_fig10_serving).
+    import numpy as _np
+
+    rng = _np.random.default_rng(seed)
+    zipf_weights = 1.0 / _np.arange(1, len(queries) + 1, dtype=_np.float64) ** 1.1
+    zipf_weights /= zipf_weights.sum()
+    trace = [queries[int(position)] for position in
+             rng.choice(len(queries), size=4 * len(queries), p=zipf_weights)]
+    batch_engine = materialized_engine()
+    batch_engine.proximity.build()
+    batch_engine.run_many(trace, algorithm="exact")  # warm-up pass
+    sequential_seconds = min(
+        _timed(lambda: batch_engine.run_many(trace, algorithm="exact"))
+        for _ in range(rounds))
+    batched_seconds = min(
+        _timed(lambda: batch_engine.run_batch(trace, algorithm="exact"))
+        for _ in range(rounds))
+    report["batched"] = {
+        "sequential_ms": sequential_seconds * 1000.0,
+        "batched_ms": batched_seconds * 1000.0,
+        "queries": len(trace),
+        "distinct_queries": len(queries),
+    }
+    report["speedup_batched"] = (
+        sequential_seconds / batched_seconds if batched_seconds else 0.0)
+
+    # 4. Equivalence gate: identical rankings, scores and access accounting
+    # across online / materialized / batched execution.
+    mismatches: List[Dict[str, object]] = []
+    verify_online = online_engine()
+    verify_materialized = materialized_engine()
+    verify_materialized.proximity.build()
+    for algorithm in algorithms:
+        baseline = [verify_online.run(query, algorithm=algorithm)
+                    for query in queries]
+        shard_served = [verify_materialized.run(query, algorithm=algorithm)
+                        for query in queries]
+        batched = verify_materialized.run_batch(queries, algorithm=algorithm)
+        for query, expected, *observed in zip(queries, baseline, shard_served,
+                                              batched):
+            want = _result_signature(expected)
+            for path_name, result in zip(("materialized", "batched"), observed):
+                got = _result_signature(result)
+                if got != want:
+                    mismatches.append({
+                        "algorithm": algorithm,
+                        "path": path_name,
+                        "query": query.to_dict(),
+                        "expected": want,
+                        "got": got,
+                    })
+    report["equivalence"] = {
+        "algorithms": list(algorithms),
+        "queries_checked": len(queries) * len(algorithms),
+        "mismatches": mismatches[:10],
+        "num_mismatches": len(mismatches),
+    }
+    report["equivalent"] = not mismatches
+    return report
+
+
+def _best_of_rounds(engine: SocialSearchEngine, queries: Sequence[Query],
+                    rounds: int, algorithm: str = "exact") -> List[float]:
+    """Per-query minimum latency (seconds) across ``rounds`` passes."""
+    best = [float("inf")] * len(queries)
+    for _ in range(max(1, rounds)):
+        for position, query in enumerate(queries):
+            started = time.perf_counter()
+            engine.run(query, algorithm=algorithm)
+            elapsed = time.perf_counter() - started
+            if elapsed < best[position]:
+                best[position] = elapsed
+    return best
+
+
+def _engine_with(dataset: Dataset, proximity: ProximityConfig,
+                 alpha: float) -> SocialSearchEngine:
+    return SocialSearchEngine(dataset, EngineConfig(
+        algorithm="exact",
+        scoring=ScoringConfig(alpha=alpha, vectorized=True),
+        proximity=proximity,
+    ))
+
+
+def _timed(thunk) -> float:
+    started = time.perf_counter()
+    thunk()
+    return time.perf_counter() - started
+
+
+def format_proximity_report(report: Dict[str, object]) -> str:
+    """Human-readable one-screen summary of a proximity-suite report."""
+    cold = report["cold_seeker"]
+    start = report["cold_start"]
+    batched = report["batched"]
+    lines = [
+        "proximity materialization suite "
+        f"({report['dataset']['num_users']} users, "  # type: ignore[index]
+        f"{report['workload']['num_queries']} queries x "  # type: ignore[index]
+        f"{report['workload']['rounds']} rounds, "  # type: ignore[index]
+        f"measure={report['workload']['proximity']})",  # type: ignore[index]
+        f"cold seeker   online p50 {cold['online']['p50_ms']:.3f} ms"  # type: ignore[index]
+        f" | materialized p50 {cold['materialized']['p50_ms']:.3f} ms"  # type: ignore[index]
+        f" | speedup {report['speedup_cold_seeker']:.2f}x",
+        f"cold start    snapshot {start['snapshot_ms']:.2f} ms"  # type: ignore[index]
+        f" | arena {start['arena_ms']:.2f} ms"  # type: ignore[index]
+        f" | speedup {report['speedup_cold_start']:.2f}x",
+        f"batched       sequential {batched['sequential_ms']:.2f} ms"  # type: ignore[index]
+        f" | batched {batched['batched_ms']:.2f} ms"  # type: ignore[index]
+        f" | speedup {report['speedup_batched']:.2f}x",
+        f"offline build {cold['offline_build_seconds'] * 1000.0:.1f} ms"  # type: ignore[index]
+        f" for {cold['rows_built']} rows"  # type: ignore[index]
+        f" ({cold['shard_bytes']} bytes)",  # type: ignore[index]
+        f"equivalence   {'OK' if report['equivalent'] else 'FAILED'} "
+        f"({report['equivalence']['queries_checked']} checks, "  # type: ignore[index]
+        f"{report['equivalence']['num_mismatches']} mismatches)",  # type: ignore[index]
+    ]
+    return "\n".join(lines)
 
 
 def write_report(report: Dict[str, object], output: PathLike) -> Path:

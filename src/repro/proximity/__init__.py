@@ -16,6 +16,12 @@ from .neighbourhood import (
 )
 from .landmarks import LandmarkProximity, select_landmarks
 from .cache import CachedProximity, CacheStatistics
+from .materialized import (
+    MaterializedProximity,
+    MaterializedStatistics,
+    ProximityShard,
+    materialize_measure,
+)
 
 __all__ = [
     "ProximityMeasure",
@@ -34,4 +40,8 @@ __all__ = [
     "select_landmarks",
     "CachedProximity",
     "CacheStatistics",
+    "MaterializedProximity",
+    "MaterializedStatistics",
+    "ProximityShard",
+    "materialize_measure",
 ]

@@ -107,6 +107,20 @@ class ProximityMeasure(ABC):
         for user, value in ranked:
             yield user, value
 
+    def frontier_bound(self, seeker: int) -> Optional[float]:
+        """Cheap upper bound on the first value of :meth:`iter_ranked`, or ``None``.
+
+        When a measure can answer "how proximate is the seeker's closest
+        friend?" without materialising the ranked stream (a cached dense
+        array, a materialized shard row), it returns that exact maximum here
+        and :class:`~repro.core.topk.sources.SocialFrontier` defers opening
+        the stream until a friend is actually visited.  The value must equal
+        the first ranked proximity bit for bit — callers use it in
+        termination tests that have to agree with the streamed path.
+        ``None`` means "not known cheaply"; callers fall back to the stream.
+        """
+        return None
+
     def rebind(self, graph: SocialGraph) -> None:
         """Point the measure at a new (updated) social graph.
 

@@ -47,6 +47,10 @@ class CacheStatistics:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    #: Number of times the sparse dict view was derived from a dense array.
+    #: At most one derivation should happen per cached entry; the regression
+    #: test for the re-derivation bug asserts on this counter.
+    sparse_derivations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -65,6 +69,7 @@ class CacheStatistics:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "sparse_derivations": self.sparse_derivations,
             "hit_rate": self.hit_rate,
         }
 
@@ -155,6 +160,26 @@ class CachedProximity(ProximityMeasure):
         self._put_cached(self._cache, seeker, entry, generation)
         return entry
 
+    def _entry_from_ranked(self, seeker: int) -> Optional[List[object]]:
+        """Derive a dense entry from a cached ranked stream (no inner call).
+
+        The ranked tuple holds exactly the vector's ``(user, value)`` pairs,
+        so scattering them into zeros reproduces ``inner.vector_array``
+        bit for bit — a warm ranked cache means the online computation need
+        not run again just to obtain the dense form.
+        """
+        with self._lock:
+            ranked = self._ranked_cache.get(seeker)
+            generation = self._generation
+        if ranked is None:
+            return None
+        dense = np.zeros(self._graph.num_users, dtype=np.float64)
+        for user, value in ranked:
+            dense[user] = value
+        entry: List[object] = [dense, None]
+        self._put_cached(self._cache, seeker, entry, generation)
+        return entry
+
     def vector_array(self, seeker: int) -> np.ndarray:
         """The (possibly cached) dense proximity array of ``seeker``.
 
@@ -162,6 +187,8 @@ class CachedProximity(ProximityMeasure):
         read-only; the seeker's entry is always 0.
         """
         entry = self._lookup_entry(seeker)
+        if entry is None:
+            entry = self._entry_from_ranked(seeker)
         if entry is None:
             entry = self._compute_entry(seeker)
         return entry[0]  # type: ignore[return-value]
@@ -175,11 +202,15 @@ class CachedProximity(ProximityMeasure):
         """
         entry = self._lookup_entry(seeker)
         if entry is None:
+            entry = self._entry_from_ranked(seeker)
+        if entry is None:
             entry = self._compute_entry(seeker)
         sparse = entry[1]
         if sparse is None:
             sparse = _sparse_from_dense(entry[0])  # type: ignore[arg-type]
             entry[1] = sparse
+            with self._lock:
+                self.statistics.sparse_derivations += 1
         return dict(sparse)  # type: ignore[arg-type]
 
     def iter_ranked(self, seeker: int) -> Iterator[Tuple[int, float]]:
@@ -192,6 +223,24 @@ class CachedProximity(ProximityMeasure):
         ranked = tuple(self._inner.iter_ranked(seeker))
         self._put_cached(self._ranked_cache, seeker, ranked, generation)
         yield from ranked
+
+    def frontier_bound(self, seeker: int) -> Optional[float]:
+        """Max proximity of the seeker when a cached entry exists (else ``None``).
+
+        The dense entry's maximum is exactly the first value of the ranked
+        stream, so a warm cache lets :class:`SocialFrontier` answer
+        termination tests without re-materialising the stream.  The lookup
+        is not charged as a hit or miss — it is a peek, not a vector fetch.
+        """
+        with self._lock:
+            ranked = self._ranked_cache.get(seeker)
+            if ranked is not None:
+                return float(ranked[0][1]) if ranked else 0.0
+            entry = self._cache.get(seeker)
+            if entry is not None and entry[0].shape[0] == self._graph.num_users:  # type: ignore[union-attr]
+                dense = entry[0]
+                return float(dense.max()) if dense.shape[0] else 0.0  # type: ignore[union-attr]
+        return None
 
     def proximity(self, seeker: int, target: int) -> float:
         """Point lookup served from the cached dense array."""

@@ -36,6 +36,7 @@ from ..core.query import Query, QueryResult
 from ..errors import ServiceError
 from ..graph.traversal import bfs_levels
 from ..proximity.cache import CachedProximity
+from ..proximity.materialized import MaterializedProximity
 from ..storage.updates import DatasetUpdater, UpdateSummary
 from .cache import CacheKey, ResultCache
 from .metrics import ServiceMetrics
@@ -142,6 +143,12 @@ class QueryService:
         proximity = self._engine.proximity
         if isinstance(proximity, CachedProximity):
             snapshot["proximity_cache"] = proximity.statistics.to_dict()
+        if isinstance(proximity, MaterializedProximity):
+            snapshot["proximity_shards"] = dict(
+                proximity.statistics.to_dict(),
+                rows=proximity.num_rows(),
+                clusters=len(proximity.shards()),
+            )
         return snapshot
 
     # ------------------------------------------------------------------ #
@@ -225,6 +232,80 @@ class QueryService:
         futures = [self.submit(query, algorithm) for query in queries]
         return [future.result() for future in futures]
 
+    def run_batch(self, queries: Iterable[Query],
+                  algorithm: Optional[str] = None) -> List[QueryResult]:
+        """Answer a batch with request coalescing and shared scans.
+
+        Cache hits are peeled off first (each recorded as a ``hit``); the
+        distinct misses are coalesced — duplicate requests in the batch run
+        once — and executed through :meth:`SocialSearchEngine.run_batch`,
+        which groups them by (cluster, tags) and shares posting-list scans
+        and proximity refinements.  Results land in the result cache and
+        come back in input order, identical to :meth:`run_many`.
+        """
+        queries = list(queries)
+        if self._closed:
+            raise ServiceError("cannot submit queries to a closed QueryService")
+        name = self._resolve_algorithm(algorithm)
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        misses: dict = {}
+        for index, query in enumerate(queries):
+            key = CacheKey.for_query(query, name)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._metrics.record_request("hit")
+                results[index] = cached
+            else:
+                misses.setdefault(key, (query, []))[1].append(index)
+        if misses:
+            generation = self._cache.generation
+            distinct = [query for query, _indices in misses.values()]
+            try:
+                computed = self._engine.run_batch(distinct, algorithm=name)
+            except Exception:
+                self._metrics.record_error()
+                raise
+            for (key, (_query, indices)), result in zip(misses.items(), computed):
+                self._cache.put(key, result, generation=generation)
+                self._metrics.record_request("miss")
+                # Per-query latency, not the batch average: the batch
+                # executor apportions each result's own compute time plus
+                # its share of the shared scan, so the recorded
+                # distribution keeps its tail.
+                self._metrics.record_latency(result.latency_seconds)
+                for position, index in enumerate(indices):
+                    if position:
+                        self._metrics.record_request("coalesced")
+                    results[index] = result
+        return results  # type: ignore[return-value]
+
+    def warm_proximity(self, seekers: Iterable[int]) -> int:
+        """Pre-populate the proximity cache/shards for the given seekers.
+
+        Each seeker's proximity vector is computed once through the engine's
+        measure: with a :class:`CachedProximity` both the dense entry and
+        the ranked stream land in the LRU caches (frontier algorithms read
+        the latter), with a :class:`MaterializedProximity` it is refined
+        into the shard overlay (seekers already covered by a shard row cost
+        one lookup).  Invalid seeker ids are skipped.  Returns the number of
+        seekers warmed — this backs ``repro serve --warmup``.
+        """
+        proximity = self._engine.proximity
+        num_users = self._engine.dataset.num_users
+        warmed = 0
+        for seeker in seekers:
+            if not 0 <= int(seeker) < num_users:
+                continue
+            # Ranked stream first — one step is enough, a caching measure
+            # materialises and stores the whole stream before yielding its
+            # first pair — then the dense form, which CachedProximity
+            # derives from the just-cached stream without re-running the
+            # online computation.
+            next(iter(proximity.iter_ranked(int(seeker))), None)
+            proximity.vector_array(int(seeker))
+            warmed += 1
+        return warmed
+
     # ------------------------------------------------------------------ #
     # Update-driven invalidation
     # ------------------------------------------------------------------ #
@@ -277,17 +358,23 @@ class QueryService:
         # the new graph, and the rebind's generation bump discards vectors
         # still being computed on the old one.
         proximity.rebind(graph)
+        # Both CachedProximity and MaterializedProximity expose the same
+        # invalidate(users) hook; plain measures have nothing to evict.
+        # (MaterializedProximity additionally drops all shards on rebind —
+        # rows are exact vectors of the old graph — so this is belt and
+        # braces for rows refined between the rebind and now.)
+        invalidate = getattr(proximity, "invalidate", None)
         if summary.edges_added:
             if measure in HOP_BOUNDED_MEASURES:
                 affected = self._affected_seekers(summary.users_touched)
                 removed += self._cache.invalidate_seekers(affected)
-                if isinstance(proximity, CachedProximity):
-                    proximity.invalidate(affected)
+                if invalidate is not None:
+                    invalidate(affected)
             else:
                 # Global measure: any vector may have shifted.
                 removed += self._cache.clear()
-                if isinstance(proximity, CachedProximity):
-                    proximity.invalidate(range(graph.num_users))
+                if invalidate is not None:
+                    invalidate(range(graph.num_users))
         return removed
 
     # ------------------------------------------------------------------ #

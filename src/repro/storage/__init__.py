@@ -8,6 +8,13 @@ from .endorser_index import EndorserIndex, TagEndorsers
 from .social_index import SocialIndex
 from .dataset import Dataset
 from .persistence import load_dataset, save_dataset
+from .arena import (
+    Arena,
+    attach_shards,
+    build_arena,
+    load_dataset_from_arena,
+    load_shards,
+)
 from .statistics import DatasetStatistics, compute_dataset_statistics, graph_statistics_row
 from .updates import DatasetUpdater, UpdateSummary, replay_trace
 
@@ -28,6 +35,11 @@ __all__ = [
     "Dataset",
     "save_dataset",
     "load_dataset",
+    "Arena",
+    "attach_shards",
+    "build_arena",
+    "load_dataset_from_arena",
+    "load_shards",
     "DatasetStatistics",
     "compute_dataset_statistics",
     "graph_statistics_row",

@@ -1,0 +1,757 @@
+"""Memory-mapped index arena: every hot structure in one on-disk file.
+
+Loading a snapshot through :mod:`repro.storage.persistence` replays JSON
+lines into Python stores and *rebuilds* every derived index — sorting
+posting lists, grouping endorser segments — which makes process cold start
+scale with corpus size.  The arena removes that rebuild entirely: all the
+array-backed hot structures are serialised **in their query-ready layout**
+into a single versioned file and opened with ``np.memmap``, so a process
+serves its first query after little more than an ``open`` + header parse:
+
+* the social graph's CSR arrays (used as-is by :class:`SocialGraph`);
+* the inverted index's frequency-ordered posting-list arrays;
+* the endorser index's per-tag item → tagger CSR;
+* the social index's per-tag user → item CSR;
+* the raw tagging actions (tag names interned through a small tag table);
+* optionally, the :class:`~repro.proximity.materialized.MaterializedProximity`
+  shards — per-cluster proximity rows plus bound vectors.
+
+File layout (little-endian)::
+
+    magic "RPRARENA" | uint32 version | uint64 header_length
+    header JSON  (meta + array manifest: name, dtype, shape, offset)
+    64-byte-aligned raw array payloads
+
+The scalar-path structures that are *not* arrays (the tagging store's hash
+indexes, user/item profiles) are served by thin array-backed subclasses
+that answer the hot lookups by binary search over the mapped arrays and
+fall back to materialising the full Python store only when a cold path
+(workload generation, holdout splitting) actually asks for it.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import PersistenceError
+from ..graph import SocialGraph
+from ..proximity.materialized import MaterializedProximity, ProximityShard
+from .dataset import Dataset
+from .endorser_index import EndorserIndex, TagEndorsers
+from .inverted_index import InvertedIndex, PostingList
+from .items import Item, ItemStore
+from .social_index import SocialIndex
+from .tagging import TaggingAction, TaggingStore
+from .users import User, UserStore
+
+PathLike = Union[str, Path]
+
+MAGIC = b"RPRARENA"
+ARENA_VERSION = 1
+_ALIGNMENT = 64
+_PREAMBLE = struct.Struct("<8sIQ")
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+# --------------------------------------------------------------------- #
+# Low-level format
+# --------------------------------------------------------------------- #
+
+def write_arena(path: PathLike, meta: Dict[str, object],
+                arrays: Dict[str, np.ndarray]) -> Path:
+    """Write ``meta`` + named arrays in the arena format; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest: List[Dict[str, object]] = []
+    ordered: List[Tuple[str, np.ndarray]] = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        ordered.append((name, array))
+        manifest.append({
+            "name": name,
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+        })
+    header: Dict[str, object] = {"meta": meta, "arrays": manifest}
+    # Two-pass offset computation: the header length depends on the offsets
+    # only through their decimal width, so size the header once without
+    # them and reserve generous room (32 bytes per offset entry).
+    encoded = json.dumps(header, sort_keys=True).encode("utf-8")
+    data_start = _align(_PREAMBLE.size + len(encoded) + 32 * len(manifest) + 64)
+    offset = data_start
+    for entry, (_name, array) in zip(manifest, ordered):
+        entry["offset"] = offset
+        offset = _align(offset + array.nbytes)
+    encoded = json.dumps(header, sort_keys=True).encode("utf-8")
+    if _PREAMBLE.size + len(encoded) > data_start:
+        raise PersistenceError("arena header overflowed its reserved space")
+    with path.open("wb") as handle:
+        handle.write(_PREAMBLE.pack(MAGIC, ARENA_VERSION, len(encoded)))
+        handle.write(encoded)
+        for entry, (_name, array) in zip(manifest, ordered):
+            handle.seek(int(entry["offset"]))
+            handle.write(array.tobytes())
+        # Pad the file to the last aligned boundary so every mapped view is
+        # in bounds.
+        handle.seek(0, 2)
+        if handle.tell() < offset:
+            handle.truncate(offset)
+    return path
+
+
+class Arena:
+    """An opened arena: parsed meta plus zero-copy array views.
+
+    The backing buffer is an ``np.memmap`` in read-only mode; every array in
+    :attr:`arrays` is a typed view into it.  Views must not be mutated.
+    """
+
+    def __init__(self, path: Path, meta: Dict[str, object],
+                 arrays: Dict[str, np.ndarray], buffer: np.memmap) -> None:
+        self.path = path
+        self.meta = meta
+        self.arrays = arrays
+        self._buffer = buffer
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.arrays
+
+    def array(self, name: str) -> np.ndarray:
+        """The named array view (raises for unknown names)."""
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise PersistenceError(f"arena {self.path} has no array {name!r}") from None
+
+    @classmethod
+    def open(cls, path: PathLike) -> "Arena":
+        """Map an arena file; raises :class:`PersistenceError` on mismatch."""
+        path = Path(path)
+        try:
+            with path.open("rb") as handle:
+                preamble = handle.read(_PREAMBLE.size)
+                if len(preamble) < _PREAMBLE.size:
+                    raise PersistenceError(f"{path}: truncated arena preamble")
+                magic, version, header_length = _PREAMBLE.unpack(preamble)
+                if magic != MAGIC:
+                    raise PersistenceError(f"{path}: not an arena file (bad magic)")
+                if version != ARENA_VERSION:
+                    raise PersistenceError(
+                        f"{path}: unsupported arena version {version} "
+                        f"(expected {ARENA_VERSION})")
+                header = json.loads(handle.read(header_length).decode("utf-8"))
+        except OSError as exc:
+            raise PersistenceError(f"failed to read arena {path}: {exc}") from exc
+        buffer = np.memmap(path, dtype=np.uint8, mode="r")
+        arrays: Dict[str, np.ndarray] = {}
+        for entry in header["arrays"]:
+            dtype = np.dtype(str(entry["dtype"]))
+            shape = tuple(int(dim) for dim in entry["shape"])
+            count = int(np.prod(shape)) if shape else 1
+            start = int(entry["offset"])
+            end = start + count * dtype.itemsize
+            if end > buffer.shape[0]:
+                raise PersistenceError(
+                    f"{path}: array {entry['name']!r} overruns the file")
+            arrays[str(entry["name"])] = \
+                buffer[start:end].view(dtype).reshape(shape)
+        return cls(path, dict(header["meta"]), arrays, buffer)
+
+
+# --------------------------------------------------------------------- #
+# Building an arena from a dataset
+# --------------------------------------------------------------------- #
+
+def _concat(parts: Sequence[np.ndarray], dtype) -> np.ndarray:
+    if not parts:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate([np.asarray(part, dtype=dtype) for part in parts]) \
+        if len(parts) > 1 else np.asarray(parts[0], dtype=dtype)
+
+
+def _action_arrays(store: TaggingStore, tag_ids: Dict[str, int]
+                   ) -> Dict[str, np.ndarray]:
+    actions = store.actions()
+    return {
+        "user_ids": np.array([a.user_id for a in actions], dtype=np.int64),
+        "item_ids": np.array([a.item_id for a in actions], dtype=np.int64),
+        "tag_ids": np.array([tag_ids[a.tag] for a in actions], dtype=np.int64),
+        "timestamps": np.array([a.timestamp for a in actions], dtype=np.int64),
+    }
+
+
+def build_arena(dataset: Dataset, path: PathLike,
+                proximity: Optional[MaterializedProximity] = None) -> Path:
+    """Serialise ``dataset`` (and optional built shards) into an arena file."""
+    tags = dataset.tagging.tags()
+    tag_ids = {tag: index for index, tag in enumerate(tags)}
+    arrays: Dict[str, np.ndarray] = {}
+
+    offsets, neighbours, weights = dataset.graph.csr_arrays()
+    arrays["graph.offsets"] = offsets
+    arrays["graph.neighbours"] = neighbours
+    arrays["graph.weights"] = weights
+
+    # Inverted index: frequency-ordered posting lists, concatenated in tag
+    # order with a per-tag offsets array.
+    inv_offsets = np.zeros(len(tags) + 1, dtype=np.int64)
+    inv_items: List[np.ndarray] = []
+    inv_freqs: List[np.ndarray] = []
+    for index, tag in enumerate(tags):
+        postings = dataset.inverted_index.arrays(tag)
+        inv_items.append(postings.item_ids)
+        inv_freqs.append(postings.frequencies)
+        inv_offsets[index + 1] = inv_offsets[index] + len(postings)
+    arrays["inverted.offsets"] = inv_offsets
+    arrays["inverted.item_ids"] = _concat(inv_items, np.int64)
+    arrays["inverted.frequencies"] = _concat(inv_freqs, np.int64)
+
+    # Endorser index: per-tag item -> tagger CSR, flattened with a global
+    # per-(tag, item) segment-offsets array.
+    end_item_offsets = np.zeros(len(tags) + 1, dtype=np.int64)
+    end_items: List[np.ndarray] = []
+    end_freqs: List[np.ndarray] = []
+    end_taggers: List[np.ndarray] = []
+    segment_lengths: List[np.ndarray] = []
+    for index, tag in enumerate(tags):
+        bundle = dataset.endorser_index.for_tag(tag)
+        if bundle is None:
+            end_item_offsets[index + 1] = end_item_offsets[index]
+            continue
+        end_items.append(bundle.item_ids)
+        end_freqs.append(bundle.frequencies)
+        end_taggers.append(bundle.taggers)
+        segment_lengths.append(np.diff(bundle.offsets))
+        end_item_offsets[index + 1] = end_item_offsets[index] + len(bundle)
+    lengths = _concat(segment_lengths, np.int64)
+    segment_offsets = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lengths, out=segment_offsets[1:])
+    arrays["endorser.item_offsets"] = end_item_offsets
+    arrays["endorser.item_ids"] = _concat(end_items, np.int64)
+    arrays["endorser.frequencies"] = _concat(end_freqs, np.int64)
+    arrays["endorser.segment_offsets"] = segment_offsets
+    arrays["endorser.taggers"] = _concat(end_taggers, np.int64)
+
+    # Social index: per-tag user -> item CSR (the frontier expansion path).
+    soc_user_offsets = np.zeros(len(tags) + 1, dtype=np.int64)
+    soc_users: List[int] = []
+    soc_lengths: List[int] = []
+    soc_items: List[int] = []
+    all_users = dataset.social_index.users()
+    for index, tag in enumerate(tags):
+        with_tag = 0
+        for user in all_users:  # ascending, so each tag segment is sorted
+            items = dataset.social_index.items_for(user, tag)
+            if not items:
+                continue
+            soc_users.append(user)
+            soc_lengths.append(len(items))
+            soc_items.extend(items)
+            with_tag += 1
+        soc_user_offsets[index + 1] = soc_user_offsets[index] + with_tag
+    soc_segment_offsets = np.zeros(len(soc_users) + 1, dtype=np.int64)
+    np.cumsum(np.array(soc_lengths, dtype=np.int64), out=soc_segment_offsets[1:])
+    arrays["social.user_offsets"] = soc_user_offsets
+    arrays["social.user_ids"] = np.array(soc_users, dtype=np.int64)
+    arrays["social.segment_offsets"] = soc_segment_offsets
+    arrays["social.item_ids"] = np.array(soc_items, dtype=np.int64)
+
+    for name, array in _action_arrays(dataset.tagging, tag_ids).items():
+        arrays[f"actions.{name}"] = array
+    if dataset.holdout is not None:
+        holdout_tags = sorted(set(tag_ids) | set(dataset.holdout.tags()))
+        holdout_ids = {tag: index for index, tag in enumerate(holdout_tags)}
+        for name, array in _action_arrays(dataset.holdout, holdout_ids).items():
+            arrays[f"holdout.{name}"] = array
+        holdout_table: Optional[List[str]] = holdout_tags
+    else:
+        holdout_table = None
+
+    materialized_meta: Optional[Dict[str, object]] = None
+    if proximity is not None and proximity.built:
+        shards = sorted(proximity.shards(), key=lambda shard: shard.cluster_id)
+        member_offsets = np.zeros(len(shards) + 1, dtype=np.int64)
+        row_lengths: List[np.ndarray] = []
+        for index, shard in enumerate(shards):
+            member_offsets[index + 1] = member_offsets[index] + len(shard)
+            row_lengths.append(np.diff(shard.offsets))
+        flat_lengths = _concat(row_lengths, np.int64)
+        row_offsets = np.zeros(flat_lengths.shape[0] + 1, dtype=np.int64)
+        np.cumsum(flat_lengths, out=row_offsets[1:])
+        arrays["materialized.labels"] = np.array(proximity.labels(), dtype=np.int64)
+        arrays["materialized.cluster_ids"] = np.array(
+            [shard.cluster_id for shard in shards], dtype=np.int64)
+        arrays["materialized.member_offsets"] = member_offsets
+        arrays["materialized.members"] = _concat(
+            [shard.members for shard in shards], np.int64)
+        arrays["materialized.row_offsets"] = row_offsets
+        arrays["materialized.row_user_ids"] = _concat(
+            [shard.user_ids for shard in shards], np.int64)
+        arrays["materialized.row_values"] = _concat(
+            [shard.values for shard in shards], np.float64)
+        arrays["materialized.bounds"] = _concat(
+            [shard.bound for shard in shards], np.float64)
+        materialized_meta = {
+            "measure": proximity.inner.name,
+            "num_clusters": len(shards),
+            "num_rows": proximity.num_rows(),
+            "num_entries": proximity.num_entries(),
+        }
+
+    meta: Dict[str, object] = {
+        "format": "repro-arena",
+        "format_version": ARENA_VERSION,
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "num_actions": dataset.num_actions,
+        "tags": tags,
+        "holdout_tags": holdout_table,
+        "users": [user.to_dict() for user in dataset.users],
+        "items": [item.to_dict() for item in dataset.items],
+        "has_holdout": dataset.holdout is not None,
+        "materialized": materialized_meta,
+    }
+    return write_arena(path, meta, arrays)
+
+
+# --------------------------------------------------------------------- #
+# Array-backed store views
+# --------------------------------------------------------------------- #
+
+class ArenaInvertedIndex(InvertedIndex):
+    """Inverted index whose posting lists are views into the arena.
+
+    Random-access ``frequency`` lookups are answered by binary search over
+    the endorser index's ascending item arrays instead of the eager
+    ``(tag, item) -> frequency`` dict the in-memory build materialises.
+    """
+
+    def __init__(self, endorsers: EndorserIndex) -> None:
+        super().__init__()
+        self._endorsers = endorsers
+
+    def frequency(self, item_id: int, tag: str) -> int:
+        bundle = self._endorsers.for_tag(tag)
+        if bundle is None or len(bundle) == 0:
+            return 0
+        position = int(np.searchsorted(bundle.item_ids, item_id))
+        if position >= len(bundle) or int(bundle.item_ids[position]) != item_id:
+            return 0
+        return int(bundle.frequencies[position])
+
+
+class ArenaSocialIndex(SocialIndex):
+    """Social index answering ``items_for`` from the arena's per-tag CSR.
+
+    The cold paths (full profiles, entry iteration) materialise the dict
+    form lazily on first use.
+    """
+
+    def __init__(self, tags: Sequence[str], user_offsets: np.ndarray,
+                 user_ids: np.ndarray, segment_offsets: np.ndarray,
+                 item_ids: np.ndarray) -> None:
+        super().__init__()
+        self._tag_ids = {tag: index for index, tag in enumerate(tags)}
+        self._user_offsets = user_offsets
+        self._user_ids = user_ids
+        self._segment_offsets = segment_offsets
+        self._item_ids = item_ids
+        self._profiles_built = False
+
+    def items_for(self, user_id: int, tag: str) -> Tuple[int, ...]:
+        tag_index = self._tag_ids.get(tag)
+        if tag_index is None:
+            return ()
+        start = int(self._user_offsets[tag_index])
+        end = int(self._user_offsets[tag_index + 1])
+        position = start + int(np.searchsorted(self._user_ids[start:end], user_id))
+        if position >= end or int(self._user_ids[position]) != user_id:
+            return ()
+        row_start = int(self._segment_offsets[position])
+        row_end = int(self._segment_offsets[position + 1])
+        return tuple(int(i) for i in self._item_ids[row_start:row_end])
+
+    def _ensure_profiles(self) -> None:
+        if self._profiles_built:
+            return
+        staging: Dict[int, Dict[str, Tuple[int, ...]]] = {}
+        for tag, tag_index in self._tag_ids.items():
+            start = int(self._user_offsets[tag_index])
+            end = int(self._user_offsets[tag_index + 1])
+            for position in range(start, end):
+                user = int(self._user_ids[position])
+                row_start = int(self._segment_offsets[position])
+                row_end = int(self._segment_offsets[position + 1])
+                staging.setdefault(user, {})[tag] = tuple(
+                    int(i) for i in self._item_ids[row_start:row_end])
+        self._profiles.update(staging)
+        self._profiles_built = True
+
+    def __contains__(self, user_id: int) -> bool:
+        self._ensure_profiles()
+        return super().__contains__(user_id)
+
+    def __len__(self) -> int:
+        self._ensure_profiles()
+        return super().__len__()
+
+    def users(self) -> List[int]:
+        self._ensure_profiles()
+        return super().users()
+
+    def profile(self, user_id: int) -> Dict[str, Tuple[int, ...]]:
+        self._ensure_profiles()
+        return super().profile(user_id)
+
+    def tags_for(self, user_id: int) -> Tuple[str, ...]:
+        self._ensure_profiles()
+        return super().tags_for(user_id)
+
+    def num_entries(self) -> int:
+        return int(self._item_ids.shape[0])
+
+    def iter_entries(self) -> Iterator[Tuple[int, str, int]]:
+        self._ensure_profiles()
+        return super().iter_entries()
+
+
+class ArenaTaggingStore(TaggingStore):
+    """Tagging store whose hot lookups run over the arena arrays.
+
+    ``taggers_sorted`` / ``tag_frequency`` / ``items_for_tag`` — the paths
+    every query touches — are answered from the endorser CSR without
+    building any Python dict.  Everything else (per-user profiles, holdout
+    splitting, iteration) replays the stored actions into the regular
+    in-memory store on first use.
+
+    The first **mutation** (a live update adding actions) replays the log
+    and permanently switches every lookup to the in-memory store: the
+    mapped arrays describe the pre-update corpus and must not answer reads
+    once the store has diverged from them.
+    """
+
+    def __init__(self, endorsers: EndorserIndex, tag_table: Sequence[str],
+                 user_ids: np.ndarray, item_ids: np.ndarray,
+                 tag_ids: np.ndarray, timestamps: np.ndarray) -> None:
+        super().__init__()
+        self._endorsers = endorsers
+        self._tag_table = list(tag_table)
+        self._array_users = user_ids
+        self._array_items = item_ids
+        self._array_tags = tag_ids
+        self._array_timestamps = timestamps
+        self._materialised = False
+        self._mutated = False
+
+    # -- mutation: arrays go stale, the in-memory store takes over ------ #
+
+    def add(self, action: TaggingAction) -> bool:
+        if not self._mutated:
+            self._materialise()
+            self._mutated = True
+        return super().add(action)
+
+    # -- array-served hot paths ---------------------------------------- #
+
+    def __len__(self) -> int:
+        if self._mutated:
+            return super().__len__()
+        return int(self._array_users.shape[0])
+
+    def num_distinct_triples(self) -> int:
+        if self._mutated:
+            return super().num_distinct_triples()
+        # The arena stores the deduplicated action log, so every row is a
+        # distinct triple.
+        return len(self)
+
+    def tags(self) -> List[str]:
+        if self._mutated:
+            return super().tags()
+        return list(self._tag_table)
+
+    def _segment(self, item_id: int, tag: str) -> np.ndarray:
+        bundle = self._endorsers.for_tag(tag)
+        if bundle is None:
+            return np.zeros(0, dtype=np.int64)
+        return bundle.taggers_of(item_id)
+
+    def taggers_sorted(self, item_id: int, tag: str) -> Sequence[int]:
+        if self._mutated:
+            return super().taggers_sorted(item_id, tag)
+        return self._segment(item_id, tag)
+
+    def taggers(self, item_id: int, tag: str) -> FrozenSet[int]:
+        if self._mutated:
+            return super().taggers(item_id, tag)
+        return frozenset(int(u) for u in self._segment(item_id, tag))
+
+    def tag_frequency(self, item_id: int, tag: str) -> int:
+        if self._mutated:
+            return super().tag_frequency(item_id, tag)
+        return int(self._segment(item_id, tag).shape[0])
+
+    def items_for_tag(self, tag: str) -> FrozenSet[int]:
+        if self._mutated:
+            return super().items_for_tag(tag)
+        bundle = self._endorsers.for_tag(tag)
+        if bundle is None:
+            return frozenset()
+        return frozenset(int(i) for i in bundle.item_ids)
+
+    def contains(self, user_id: int, item_id: int, tag: str) -> bool:
+        if self._mutated:
+            return super().contains(user_id, item_id, tag)
+        segment = self._segment(item_id, tag)
+        position = int(np.searchsorted(segment, user_id))
+        return position < segment.shape[0] and int(segment[position]) == user_id
+
+    def tag_popularity(self) -> Dict[str, int]:
+        if self._mutated:
+            return super().tag_popularity()
+        counts = np.bincount(self._array_tags, minlength=len(self._tag_table))
+        return {tag: int(counts[index])
+                for index, tag in enumerate(self._tag_table)}
+
+    # -- cold paths: replay into the in-memory store -------------------- #
+
+    def _materialise(self) -> None:
+        if self._materialised:
+            return
+        self._materialised = True
+        for position in range(len(self)):
+            # super().add keeps the secondary hash indexes consistent and
+            # re-interns the tag strings.
+            super().add(TaggingAction(
+                user_id=int(self._array_users[position]),
+                item_id=int(self._array_items[position]),
+                tag=self._tag_table[int(self._array_tags[position])],
+                timestamp=int(self._array_timestamps[position]),
+            ))
+
+    def actions(self) -> List[TaggingAction]:
+        self._materialise()
+        return super().actions()
+
+    def __iter__(self) -> Iterator[TaggingAction]:
+        self._materialise()
+        return super().__iter__()
+
+    def items_for_user_tag(self, user_id: int, tag: str) -> FrozenSet[int]:
+        self._materialise()
+        return super().items_for_user_tag(user_id, tag)
+
+    def items_for_user(self, user_id: int) -> FrozenSet[int]:
+        self._materialise()
+        return super().items_for_user(user_id)
+
+    def tags_for_user(self, user_id: int) -> Dict[str, int]:
+        self._materialise()
+        return super().tags_for_user(user_id)
+
+    def users(self) -> List[int]:
+        self._materialise()
+        return super().users()
+
+    def items(self) -> List[int]:
+        self._materialise()
+        return super().items()
+
+    def activity(self, user_id: int) -> int:
+        self._materialise()
+        return super().activity(user_id)
+
+    def filter(self, predicate) -> TaggingStore:
+        self._materialise()
+        return super().filter(predicate)
+
+    def split_holdout(self, fraction: float, seed: int = 0
+                      ) -> Tuple[TaggingStore, TaggingStore]:
+        self._materialise()
+        return super().split_holdout(fraction, seed=seed)
+
+
+# --------------------------------------------------------------------- #
+# Loading a dataset back
+# --------------------------------------------------------------------- #
+
+def _load_endorser_index(arena: Arena, tags: Sequence[str]) -> EndorserIndex:
+    item_offsets = arena.array("endorser.item_offsets")
+    item_ids = arena.array("endorser.item_ids")
+    frequencies = arena.array("endorser.frequencies")
+    segment_offsets = arena.array("endorser.segment_offsets")
+    taggers = arena.array("endorser.taggers")
+    index = EndorserIndex()
+    for position, tag in enumerate(tags):
+        start = int(item_offsets[position])
+        end = int(item_offsets[position + 1])
+        if start == end:
+            continue
+        base = int(segment_offsets[start])
+        local_offsets = np.asarray(segment_offsets[start:end + 1]) - base
+        index._tags[tag] = TagEndorsers(
+            tag=tag,
+            item_ids=item_ids[start:end],
+            frequencies=frequencies[start:end],
+            offsets=local_offsets,
+            taggers=taggers[base:int(segment_offsets[end])],
+        )
+    return index
+
+
+def _load_inverted_index(arena: Arena, tags: Sequence[str],
+                         endorsers: EndorserIndex) -> ArenaInvertedIndex:
+    offsets = arena.array("inverted.offsets")
+    item_ids = arena.array("inverted.item_ids")
+    frequencies = arena.array("inverted.frequencies")
+    index = ArenaInvertedIndex(endorsers)
+    for position, tag in enumerate(tags):
+        start = int(offsets[position])
+        end = int(offsets[position + 1])
+        postings = PostingList(item_ids[start:end], frequencies[start:end])
+        index._lists[tag] = postings
+        index._max_frequency[tag] = int(frequencies[start]) if end > start else 0
+    return index
+
+
+def _load_holdout(arena: Arena) -> Optional[TaggingStore]:
+    if not arena.meta.get("has_holdout"):
+        return None
+    table = arena.meta.get("holdout_tags") or arena.meta["tags"]
+    store = TaggingStore()
+    user_ids = arena.array("holdout.user_ids")
+    item_ids = arena.array("holdout.item_ids")
+    tag_ids = arena.array("holdout.tag_ids")
+    timestamps = arena.array("holdout.timestamps")
+    for position in range(int(user_ids.shape[0])):
+        store.add(TaggingAction(
+            user_id=int(user_ids[position]),
+            item_id=int(item_ids[position]),
+            tag=str(table[int(tag_ids[position])]),
+            timestamp=int(timestamps[position]),
+        ))
+    return store
+
+
+def load_dataset_from_arena(source: Union[PathLike, Arena]) -> Dataset:
+    """Reassemble a query-ready :class:`Dataset` from an arena (zero-copy)."""
+    arena = source if isinstance(source, Arena) else Arena.open(source)
+    meta = arena.meta
+    tags = [str(tag) for tag in meta["tags"]]
+
+    graph = SocialGraph(
+        int(meta["num_users"]),
+        arena.array("graph.offsets"),
+        arena.array("graph.neighbours"),
+        arena.array("graph.weights"),
+    )
+    endorsers = _load_endorser_index(arena, tags)
+    inverted = _load_inverted_index(arena, tags, endorsers)
+    social = ArenaSocialIndex(
+        tags,
+        arena.array("social.user_offsets"),
+        arena.array("social.user_ids"),
+        arena.array("social.segment_offsets"),
+        arena.array("social.item_ids"),
+    )
+    tagging = ArenaTaggingStore(
+        endorsers, tags,
+        arena.array("actions.user_ids"),
+        arena.array("actions.item_ids"),
+        arena.array("actions.tag_ids"),
+        arena.array("actions.timestamps"),
+    )
+    users = UserStore()
+    users.add_many(User.from_dict(record) for record in meta.get("users", []))
+    items = ItemStore()
+    items.add_many(Item.from_dict(record) for record in meta.get("items", []))
+    return Dataset(
+        name=str(meta.get("name", "arena")),
+        graph=graph,
+        users=users,
+        items=items,
+        tagging=tagging,
+        inverted_index=inverted,
+        social_index=social,
+        endorser_index=endorsers,
+        holdout=_load_holdout(arena),
+    )
+
+
+def load_shards(source: Union[PathLike, Arena]
+                ) -> Optional[Tuple[List[int], List[ProximityShard]]]:
+    """The arena's materialized proximity shards, or ``None`` when absent."""
+    arena = source if isinstance(source, Arena) else Arena.open(source)
+    if "materialized.labels" not in arena:
+        return None
+    labels = [int(label) for label in arena.array("materialized.labels")]
+    cluster_ids = arena.array("materialized.cluster_ids")
+    member_offsets = arena.array("materialized.member_offsets")
+    members = arena.array("materialized.members")
+    row_offsets = arena.array("materialized.row_offsets")
+    row_user_ids = arena.array("materialized.row_user_ids")
+    row_values = arena.array("materialized.row_values")
+    bounds = arena.array("materialized.bounds")
+    num_users = int(arena.meta["num_users"])
+    shards: List[ProximityShard] = []
+    for position in range(int(cluster_ids.shape[0])):
+        first = int(member_offsets[position])
+        last = int(member_offsets[position + 1])
+        base = int(row_offsets[first])
+        local_offsets = np.asarray(row_offsets[first:last + 1]) - base
+        shards.append(ProximityShard(
+            cluster_id=int(cluster_ids[position]),
+            members=members[first:last],
+            offsets=local_offsets,
+            user_ids=row_user_ids[base:int(row_offsets[last])],
+            values=row_values[base:int(row_offsets[last])],
+            bound=bounds[position * num_users:(position + 1) * num_users],
+        ))
+    return labels, shards
+
+
+def attach_shards(proximity: MaterializedProximity,
+                  source: Union[PathLike, Arena]) -> bool:
+    """Install the arena's shards into ``proximity``; returns success.
+
+    Returns ``False`` when the arena carries no shards.  Raises
+    :class:`PersistenceError` when it carries shards of a *different*
+    measure than the one ``proximity`` wraps — mixing, say, PPR rows with
+    shortest-path lazy refinement would silently serve two proximity
+    semantics side by side.
+    """
+    arena = source if isinstance(source, Arena) else Arena.open(source)
+    loaded = load_shards(arena)
+    if loaded is None:
+        return False
+    recorded = (arena.meta.get("materialized") or {}).get("measure")
+    if recorded is not None and recorded != proximity.inner.name:
+        raise PersistenceError(
+            f"arena {arena.path} materialized measure {recorded!r} does not "
+            f"match the engine's measure {proximity.inner.name!r}")
+    labels, shards = loaded
+    proximity.install_shards(shards, labels=labels)
+    return True
+
+
+# Re-exported niceties ------------------------------------------------- #
+
+__all__ = [
+    "Arena",
+    "ArenaInvertedIndex",
+    "ArenaSocialIndex",
+    "ArenaTaggingStore",
+    "attach_shards",
+    "build_arena",
+    "load_dataset_from_arena",
+    "load_shards",
+    "write_arena",
+]

@@ -87,6 +87,24 @@ class Dataset:
             holdout=holdout,
         )
 
+    @classmethod
+    def from_arena(cls, path) -> "Dataset":
+        """Open a memory-mapped index arena written by ``repro build-arena``.
+
+        All hot structures come back as zero-copy ``np.memmap`` views in
+        their query-ready layout, so cold start skips the index rebuild the
+        JSON snapshot loader pays (see :mod:`repro.storage.arena`).
+        """
+        from .arena import load_dataset_from_arena
+
+        return load_dataset_from_arena(path)
+
+    def to_arena(self, path, proximity=None):
+        """Serialise this dataset (and optional built shards) into an arena file."""
+        from .arena import build_arena
+
+        return build_arena(self, path, proximity=proximity)
+
     def with_holdout(self, fraction: float, seed: int = 0) -> "Dataset":
         """Return a copy whose index excludes a per-user holdout slice.
 

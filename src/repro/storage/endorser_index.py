@@ -31,7 +31,8 @@ from .tagging import TaggingStore
 class TagEndorsers:
     """CSR arrays of one tag's item → endorser relation (read-only)."""
 
-    __slots__ = ("tag", "item_ids", "frequencies", "offsets", "taggers")
+    __slots__ = ("tag", "item_ids", "frequencies", "offsets", "taggers",
+                 "_sorted_taggers", "_sorted_positions")
 
     def __init__(self, tag: str, item_ids: np.ndarray, frequencies: np.ndarray,
                  offsets: np.ndarray, taggers: np.ndarray) -> None:
@@ -40,6 +41,10 @@ class TagEndorsers:
         self.frequencies = frequencies
         self.offsets = offsets
         self.taggers = taggers
+        # Lazily built tagger-sorted view (see seeker_flags): built on first
+        # use so arena-mapped bundles stay zero-cost until queried.
+        self._sorted_taggers: np.ndarray = None  # type: ignore[assignment]
+        self._sorted_positions: np.ndarray = None  # type: ignore[assignment]
 
     def __len__(self) -> int:
         return int(self.item_ids.shape[0])
@@ -84,14 +89,31 @@ class TagEndorsers:
         return positions, found
 
     def seeker_flags(self, seeker: int) -> np.ndarray:
-        """Boolean per item: did the seeker endorse it with this tag?"""
+        """Boolean per item: did the seeker endorse it with this tag?
+
+        Answered in ``O(log E + hits)`` from a tagger-sorted view of the
+        CSR built lazily on first use, instead of scanning every ``(item,
+        tagger)`` entry per query: ``_sorted_taggers`` is the tagger column
+        in ascending order and ``_sorted_positions`` maps each sorted entry
+        back to its item row.
+        """
         flags = np.zeros(len(self), dtype=bool)
         if len(self) == 0:
             return flags
-        hits = np.nonzero(self.taggers == seeker)[0]
-        if hits.shape[0]:
-            item_positions = np.searchsorted(self.offsets, hits, side="right") - 1
-            flags[item_positions] = True
+        sorted_taggers = self._sorted_taggers
+        if sorted_taggers is None:
+            order = np.argsort(self.taggers, kind="stable")
+            sorted_taggers = self.taggers[order]
+            # Publish positions before taggers: concurrent readers gate on
+            # _sorted_taggers, so both fields must be set once they see it.
+            # (A racing duplicate build is harmless — same arrays.)
+            self._sorted_positions = \
+                np.searchsorted(self.offsets, order, side="right") - 1
+            self._sorted_taggers = sorted_taggers
+        lo = int(np.searchsorted(sorted_taggers, seeker, side="left"))
+        hi = int(np.searchsorted(sorted_taggers, seeker, side="right"))
+        if hi > lo:
+            flags[self._sorted_positions[lo:hi]] = True
         return flags
 
     def memory_bytes(self) -> int:

@@ -1,0 +1,125 @@
+"""Tests for batched query execution (Engine.run_batch / core.batch)."""
+
+import numpy as np
+import pytest
+
+from repro import SocialSearchEngine
+from repro.config import EngineConfig, ProximityConfig, ScoringConfig, WorkloadConfig
+from repro.core.batch import MIN_SHARED_GROUP, group_queries
+from repro.core.query import Query
+from repro.workload import generate_workload
+
+
+def _signatures(results):
+    return [([item.item_id for item in result.items],
+             [item.score for item in result.items],
+             result.accounting.to_dict())
+            for result in results]
+
+
+@pytest.fixture(scope="module")
+def materialized_engine(synthetic_dataset):
+    engine = SocialSearchEngine(synthetic_dataset, EngineConfig(
+        algorithm="exact",
+        proximity=ProximityConfig(measure="ppr", materialize=True),
+    ))
+    engine.proximity.build()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def batch_workload(synthetic_dataset):
+    return generate_workload(synthetic_dataset,
+                             WorkloadConfig(num_queries=14, k=5, seed=5))
+
+
+class TestGrouping:
+    def test_groups_partition_all_indices(self, batch_workload):
+        groups = group_queries(batch_workload)
+        seen = sorted(index for group in groups for index in group)
+        assert seen == list(range(len(batch_workload)))
+
+    def test_same_tags_share_a_group(self):
+        queries = [Query(seeker=1, tags=("a",), k=3),
+                   Query(seeker=2, tags=("b",), k=3),
+                   Query(seeker=3, tags=("a",), k=3)]
+        groups = group_queries(queries)
+        assert sorted(map(len, groups)) == [1, 2]
+
+    def test_cluster_order_applied(self):
+        queries = [Query(seeker=s, tags=("a",), k=3) for s in (5, 1, 9)]
+        groups = group_queries(queries, cluster_of=lambda seeker: seeker % 2)
+        # Even-cluster seekers first, then odds, each ascending.
+        assert [queries[i].seeker for i in groups[0]] == [1, 5, 9]
+
+
+class TestRunBatch:
+    def test_identical_to_run_many(self, materialized_engine, batch_workload):
+        sequential = materialized_engine.run_many(batch_workload)
+        batched = materialized_engine.run_batch(batch_workload)
+        assert _signatures(sequential) == _signatures(batched)
+
+    def test_duplicate_queries_coalesce(self, materialized_engine, batch_workload):
+        trace = list(batch_workload) * 3
+        batched = materialized_engine.run_batch(trace)
+        sequential = materialized_engine.run_many(trace)
+        assert _signatures(sequential) == _signatures(batched)
+
+    def test_mixed_k_same_seeker(self, materialized_engine, batch_workload):
+        base = batch_workload[0]
+        trace = [Query(seeker=base.seeker, tags=base.tags, k=k) for k in (1, 3, 8)]
+        batched = materialized_engine.run_batch(trace)
+        sequential = materialized_engine.run_many(trace)
+        assert _signatures(sequential) == _signatures(batched)
+        assert [len(result.items) for result in batched] \
+            == [len(result.items) for result in sequential]
+
+    def test_empty_batch(self, materialized_engine):
+        assert materialized_engine.run_batch([]) == []
+
+    def test_input_order_preserved(self, materialized_engine, batch_workload):
+        batched = materialized_engine.run_batch(batch_workload)
+        for query, result in zip(batch_workload, batched):
+            assert result.query == query
+
+    def test_non_exact_algorithm_falls_back(self, materialized_engine, batch_workload):
+        batched = materialized_engine.run_batch(batch_workload,
+                                                algorithm="social-first")
+        sequential = materialized_engine.run_many(batch_workload,
+                                                  algorithm="social-first")
+        assert _signatures(sequential) == _signatures(batched)
+
+    def test_without_materialized_proximity(self, synthetic_dataset, batch_workload):
+        engine = SocialSearchEngine(synthetic_dataset, EngineConfig(
+            algorithm="exact", proximity=ProximityConfig(measure="ppr")))
+        batched = engine.run_batch(batch_workload)
+        sequential = engine.run_many(batch_workload)
+        assert _signatures(sequential) == _signatures(batched)
+
+    def test_scalar_mode_falls_back_to_sequential(self, synthetic_dataset,
+                                                  batch_workload):
+        engine = SocialSearchEngine(synthetic_dataset, EngineConfig(
+            algorithm="exact",
+            scoring=ScoringConfig(vectorized=False),
+            proximity=ProximityConfig(measure="ppr"),
+        ))
+        batched = engine.run_batch(batch_workload)
+        sequential = engine.run_many(batch_workload)
+        assert _signatures(sequential) == _signatures(batched)
+
+
+class TestPruning:
+    """Cluster-bound pruning must never change what the caller observes."""
+
+    def test_pruned_scores_match_unpruned(self, materialized_engine,
+                                          batch_workload, monkeypatch):
+        import repro.core.batch as batch_module
+
+        pruned = materialized_engine.run_batch(batch_workload)
+        monkeypatch.setattr(batch_module, "_prune_candidates",
+                            lambda *args, **kwargs: None)
+        unpruned = materialized_engine.run_batch(batch_workload)
+        assert _signatures(pruned) == _signatures(unpruned)
+
+    def test_min_shared_group_is_sane(self):
+        assert MIN_SHARED_GROUP >= 2

@@ -89,6 +89,48 @@ class TestCachedProximity:
         assert "shortest-path" in cached.name
         assert cached.inner is counting
 
+    def test_sparse_view_derived_once_per_entry(self, counting):
+        """Regression: the dict view must be memoised per cached entry, not
+        re-derived from the dense array on every scalar lookup."""
+        cached = CachedProximity(counting, capacity=4)
+        for _ in range(5):
+            cached.vector(0)
+        assert counting.vector_calls == 1
+        assert cached.statistics.sparse_derivations == 1
+        # A second seeker derives its own view exactly once.
+        cached.vector(1)
+        cached.vector(1)
+        assert cached.statistics.sparse_derivations == 2
+        # The dense path alone never pays for a dict derivation.
+        cached.vector_array(2)
+        assert cached.statistics.sparse_derivations == 2
+        assert cached.statistics.to_dict()["sparse_derivations"] == 2
+
+    def test_dense_entry_derived_from_warm_ranked_stream(self, counting):
+        """Warming the ranked stream must make the dense form free: the
+        cached pairs are the whole vector, so no second online computation
+        (the --warmup double-compute regression)."""
+        cached = CachedProximity(counting, capacity=4)
+        ranked = tuple(cached.iter_ranked(0))
+        calls_after_stream = counting.vector_calls
+        dense = cached.vector_array(0)
+        assert counting.vector_calls == calls_after_stream
+        assert {user: value for user, value in ranked} \
+            == {user: float(dense[user]) for user in range(dense.shape[0])
+                if dense[user] > 0.0}
+        # And the dict form comes from the same derived entry.
+        assert cached.vector(0) == dict(ranked)
+        assert counting.vector_calls == calls_after_stream
+
+    def test_frontier_bound_matches_ranked_stream(self, counting):
+        cached = CachedProximity(counting, capacity=4)
+        assert cached.frontier_bound(0) is None  # cold: not known cheaply
+        first = next(iter(cached.iter_ranked(0)))
+        assert cached.frontier_bound(0) == first[1]
+        cached.vector_array(1)
+        ranked = list(cached.iter_ranked(1))
+        assert cached.frontier_bound(1) == ranked[0][1]
+
 
 class TestInvalidation:
     """Regression tests for the post-update staleness bug: a CachedProximity

@@ -1,0 +1,142 @@
+"""Tests for the materialized proximity shard layer."""
+
+import numpy as np
+import pytest
+
+from repro.config import ProximityConfig
+from repro.graph import SocialGraphBuilder
+from repro.proximity import MaterializedProximity
+from repro.proximity.pagerank import PersonalizedPageRankProximity
+
+
+class CountingPPR(PersonalizedPageRankProximity):
+    """PPR that counts online vector computations."""
+
+    def __init__(self, graph, config=None):
+        super().__init__(graph, config)
+        self.array_calls = 0
+
+    def vector_array(self, seeker):
+        self.array_calls += 1
+        return super().vector_array(seeker)
+
+
+@pytest.fixture()
+def inner(synthetic_dataset):
+    return CountingPPR(synthetic_dataset.graph, ProximityConfig(measure="ppr"))
+
+
+@pytest.fixture()
+def built(inner):
+    materialized = MaterializedProximity(inner)
+    materialized.build()
+    return materialized
+
+
+class TestBuild:
+    def test_build_covers_every_user(self, built, synthetic_dataset):
+        assert built.built
+        assert built.num_rows() == synthetic_dataset.num_users
+        assert sum(len(shard) for shard in built.shards()) == synthetic_dataset.num_users
+
+    def test_rows_are_bit_identical_to_online(self, built, inner, synthetic_dataset):
+        for seeker in range(0, synthetic_dataset.num_users, 7):
+            np.testing.assert_array_equal(built.vector_array(seeker),
+                                          inner.vector_array(seeker))
+
+    def test_vector_dict_matches_online(self, built, inner):
+        assert built.vector(3) == inner.vector(3)
+
+    def test_served_from_shard_without_recompute(self, inner):
+        materialized = MaterializedProximity(inner)
+        materialized.build()
+        calls_after_build = inner.array_calls
+        materialized.vector_array(5)
+        materialized.vector(5)
+        materialized.proximity(5, 9)
+        assert inner.array_calls == calls_after_build
+        assert materialized.statistics.shard_hits == 3
+        assert materialized.statistics.refinements == 0
+
+    def test_point_lookup_matches_online(self, built, inner):
+        for target in (0, 1, 17, 42):
+            assert built.proximity(2, target) == pytest.approx(
+                inner.proximity(2, target))
+        assert built.proximity(4, 4) == 1.0
+
+
+class TestBounds:
+    def test_cluster_bound_is_admissible(self, built, synthetic_dataset):
+        for seeker in range(synthetic_dataset.num_users):
+            bound = built.upper_bound_array(seeker)
+            assert bound is not None
+            assert np.all(bound >= built.vector_array(seeker) - 1e-15)
+
+    def test_frontier_bound_equals_first_ranked(self, built):
+        for seeker in (0, 5, 11):
+            ranked = list(built.iter_ranked(seeker))
+            bound = built.frontier_bound(seeker)
+            if ranked:
+                assert bound == ranked[0][1]
+            else:
+                assert bound == 0.0
+
+    def test_unmaterialized_seeker_has_no_bound(self, inner):
+        materialized = MaterializedProximity(inner)
+        assert materialized.frontier_bound(0) is None
+        assert materialized.upper_bound_array(0) is None
+
+
+class TestLazyRefinement:
+    def test_unbuilt_measure_refines_through_inner(self, inner):
+        materialized = MaterializedProximity(inner)
+        first = materialized.vector_array(4)
+        second = materialized.vector_array(4)
+        np.testing.assert_array_equal(first, second)
+        # First call computes, second is served from the overlay.
+        assert inner.array_calls == 1
+        assert materialized.statistics.refinements == 1
+        assert materialized.statistics.overlay_hits == 1
+
+    def test_invalidate_marks_rows_stale(self, built, inner):
+        calls = inner.array_calls
+        assert built.invalidate([3]) == 1
+        built.vector_array(3)          # refined online
+        assert inner.array_calls == calls + 1
+        assert built.upper_bound_array(3) is None
+        built.vector_array(2)          # untouched seeker still shard-served
+        assert inner.array_calls == calls + 1
+
+    def test_rebind_drops_all_shards(self, built, synthetic_dataset):
+        builder = SocialGraphBuilder(synthetic_dataset.graph.num_users)
+        for u, v, w in synthetic_dataset.graph.iter_edges():
+            builder.add_edge(u, v, w)
+        built.rebind(builder.build())
+        assert not built.built
+        # Serving still works through lazy refinement on the new graph.
+        assert built.vector_array(0).shape[0] == synthetic_dataset.graph.num_users
+        assert built.statistics.refinements >= 1
+
+
+class TestIntrospection:
+    def test_cluster_of_matches_labels(self, built):
+        labels = built.labels()
+        for seeker in (0, 9, 23):
+            assert built.cluster_of(seeker) == labels[seeker]
+
+    def test_memory_and_entries_positive(self, built):
+        assert built.num_entries() > 0
+        assert built.memory_bytes() > 0
+
+    def test_partial_build(self, inner):
+        materialized = MaterializedProximity(inner)
+        materialized.build(seekers=[0, 1, 2])
+        assert materialized.num_rows() == 3
+        assert materialized.frontier_bound(0) is not None
+        assert materialized.frontier_bound(30) is None
+
+    def test_statistics_to_dict(self, built):
+        built.vector_array(0)
+        stats = built.statistics.to_dict()
+        assert stats["shard_hits"] == 1
+        assert stats["lookups"] == 1

@@ -307,3 +307,48 @@ class TestParallelRunMany:
         futures = [service.submit(q) for q in queries]
         results = [f.result(timeout=30.0) for f in futures]
         assert all(r.query == q for r, q in zip(results, queries))
+
+
+class TestWarmup:
+    """``repro serve --warmup`` backing: pre-populating proximity state."""
+
+    def test_warm_proximity_fills_lru_cache(self, service, live_engine):
+        from repro.proximity import CachedProximity
+
+        proximity = live_engine.proximity
+        assert isinstance(proximity, CachedProximity)
+        warmed = service.warm_proximity([0, 1, 2])
+        assert warmed == 3
+        assert len(proximity) == 3
+        misses_after_warm = proximity.statistics.misses
+        # A query from a warmed seeker computes nothing new.
+        service.serve(hot_query(live_engine, seeker=1))
+        assert proximity.statistics.misses == misses_after_warm
+
+    def test_warm_proximity_skips_invalid_seekers(self, service, live_engine):
+        assert service.warm_proximity([-3, 0, 10_000]) == 1
+
+    def test_warm_proximity_refines_materialized_shards(self):
+        from repro import EngineConfig, ProximityConfig
+
+        dataset = tiny_dataset(seed=3)
+        engine = SocialSearchEngine(dataset, EngineConfig(
+            proximity=ProximityConfig(measure="ppr", materialize=True)))
+        with QueryService(engine, ServiceConfig(workers=1)) as svc:
+            assert svc.warm_proximity([0, 1]) == 2
+            assert engine.proximity.statistics.refinements == 2
+            stats = svc.stats()
+            assert "proximity_shards" in stats
+
+
+class TestBatchedServing:
+    def test_run_batch_outcomes_and_metrics(self, service, live_engine):
+        queries = [hot_query(live_engine, seeker=s) for s in (1, 2, 1)]
+        results = service.run_batch(queries)
+        assert [r.query for r in results] == queries
+        # Duplicate in the batch coalesced; repeat serves from cache.
+        snapshot = service.metrics.to_dict()
+        assert snapshot["requests"] == 3
+        repeat = service.run_batch(queries)
+        assert [r.item_ids for r in repeat] == [r.item_ids for r in results]
+        assert service.metrics.to_dict()["cache_hits"] >= 3

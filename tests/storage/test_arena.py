@@ -1,0 +1,234 @@
+"""Round-trip tests for the memory-mapped index arena."""
+
+import numpy as np
+import pytest
+
+from repro import SocialSearchEngine
+from repro.config import EngineConfig, ProximityConfig, WorkloadConfig
+from repro.errors import PersistenceError
+from repro.proximity import MaterializedProximity
+from repro.proximity.pagerank import PersonalizedPageRankProximity
+from repro.storage import Dataset, build_arena, load_shards
+from repro.storage.arena import Arena, attach_shards, write_arena
+from repro.workload import generate_workload
+from repro.workload.datasets import tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return tiny_dataset(holdout_fraction=0.2)
+
+
+@pytest.fixture(scope="module")
+def arena_path(corpus, tmp_path_factory):
+    path = tmp_path_factory.mktemp("arena") / "tiny.arena"
+    inner = PersonalizedPageRankProximity(corpus.graph, ProximityConfig(measure="ppr"))
+    materialized = MaterializedProximity(inner)
+    materialized.build()
+    build_arena(corpus, path, proximity=materialized)
+    return path
+
+
+@pytest.fixture()
+def mapped(arena_path):
+    return Dataset.from_arena(arena_path)
+
+
+class TestFormat:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.arena"
+        path.write_bytes(b"not an arena at all" * 4)
+        with pytest.raises(PersistenceError):
+            Arena.open(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "short.arena"
+        path.write_bytes(b"RPR")
+        with pytest.raises(PersistenceError):
+            Arena.open(path)
+
+    def test_unknown_array_name_raises(self, arena_path):
+        arena = Arena.open(arena_path)
+        with pytest.raises(PersistenceError):
+            arena.array("no/such/array")
+
+    def test_write_and_reopen_raw_arrays(self, tmp_path):
+        path = tmp_path / "raw.arena"
+        payload = {
+            "small": np.arange(7, dtype=np.int64),
+            "floats": np.linspace(0.0, 1.0, 13),
+            "empty": np.zeros(0, dtype=np.int64),
+        }
+        write_arena(path, {"hello": "world"}, payload)
+        arena = Arena.open(path)
+        assert arena.meta["hello"] == "world"
+        for name, array in payload.items():
+            np.testing.assert_array_equal(arena.array(name), array)
+
+
+class TestRoundTrip:
+    def test_structural_equality(self, corpus, mapped):
+        assert mapped.graph == corpus.graph
+        assert mapped.tags() == corpus.tags()
+        assert mapped.num_actions == corpus.num_actions
+        assert len(mapped.items) == len(corpus.items)
+        assert len(mapped.users) == len(corpus.users)
+        for tag in corpus.tags():
+            ours = corpus.inverted_index.arrays(tag)
+            theirs = mapped.inverted_index.arrays(tag)
+            np.testing.assert_array_equal(ours.item_ids, theirs.item_ids)
+            np.testing.assert_array_equal(ours.frequencies, theirs.frequencies)
+            assert corpus.inverted_index.max_frequency(tag) \
+                == mapped.inverted_index.max_frequency(tag)
+
+    def test_endorser_index_round_trip(self, corpus, mapped):
+        for tag in corpus.tags():
+            ours = corpus.endorser_index.for_tag(tag)
+            theirs = mapped.endorser_index.for_tag(tag)
+            if ours is None:
+                assert theirs is None
+                continue
+            np.testing.assert_array_equal(ours.item_ids, theirs.item_ids)
+            np.testing.assert_array_equal(ours.offsets, theirs.offsets)
+            np.testing.assert_array_equal(ours.taggers, theirs.taggers)
+
+    def test_tagging_hot_paths(self, corpus, mapped):
+        for tag in corpus.tags()[:5]:
+            assert mapped.tagging.items_for_tag(tag) == corpus.tagging.items_for_tag(tag)
+            for item_id in sorted(corpus.tagging.items_for_tag(tag))[:5]:
+                assert list(mapped.tagging.taggers_sorted(item_id, tag)) \
+                    == list(corpus.tagging.taggers_sorted(item_id, tag))
+                assert mapped.tagging.tag_frequency(item_id, tag) \
+                    == corpus.tagging.tag_frequency(item_id, tag)
+
+    def test_random_access_frequency(self, corpus, mapped):
+        tag = corpus.tags()[0]
+        for item_id in list(corpus.tagging.items_for_tag(tag))[:5]:
+            assert mapped.inverted_index.frequency(item_id, tag) \
+                == corpus.inverted_index.frequency(item_id, tag)
+        assert mapped.inverted_index.frequency(999999, tag) == 0
+
+    def test_social_index_round_trip(self, corpus, mapped):
+        for user in corpus.social_index.users():
+            for tag in corpus.social_index.tags_for(user):
+                assert mapped.social_index.items_for(user, tag) \
+                    == corpus.social_index.items_for(user, tag)
+
+    def test_holdout_preserved(self, corpus, mapped):
+        assert mapped.holdout is not None
+        assert sorted(a.to_dict().items() for a in mapped.holdout.actions()) \
+            == sorted(a.to_dict().items() for a in corpus.holdout.actions())
+
+    def test_cold_paths_materialise_lazily(self, corpus, mapped):
+        # users()/tags_for_user trigger the replay fallback and must agree.
+        assert mapped.tagging.users() == corpus.tagging.users()
+        user = corpus.tagging.users()[0]
+        assert mapped.tagging.tags_for_user(user) == corpus.tagging.tags_for_user(user)
+        assert mapped.tagging.tag_popularity() == corpus.tagging.tag_popularity()
+
+
+class TestQueryEquivalence:
+    """The Figure-6 query mix must be answered identically from the arena."""
+
+    @pytest.fixture(scope="class")
+    def mix(self, corpus):
+        return generate_workload(corpus, WorkloadConfig(num_queries=12, k=5, seed=3))
+
+    @pytest.mark.parametrize("algorithm", ["exact", "social-first", "ta", "nra"])
+    def test_rankings_and_accounting_identical(self, corpus, mapped, mix, algorithm):
+        reference = SocialSearchEngine(corpus)
+        arena_engine = SocialSearchEngine(mapped)
+        for query in mix:
+            want = reference.run(query, algorithm=algorithm)
+            got = arena_engine.run(query, algorithm=algorithm)
+            assert [item.item_id for item in want.items] \
+                == [item.item_id for item in got.items]
+            assert [item.score for item in want.items] \
+                == [item.score for item in got.items]
+            assert want.accounting.to_dict() == got.accounting.to_dict()
+
+    def test_workload_generation_identical(self, corpus, mapped):
+        config = WorkloadConfig(num_queries=6, k=4, seed=9)
+        ours = [query.to_dict() for query in generate_workload(corpus, config)]
+        theirs = [query.to_dict() for query in generate_workload(mapped, config)]
+        assert ours == theirs
+
+
+class TestLiveUpdates:
+    """Regression: live updates on an arena-backed dataset must not be lost.
+
+    The mapped arrays describe the pre-update corpus; the first mutation
+    has to replay the log into the in-memory store and stop answering
+    reads from the arrays, or the rebuilt indexes silently drop the new
+    actions.
+    """
+
+    def test_added_action_survives_index_rebuild(self, arena_path):
+        from repro.storage import DatasetUpdater, TaggingAction
+
+        dataset = Dataset.from_arena(arena_path)
+        tag = dataset.tags()[0]
+        before = dataset.num_actions
+        updater = DatasetUpdater(dataset)
+        updater.add_actions([TaggingAction(user_id=2, item_id=9999, tag=tag)])
+        assert dataset.num_actions == before + 1
+        assert 9999 in dataset.tagging.items_for_tag(tag)
+        assert dataset.tagging.tag_frequency(9999, tag) == 1
+        assert list(dataset.tagging.taggers_sorted(9999, tag)) == [2]
+        # The rebuilt derived indexes see the new action too.
+        assert dataset.inverted_index.frequency(9999, tag) == 1
+        assert 9999 in dataset.social_index.items_for(2, tag)
+        # And the pre-existing corpus is still fully there.
+        engine = SocialSearchEngine(dataset)
+        result = engine.search(seeker=1, tags=[tag], k=5)
+        assert result.items
+
+    def test_new_tag_via_update_is_queryable(self, arena_path):
+        from repro.storage import DatasetUpdater, TaggingAction
+
+        dataset = Dataset.from_arena(arena_path)
+        updater = DatasetUpdater(dataset)
+        updater.add_actions([TaggingAction(user_id=1, item_id=7777,
+                                           tag="brand-new-tag")])
+        assert "brand-new-tag" in dataset.tags()
+        engine = SocialSearchEngine(dataset)
+        result = engine.search(seeker=2, tags=["brand-new-tag"], k=3)
+        assert [item.item_id for item in result.items] == [7777]
+
+
+class TestShards:
+    def test_shards_round_trip(self, corpus, arena_path):
+        loaded = load_shards(arena_path)
+        assert loaded is not None
+        labels, shards = loaded
+        assert len(labels) == corpus.num_users
+        assert sum(len(shard) for shard in shards) == corpus.num_users
+
+    def test_attach_shards_serves_identical_vectors(self, corpus, arena_path):
+        inner = PersonalizedPageRankProximity(corpus.graph,
+                                              ProximityConfig(measure="ppr"))
+        fresh = MaterializedProximity(
+            PersonalizedPageRankProximity(corpus.graph,
+                                          ProximityConfig(measure="ppr")))
+        assert attach_shards(fresh, arena_path)
+        for seeker in range(0, corpus.num_users, 5):
+            np.testing.assert_array_equal(fresh.vector_array(seeker),
+                                          inner.vector_array(seeker))
+        assert fresh.statistics.refinements == 0
+
+    def test_attach_shards_rejects_measure_mismatch(self, corpus, arena_path):
+        from repro.proximity.shortest_path import ShortestPathProximity
+
+        mismatched = MaterializedProximity(
+            ShortestPathProximity(corpus.graph,
+                                  ProximityConfig(measure="shortest-path")))
+        with pytest.raises(PersistenceError):
+            attach_shards(mismatched, arena_path)
+        assert not mismatched.built
+
+    def test_arena_without_shards(self, corpus, tmp_path):
+        path = tmp_path / "plain.arena"
+        build_arena(corpus, path)
+        assert load_shards(path) is None
+        engine_dataset = Dataset.from_arena(path)
+        assert engine_dataset.graph == corpus.graph

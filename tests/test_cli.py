@@ -13,7 +13,8 @@ class TestParser:
     def test_parser_knows_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("demo", "generate", "query", "bench", "serve"):
+        for command in ("demo", "generate", "query", "bench", "serve",
+                        "build-arena", "profile"):
             assert command in text
 
     def test_serve_defaults(self):
@@ -24,6 +25,15 @@ class TestParser:
         assert args.workers == 2
         assert args.cache_capacity == 1024
         assert args.ttl == 300.0
+        assert args.warmup == 0
+        assert args.arena is None
+
+    def test_suite_flag_variants(self):
+        parser = build_parser()
+        assert parser.parse_args(["bench"]).suite is None
+        assert parser.parse_args(["bench", "--suite"]).suite == "topk"
+        assert parser.parse_args(["bench", "--suite", "proximity"]).suite \
+            == "proximity"
 
 
 class TestDemo:
@@ -87,3 +97,90 @@ class TestBench:
         assert args.scalar is True
         args = parser.parse_args(["query", "snap", "1", "tag"])
         assert args.scalar is False
+
+    def test_bench_proximity_suite_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_proximity.json"
+        assert main(["bench", "--suite", "proximity", "--users", "40",
+                     "--queries", "3", "--rounds", "1",
+                     "--json", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "cold seeker" in output
+        assert "equivalence   OK" in output
+        assert target.exists()
+
+    def test_bench_proximity_suite_min_speedup_gate(self, capsys):
+        assert main(["bench", "--suite", "proximity", "--users", "40",
+                     "--queries", "3", "--rounds", "1",
+                     "--min-speedup", "1e9"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestBuildArena:
+    def test_build_arena_then_serve_dataset(self, tmp_path, capsys):
+        snapshot = tmp_path / "snap"
+        arena = tmp_path / "corpus.arena"
+        assert main(["generate", str(snapshot), "--users", "40", "--items", "80",
+                     "--tags", "10", "--actions", "400", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(["build-arena", str(arena), "--snapshot", str(snapshot),
+                     "--materialize", "--proximity", "ppr"]) == 0
+        output = capsys.readouterr().out
+        assert "materialized" in output
+        assert "wrote arena" in output
+        assert arena.exists()
+
+        from repro.storage import Dataset, load_shards
+
+        dataset = Dataset.from_arena(arena)
+        assert dataset.num_users == 40
+        assert load_shards(arena) is not None
+
+    def test_build_arena_synthetic_default(self, tmp_path, capsys):
+        arena = tmp_path / "synthetic.arena"
+        assert main(["build-arena", str(arena), "--scale", "0.1"]) == 0
+        assert "wrote arena" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_prints_hotspots(self, tmp_path, capsys):
+        from repro.workload import generate_workload, tiny_dataset
+        from repro.config import WorkloadConfig
+        from repro.workload.trace import save_queries
+
+        # The synthetic profile corpus at --scale 0.1 shares tag names with
+        # any tiny synthetic workload, so generate the trace from the same
+        # shape of corpus.
+        dataset = tiny_dataset()
+        queries = generate_workload(dataset, WorkloadConfig(num_queries=4, seed=3))
+        trace = tmp_path / "trace.jsonl"
+        save_queries(queries, trace)
+        assert main(["profile", str(trace), "--scale", "0.1",
+                     "--rounds", "1", "--top", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "cumulative" in output
+        assert "profiled 4 queries" in output
+
+    def test_profile_empty_trace_fails(self, tmp_path, capsys):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["profile", str(trace)]) == 1
+        assert "no queries" in capsys.readouterr().out
+
+
+class TestWarmupHelpers:
+    def test_warmup_seekers_orders_by_frequency(self):
+        from repro.cli import _warmup_seekers
+        from repro.core.query import Query
+
+        class FakeDataset:
+            num_users = 100
+
+        trace = ([Query(seeker=7, tags=("a",))] * 3
+                 + [Query(seeker=2, tags=("a",))] * 2
+                 + [Query(seeker=5, tags=("a",))])
+        assert _warmup_seekers(FakeDataset(), trace, 2) == [7, 2]
+        # Out-of-range ids (trace recorded against a bigger corpus) never
+        # consume warm-up slots, even when they dominate the trace.
+        trace = [Query(seeker=5000, tags=("a",))] * 10 + trace
+        assert _warmup_seekers(FakeDataset(), trace, 2) == [7, 2]
+        assert _warmup_seekers(FakeDataset(), trace, 10) == [7, 2, 5]
