@@ -142,6 +142,8 @@ def _run_bench_suite(args: argparse.Namespace) -> int:
         return 1
     if args.suite == "proximity":
         return _run_proximity_suite(args)
+    if args.suite == "updates":
+        return _run_updates_suite(args)
     report = run_topk_suite(
         num_users=args.users,
         num_queries=args.queries,
@@ -201,6 +203,44 @@ def _run_proximity_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_updates_suite(args: argparse.Namespace) -> int:
+    """Live-update suite: interleaved query/update trace + rebuild gate."""
+    from .eval.bench import format_updates_report, run_updates_suite, write_report
+
+    measure = args.proximity
+    if measure not in ("katz", "common-neighbours", "adamic-adar", "jaccard"):
+        # The suite exercises the *incremental* friendship path, which
+        # exists for hop-bounded measures with a real per-seeker vector
+        # cost; global measures fall back to a full invalidation and
+        # shortest-path (the argparse default) streams lazily.
+        measure = "katz"
+        if args.proximity != "shortest-path":
+            print("updates suite: using measure 'katz' (the incremental "
+                  "friendship-repair path needs a hop-bounded measure)")
+    report = run_updates_suite(
+        num_users=args.users,
+        num_queries=args.queries,
+        k=args.k,
+        rounds=args.rounds,
+        alpha=args.alpha,
+        measure=measure,
+        seed=args.seed,
+    )
+    print(format_updates_report(report))
+    if args.json:
+        path = write_report(report, args.json)
+        print(f"wrote {path}")
+    if not report["equivalent"]:
+        print("FAIL: post-update rankings diverge from a fresh rebuild")
+        return 1
+    ratio = float(report["p50_ratio"])
+    if args.max_p50_ratio > 0.0 and ratio > args.max_p50_ratio:
+        print(f"FAIL: post-update p50 is {ratio:.2f}x the pre-update p50, "
+              f"above the allowed {args.max_p50_ratio:.2f}x")
+        return 1
+    return 0
+
+
 def _load_serving_dataset(args: argparse.Namespace):
     if getattr(args, "arena", None):
         from .storage.dataset import Dataset
@@ -253,6 +293,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_capacity=args.cache_capacity,
         cache_ttl_seconds=args.ttl,
+        compact_threshold=args.compact_threshold,
         host=args.host,
         port=args.port,
     )
@@ -384,13 +425,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--algorithms", nargs="*", default=None,
                        help="algorithms to measure (both modes)")
     bench.add_argument("--suite", nargs="?", const="topk", default=None,
-                       choices=("topk", "proximity"),
+                       choices=("topk", "proximity", "updates"),
                        help="run a headless bench_fig*-style suite: 'topk' "
                             "(p50/p95/qps + vectorized-vs-scalar speedup; "
-                            "the default when no value is given) or "
+                            "the default when no value is given), "
                             "'proximity' (materialized shards vs online "
                             "computation, arena cold start, batching, with "
-                            "an exact-equivalence gate)")
+                            "an exact-equivalence gate) or 'updates' "
+                            "(interleaved query/update trace over an "
+                            "arena-backed dataset: post- vs pre-update p50 "
+                            "plus a fresh-rebuild equivalence gate)")
     bench.add_argument("--users", type=int, default=200,
                        help="suite dataset size in users (default: 200, the "
                             "Figure-6 medium point)")
@@ -404,6 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "speedup (vectorized exact for 'topk', cold "
                             "seeker for 'proximity') falls below this "
                             "factor (CI smoke gate)")
+    bench.add_argument("--max-p50-ratio", type=float, default=0.0,
+                       help="updates suite: exit non-zero when the "
+                            "post-update query p50 exceeds this multiple "
+                            "of the pre-update p50 (0 = report only)")
     _add_engine_arguments(bench)
     bench.set_defaults(handler=_command_bench)
 
@@ -449,6 +497,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result cache entries, 0 disables (default: 1024)")
     serve.add_argument("--ttl", type=float, default=300.0,
                        help="result cache TTL in seconds, 0 = no expiry")
+    serve.add_argument("--compact-threshold", type=int, default=2048,
+                       metavar="N",
+                       help="fold live-update delta overlays back into "
+                            "fresh index arrays on a background worker "
+                            "once N delta actions are pending (0 disables "
+                            "background compaction; default: 2048)")
     serve.add_argument("--warmup", type=int, default=0, metavar="N",
                        help="pre-populate the proximity cache/shards for the "
                             "N most frequent seekers of the workload trace "

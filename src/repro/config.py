@@ -193,6 +193,13 @@ class ServiceConfig:
         Hop radius around a user touched by a friendship update within which
         cached results and proximity vectors are considered stale.  0 means
         "use the proximity measure's ``max_hops``".
+    compact_threshold:
+        Once a watched updater's delta overlays (live updates accumulated on
+        top of frozen arena arrays) hold at least this many actions, the
+        service folds them into fresh arrays on a background worker.
+        0 disables background compaction (deltas then grow until
+        :meth:`~repro.storage.updates.DatasetUpdater.compact` is called
+        explicitly).
     host / port:
         Bind address of the ``repro serve`` HTTP API.  Port 0 asks the OS
         for an ephemeral port.
@@ -203,6 +210,7 @@ class ServiceConfig:
     cache_ttl_seconds: float = 300.0
     deduplicate: bool = True
     invalidation_horizon: int = 0
+    compact_threshold: int = 0
     host: str = "127.0.0.1"
     port: int = 8080
 
@@ -214,6 +222,8 @@ class ServiceConfig:
                  f"cache_ttl_seconds must be non-negative, got {self.cache_ttl_seconds}")
         _require(self.invalidation_horizon >= 0,
                  f"invalidation_horizon must be non-negative, got {self.invalidation_horizon}")
+        _require(self.compact_threshold >= 0,
+                 f"compact_threshold must be non-negative, got {self.compact_threshold}")
         _require(bool(self.host), "host must be a non-empty string")
         _require(0 <= self.port <= 65535, f"port must be in [0, 65535], got {self.port}")
 

@@ -70,7 +70,7 @@ class ScoringModel:
         self._proximity = proximity
         self._config = config or ScoringConfig()
         self._candidate_cache: Dict[Tuple[str, ...], np.ndarray] = {}
-        self._candidate_cache_index: Optional[object] = None
+        self._candidate_cache_token: Optional[object] = None
 
     @property
     def dataset(self) -> Dataset:
@@ -248,11 +248,15 @@ class ScoringModel:
         The returned array must be treated as read-only.
         """
         index = self._dataset.endorser_index
-        if index is not self._candidate_cache_index:
-            # DatasetUpdater swaps whole index objects on updates; a block
-            # memoised against the previous index would be stale.
+        # The token holds the index object itself (not its id(), which
+        # CPython may reuse after a swap-and-collect) plus the version
+        # DatasetUpdater bumps per in-place folded delta; either kind of
+        # change invalidates blocks memoised against the previous state.
+        token = self._candidate_cache_token
+        if token is None or token[0] is not index \
+                or token[1] != getattr(index, "version", 0):
             self._candidate_cache.clear()
-            self._candidate_cache_index = index
+            self._candidate_cache_token = (index, getattr(index, "version", 0))
         block = self._candidate_cache.get(tags)
         if block is None:
             if len(self._candidate_cache) >= self._CANDIDATE_CACHE_LIMIT:

@@ -15,7 +15,15 @@ from .metrics import (
 )
 from .timing import LatencyRecorder, Timer
 from .runner import AlgorithmReport, ExperimentRunner, WorkloadReport, sweep
-from .bench import format_report, run_topk_suite, write_report
+from .bench import (
+    format_proximity_report,
+    format_report,
+    format_updates_report,
+    run_proximity_suite,
+    run_topk_suite,
+    run_updates_suite,
+    write_report,
+)
 from .tables import format_series, format_table, select_columns
 from .plots import ascii_bar_chart, ascii_line_chart, series_from_rows
 
@@ -37,9 +45,13 @@ __all__ = [
     "AlgorithmReport",
     "WorkloadReport",
     "sweep",
+    "run_proximity_suite",
     "run_topk_suite",
+    "run_updates_suite",
     "write_report",
+    "format_proximity_report",
     "format_report",
+    "format_updates_report",
     "format_table",
     "format_series",
     "select_columns",

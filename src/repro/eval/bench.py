@@ -1,11 +1,11 @@
-"""Headless benchmark suites (``repro bench --suite [topk|proximity]``).
+"""Headless benchmark suites (``repro bench --suite [topk|proximity|updates]``).
 
 Runs the same shapes as the ``benchmarks/bench_fig*`` harness without
 pytest and emits machine-readable JSON documents so the performance
 trajectory of the engine can be tracked commit over commit
 (``benchmarks/results/BENCH_*.json`` in this repo).
 
-Two suites:
+Three suites:
 
 * ``topk`` — per-query latency across algorithms plus vectorized vs scalar
   exact scoring on the Figure-6 medium corpus (PR 2's kernel layer);
@@ -13,7 +13,13 @@ Two suites:
   latency with shard-served vs online-computed proximity, mmap-arena vs
   JSON-snapshot cold start, batched vs sequential execution, and a strict
   equivalence check (rankings *and* access accounting) across the online,
-  materialized and batched paths that doubles as a CI gate.
+  materialized and batched paths that doubles as a CI gate;
+* ``updates`` — the live-update write path: an interleaved query/update
+  trace over an arena-backed, shard-served dataset, reporting post-update
+  vs pre-update query p50 (the delta overlays + incremental shard repair
+  must keep the fast path) and gating on exact equivalence with a dataset
+  rebuilt from scratch after the same updates, for the online,
+  materialized and batched execution paths.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from ..config import EngineConfig, ProximityConfig, ScoringConfig, WorkloadConfi
 from ..core.engine import SocialSearchEngine
 from ..core.query import Query
 from ..storage.dataset import Dataset
+from ..storage.tagging import TaggingAction
 from ..workload.datasets import scaled_dataset
 from ..workload.queries import generate_workload
 from .timing import percentile
@@ -307,6 +314,224 @@ def run_proximity_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
     }
     report["equivalent"] = not mismatches
     return report
+
+
+def run_updates_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
+                      k: int = 10, rounds: int = 3, alpha: float = 0.5,
+                      measure: str = "katz", seed: int = 23,
+                      update_batches: int = 6, actions_per_batch: int = 50,
+                      friendships_per_batch: int = 3,
+                      algorithms: Sequence[str] = ("exact", "social-first"),
+                      ) -> Dict[str, object]:
+    """Run the live-update suite; returns the JSON-serialisable report.
+
+    The scenario is the paper's serving story under churn: an arena-backed
+    dataset with materialized proximity shards keeps answering top-k
+    queries while tagging actions and friendships stream in through
+    :class:`~repro.storage.updates.DatasetUpdater` (watched by a
+    :class:`~repro.service.QueryService`, which drives selective
+    invalidation and eager shard repair).  Headline numbers:
+
+    * ``p50_ratio`` — post-update over pre-update query p50.  Before the
+      delta-overlay write path, the first mutation collapsed every
+      array-backed structure to the scalar fallback; the ratio is the
+      regression gate for that cliff.
+    * ``equivalent`` — post-update rankings, scores and access accounting
+      must be identical to a dataset rebuilt from scratch from the merged
+      action/edge log, for the online, materialized and batched execution
+      paths.
+
+    Mid-trace the delta overlays are compacted once (the epoch swap), so
+    both the merged and the freshly-folded read paths are measured.
+    """
+    import numpy as np
+
+    from ..storage.arena import build_arena
+    from ..storage.updates import DatasetUpdater
+    from ..graph import SocialGraphBuilder
+
+    base = scaled_dataset(num_users, seed=seed, homophily=0.5)
+    base_actions = list(base.tagging.actions())
+    base_edges = list(base.graph.iter_edges())
+    base_items = [item.item_id for item in base.items]
+    queries = generate_workload(
+        base, WorkloadConfig(num_queries=num_queries, k=k, seed=3))
+
+    report: Dict[str, object] = {
+        "suite": "updates",
+        "dataset": {
+            "name": base.name,
+            "num_users": base.num_users,
+            "num_items": base.num_items,
+            "num_tags": base.num_tags,
+            "num_actions": base.num_actions,
+        },
+        "workload": {"num_queries": len(queries), "k": k, "rounds": rounds,
+                     "alpha": alpha, "proximity": measure,
+                     "update_batches": update_batches,
+                     "actions_per_batch": actions_per_batch,
+                     "friendships_per_batch": friendships_per_batch},
+        "platform": {"python": platform.python_version(),
+                     "machine": platform.machine()},
+    }
+
+    from ..config import ServiceConfig
+    from ..service import QueryService
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+        arena_path = Path(scratch) / "dataset.arena"
+        build_arena(base, arena_path)
+        live = Dataset.from_arena(arena_path)
+        engine = _engine_with(
+            live, ProximityConfig(measure=measure, materialize=True), alpha)
+        engine.proximity.build()
+        updater = DatasetUpdater(live)
+        service = QueryService(engine, ServiceConfig(
+            workers=1, cache_capacity=0, cache_ttl_seconds=0.0,
+            deduplicate=False), updater=updater)
+
+        pre_samples = _best_of_rounds(engine, queries, rounds)
+
+        # Interleave update batches with full query passes.  Tagging
+        # actions dominate (the common live update); every batch also adds
+        # a few friendships, exercising the incremental shard repair.
+        rng = np.random.default_rng(seed)
+        tags = live.tags()
+        added_actions = []
+        added_edges = []
+        next_item = max(base_items) + 1
+        timestamp = 1_000_000
+        best_post = [float("inf")] * len(queries)
+        update_seconds = 0.0
+        compaction_seconds = 0.0
+        for batch_index in range(update_batches):
+            actions = []
+            for _ in range(actions_per_batch):
+                user = int(rng.integers(0, num_users))
+                tag = str(tags[int(rng.integers(0, len(tags)))]) \
+                    if rng.random() < 0.95 else f"live-tag-{batch_index}"
+                if rng.random() < 0.7:
+                    item = int(base_items[int(rng.integers(0, len(base_items)))])
+                else:
+                    item = next_item
+                    next_item += 1
+                timestamp += 1
+                actions.append(TaggingAction(user_id=user, item_id=item,
+                                             tag=tag, timestamp=timestamp))
+            edges = [(int(rng.integers(0, num_users)),
+                      int(rng.integers(0, num_users)), 0.5)
+                     for _ in range(friendships_per_batch)]
+            edges = [(u, v, w) for u, v, w in edges if u != v]
+            started = time.perf_counter()
+            updater.add_actions(actions)
+            if edges:
+                updater.add_friendships(edges)
+            update_seconds += time.perf_counter() - started
+            added_actions.extend(actions)
+            added_edges.extend(edges)
+            if batch_index == update_batches // 2:
+                # Mid-trace epoch swap: fold the delta overlays once, so the
+                # second half measures freshly compacted arrays.
+                started = time.perf_counter()
+                updater.compact()
+                compaction_seconds = time.perf_counter() - started
+            for position, query in enumerate(queries):
+                started = time.perf_counter()
+                engine.run(query, algorithm="exact")
+                elapsed = time.perf_counter() - started
+                if elapsed < best_post[position]:
+                    best_post[position] = elapsed
+
+        shards = engine.proximity
+        report["pre_update"] = _summarise(pre_samples)
+        report["post_update"] = _summarise(best_post)
+        pre_p50 = report["pre_update"]["p50_ms"]  # type: ignore[index]
+        post_p50 = report["post_update"]["p50_ms"]  # type: ignore[index]
+        report["p50_ratio"] = float(post_p50) / float(pre_p50) if pre_p50 else 0.0
+        report["updates"] = {
+            "batches": update_batches,
+            "actions_added": len(added_actions),
+            "edges_added": len(added_edges),
+            "update_ms": update_seconds * 1000.0,
+            "compaction_ms": compaction_seconds * 1000.0,
+            "epoch": updater.epoch,
+            "pending_delta": updater.pending_delta(),
+            "shard_rows": shards.num_rows(),
+            "shard_repairs": shards.statistics.repairs,
+        }
+        service.close()
+
+        # Equivalence gate: the live (updated in place) dataset must answer
+        # exactly like a dataset rebuilt from scratch from the merged logs,
+        # across the online, materialized and batched execution paths.
+        builder = SocialGraphBuilder(live.num_users)
+        for u, v, w in base_edges:
+            builder.add_edge(u, v, w)
+        for u, v, w in added_edges:
+            builder.add_edge(u, v, w)
+        fresh = Dataset.build(builder.build(), base_actions + added_actions,
+                              name=base.name)
+        fresh_online = _engine_with(
+            fresh, ProximityConfig(measure=measure, cache_size=0), alpha)
+        live_online = _engine_with(
+            live, ProximityConfig(measure=measure, cache_size=0), alpha)
+        mismatches: List[Dict[str, object]] = []
+        for algorithm in algorithms:
+            baseline = [fresh_online.run(query, algorithm=algorithm)
+                        for query in queries]
+            observed_paths = (
+                ("online", [live_online.run(query, algorithm=algorithm)
+                            for query in queries]),
+                ("materialized", [engine.run(query, algorithm=algorithm)
+                                  for query in queries]),
+                ("batched", engine.run_batch(queries, algorithm=algorithm)),
+            )
+            for path_name, observed in observed_paths:
+                for query, expected, result in zip(queries, baseline, observed):
+                    want = _result_signature(expected)
+                    got = _result_signature(result)
+                    if got != want:
+                        mismatches.append({
+                            "algorithm": algorithm,
+                            "path": path_name,
+                            "query": query.to_dict(),
+                            "expected": want,
+                            "got": got,
+                        })
+    report["equivalence"] = {
+        "algorithms": list(algorithms),
+        "paths": ["online", "materialized", "batched"],
+        "queries_checked": len(queries) * len(algorithms) * 3,
+        "mismatches": mismatches[:10],
+        "num_mismatches": len(mismatches),
+    }
+    report["equivalent"] = not mismatches
+    return report
+
+
+def format_updates_report(report: Dict[str, object]) -> str:
+    """Human-readable one-screen summary of an updates-suite report."""
+    updates = report["updates"]
+    lines = [
+        "live-update write-path suite "
+        f"({report['dataset']['num_users']} users, "  # type: ignore[index]
+        f"{report['workload']['num_queries']} queries, "  # type: ignore[index]
+        f"{updates['batches']} update batches, "  # type: ignore[index]
+        f"measure={report['workload']['proximity']})",  # type: ignore[index]
+        f"query p50      pre-update {report['pre_update']['p50_ms']:.3f} ms"  # type: ignore[index]
+        f" | post-update {report['post_update']['p50_ms']:.3f} ms"  # type: ignore[index]
+        f" | ratio {report['p50_ratio']:.2f}x",
+        f"updates        {updates['actions_added']} actions + "  # type: ignore[index]
+        f"{updates['edges_added']} edges in {updates['update_ms']:.1f} ms"  # type: ignore[index]
+        f" | compaction {updates['compaction_ms']:.1f} ms"  # type: ignore[index]
+        f" (epoch {updates['epoch']}, {updates['pending_delta']} pending)",  # type: ignore[index]
+        f"shards         {updates['shard_rows']} rows kept, "  # type: ignore[index]
+        f"{updates['shard_repairs']} repaired in place",  # type: ignore[index]
+        f"equivalence    {'OK' if report['equivalent'] else 'FAILED'} "
+        f"({report['equivalence']['queries_checked']} checks vs fresh "  # type: ignore[index]
+        f"rebuild, {report['equivalence']['num_mismatches']} mismatches)",  # type: ignore[index]
+    ]
+    return "\n".join(lines)
 
 
 def _best_of_rounds(engine: SocialSearchEngine, queries: Sequence[Query],

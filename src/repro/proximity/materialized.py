@@ -119,6 +119,8 @@ class MaterializedStatistics:
     overlay_hits: int = 0
     #: Vector lookups that fell through to the wrapped online measure.
     refinements: int = 0
+    #: Rows recomputed and written back into their shard by :meth:`repair`.
+    repairs: int = 0
 
     @property
     def lookups(self) -> int:
@@ -131,6 +133,7 @@ class MaterializedStatistics:
             "shard_hits": self.shard_hits,
             "overlay_hits": self.overlay_hits,
             "refinements": self.refinements,
+            "repairs": self.repairs,
             "lookups": self.lookups,
         }
 
@@ -378,22 +381,139 @@ class MaterializedProximity(ProximityMeasure):
 
         Mirrors :meth:`repro.proximity.cache.CachedProximity.invalidate` so
         :class:`repro.service.QueryService` can drive either wrapper through
-        the same hook.  Returns the number of rows newly marked stale or
-        dropped from the overlay.
+        the same hook.  Invalidation is **cluster-incremental**: only the
+        clusters whose members are touched get their bound vector repaired
+        in place (re-maximised over the still-fresh rows, which keeps batch
+        pruning admissible *and* tight); every other shard is left
+        untouched.  Stale rows stay in shard storage — never served, but
+        available for :meth:`repair` to overwrite in place.  Returns the
+        number of rows newly marked stale or dropped from the overlay.
         """
         removed = 0
         with self._lock:
+            touched_clusters = set()
             for user in set(users):
                 if self._overlay.pop(user, None) is not None:
                     removed += 1
                 if user in self._shard_of and user not in self._stale:
                     self._stale.add(user)
+                    touched_clusters.add(self._shard_of[user])
                     removed += 1
+            for cluster_id in touched_clusters:
+                self._repair_bound(cluster_id)
         return removed
 
+    def _repair_bound(self, cluster_id: int) -> None:
+        """Re-maximise one cluster's bound over its fresh rows (lock held).
+
+        Stale members' old rows drop out of the bound (they may under- or
+        over-state the post-update proximity and are never served anyway).
+        A cluster with no fresh member left keeps its rows with an all-zero
+        bound: inert — no lookup serves it — but repairable in place.
+        """
+        shard = self._shards.get(cluster_id)
+        if shard is None:
+            return
+        bound = np.zeros(self._graph.num_users, dtype=np.float64)
+        for position, member in enumerate(shard.members.tolist()):
+            if member in self._stale:
+                continue
+            user_ids, values = shard.row(position)
+            np.maximum.at(bound, user_ids, values)
+        # In-place for the structure, not the buffer: the old array may be a
+        # read-only arena view shared with concurrent readers.
+        shard.bound = bound
+
+    def repair(self, users: Iterable[int]) -> int:
+        """Recompute stale shard rows online and write them back in place.
+
+        The incremental-maintenance counterpart of :meth:`invalidate`: each
+        given seeker that is stale and belongs to a shard gets its row
+        recomputed through the wrapped measure (exactly what a fresh
+        :meth:`build` would store) and the touched shards are reassembled
+        with repaired rows and re-maximised bounds.  Seekers without a
+        shard row are ignored — lazy refinement already covers them.
+        Returns the number of rows repaired.
+        """
+        with self._lock:
+            targets = sorted(user for user in set(users)
+                             if user in self._stale and user in self._shard_of)
+        if not targets:
+            return 0
+        # The online recomputation runs outside the lock: it is the
+        # expensive part and must not block concurrent lookups.
+        rows = {user: _sparse_row(self._inner.vector_array(user))
+                for user in targets}
+        repaired = 0
+        with self._lock:
+            by_cluster: Dict[int, List[int]] = {}
+            for user in targets:
+                cluster_id = self._shard_of.get(user)
+                if cluster_id is None or user not in self._stale:
+                    continue  # raced with a concurrent build/invalidate
+                by_cluster.setdefault(cluster_id, []).append(user)
+            for cluster_id, members in by_cluster.items():
+                shard = self._shards.get(cluster_id)
+                if shard is None:
+                    continue
+                new_rows = []
+                repairing = set(members)
+                for position, member in enumerate(shard.members.tolist()):
+                    if member in repairing:
+                        new_rows.append(rows[member])
+                    else:
+                        new_rows.append(shard.row(position))
+                self._shards[cluster_id] = ProximityShard.build(
+                    cluster_id, shard.members.tolist(), new_rows,
+                    self._graph.num_users)
+                for member in members:
+                    self._stale.discard(member)
+                    self._overlay.pop(member, None)
+                    repaired += 1
+                if any(m in self._stale for m in shard.members.tolist()):
+                    # Some members stay stale: tighten the rebuilt bound so
+                    # it excludes their retained (old) rows again.
+                    self._repair_bound(cluster_id)
+            self.statistics.repairs += repaired
+        return repaired
+
+    def graph_updated(self, graph, affected: Iterable[int]) -> int:
+        """Incremental rebind: keep every shard, invalidate only ``affected``.
+
+        The drop-everything :meth:`rebind` is the only safe default when the
+        caller cannot bound which proximity vectors an edge change reaches.
+        When it *can* — hop-bounded measures, where
+        :class:`repro.service.QueryService` computes the BFS ball around the
+        touched users — this path preserves the materialized fast path
+        across the graph swap: labels are extended (each new user gets a
+        fresh singleton cluster), bound vectors are zero-padded to the grown
+        user domain (admissible: an unaffected seeker has zero proximity to
+        a user only reachable over new edges), the wrapped measure is
+        rebound, and only the affected seekers' rows go stale.  Returns the
+        number of rows invalidated.
+        """
+        with self._lock:
+            self._graph = graph
+            if self._labels is not None and graph.num_users > len(self._labels):
+                next_label = max(self._labels, default=-1) + 1
+                self._labels.extend(
+                    range(next_label,
+                          next_label + graph.num_users - len(self._labels)))
+            for shard in self._shards.values():
+                if shard.bound.shape[0] < graph.num_users:
+                    shard.bound = np.concatenate([
+                        shard.bound,
+                        np.zeros(graph.num_users - shard.bound.shape[0],
+                                 dtype=np.float64),
+                    ])
+        self._inner.rebind(graph)
+        return self.invalidate(affected)
+
     def _on_graph_changed(self) -> None:
-        # A rebuilt graph invalidates everything: shard rows are exact
-        # vectors of the *old* graph and the cluster structure itself may
+        # A plain rebind invalidates everything: without a caller-supplied
+        # bound on which seekers an edge change reaches (see
+        # :meth:`graph_updated`), every shard row is potentially an exact
+        # vector of the *old* graph and the cluster structure itself may
         # have shifted.  Serving falls back to lazy refinement until the
         # next offline build().
         with self._lock:

@@ -101,7 +101,11 @@ class ResultCache:
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: Dict[CacheKey, _Entry] = {}
-        self._order: Dict[CacheKey, None] = {}  # insertion-ordered key set
+        self._order: Dict[CacheKey, None] = {}  # recency-ordered key set
+        # Expiry-ordered key set: every entry carries the same TTL, so the
+        # order keys were (re)stored in is exactly the order they expire in
+        # and a sweep only ever inspects the front.
+        self._expiry: Dict[CacheKey, None] = {}
         self._by_tag: Dict[str, Set[CacheKey]] = {}
         self._by_seeker: Dict[int, Set[CacheKey]] = {}
         self._generation = 0
@@ -141,6 +145,7 @@ class ResultCache:
         """Remove ``key`` from the entry map and both secondary indexes."""
         self._entries.pop(key, None)
         self._order.pop(key, None)
+        self._expiry.pop(key, None)
         for tag in key.tags:
             keys = self._by_tag.get(tag)
             if keys is not None:
@@ -181,14 +186,22 @@ class ResultCache:
         """
         if self._capacity == 0:
             return
-        expires_at = self._clock() + self._ttl if self._ttl > 0 else None
+        now = self._clock()
+        expires_at = now + self._ttl if self._ttl > 0 else None
         with self._lock:
             if generation is not None and generation != self._generation:
                 return
+            # Dead entries must not occupy capacity (they would evict live
+            # ones below while a later get would discard them anyway).
+            self._sweep_expired(now)
             if key in self._entries:
+                # Overwrite: re-linking below promotes the key to the back
+                # of both the recency and the expiry order.
                 self._unlink(key)
             self._entries[key] = _Entry(result=result, expires_at=expires_at)
             self._order[key] = None
+            if expires_at is not None:
+                self._expiry[key] = None
             for tag in key.tags:
                 self._by_tag.setdefault(tag, set()).add(key)
             self._by_seeker.setdefault(key.seeker, set()).add(key)
@@ -196,6 +209,23 @@ class ResultCache:
                 victim = next(iter(self._order))
                 self._unlink(victim)
                 self.statistics.evictions += 1
+
+    def _sweep_expired(self, now: float) -> None:
+        """Drop every expired entry (lock held).
+
+        ``_expiry`` is expiry-ordered, so the sweep stops at the first
+        still-live entry and the amortised cost is O(1) per stored entry.
+        """
+        while self._expiry:
+            key = next(iter(self._expiry))
+            entry = self._entries.get(key)
+            if entry is None or entry.expires_at is None:
+                self._expiry.pop(key, None)
+                continue
+            if now < entry.expires_at:
+                break
+            self._unlink(key)
+            self.statistics.expirations += 1
 
     # ------------------------------------------------------------------ #
     # Update-driven invalidation
@@ -232,6 +262,7 @@ class ResultCache:
             removed = len(self._entries)
             self._entries.clear()
             self._order.clear()
+            self._expiry.clear()
             self._by_tag.clear()
             self._by_seeker.clear()
             self.statistics.invalidations += removed

@@ -17,9 +17,19 @@ into something that can take traffic:
   kept being served after graph changes.
 
 Updates and queries are not serialised against each other: the updater
-swaps whole index/graph objects, so a query racing an update sees either
-the old or the new object, never a half-built one.  Results returned after
-an update's ``apply`` call completes reflect that update.
+maintains the indexes by atomically swapping immutable per-tag arrays (and
+whole graph objects), so a query racing an update sees either the old or
+the new entry, never a half-built one.  Results returned after an update's
+``apply`` call completes reflect that update.
+
+The service also owns the **write path's epoch machinery**: when the
+watched updater's delta overlays (arena-backed datasets accumulate live
+updates on top of frozen memory-mapped arrays) grow past
+``ServiceConfig.compact_threshold``, a background **compaction** folds
+them into fresh contiguous arrays.  Readers never block on the compaction
+and never notice it — a delta-merged read and a compacted read are
+value-identical — which is what keeps :meth:`QueryService.run_batch` valid
+mid-update.
 """
 
 from __future__ import annotations
@@ -98,6 +108,11 @@ class QueryService:
         self._lock = threading.Lock()
         self._watched: List[DatasetUpdater] = []
         self._closed = False
+        self._compacting = False
+        self._compactions = 0
+        self._compaction_failures = 0
+        self._compaction_error: Optional[str] = None
+        self._compaction_threads: List[threading.Thread] = []
         if updater is not None:
             self.watch(updater)
 
@@ -139,6 +154,15 @@ class QueryService:
             "result_cache": dict(self._cache.statistics.to_dict(),
                                  size=len(self._cache),
                                  capacity=self._cache.capacity),
+            "write_path": {
+                "compactions": self._compactions,
+                "compaction_failures": self._compaction_failures,
+                "compaction_error": self._compaction_error,
+                "compact_threshold": self._config.compact_threshold,
+                "pending_delta": self.pending_delta(),
+                "epoch": max((updater.epoch for updater in self._watched),
+                             default=0),
+            },
         }
         proximity = self._engine.proximity
         if isinstance(proximity, CachedProximity):
@@ -347,35 +371,111 @@ class QueryService:
         if summary.graph_rebuilt:
             removed += self._refresh_proximity(summary)
         self._metrics.record_update(removed)
+        self._maybe_compact()
 
     def _refresh_proximity(self, summary: UpdateSummary) -> int:
-        """Rebind the proximity measure to the rebuilt graph and evict stale state."""
+        """Rebind the proximity measure to the rebuilt graph and evict stale state.
+
+        For hop-bounded measures the refresh is incremental: a
+        :class:`MaterializedProximity` keeps its shards across the graph
+        swap (:meth:`~MaterializedProximity.graph_updated`), only the
+        seekers within the proximity horizon of the touched users are
+        invalidated, and their rows are eagerly *repaired* — recomputed on
+        the new graph and written back into their shards — so post-update
+        queries go straight back to the shard fast path instead of falling
+        into lazy refinement one seeker at a time.  Global measures
+        (personalised PageRank, landmarks) still drop everything: any
+        vector may have shifted.
+        """
         graph = self._engine.dataset.graph
         proximity = self._engine.proximity
         measure = self._engine.config.proximity.measure
         removed = 0
-        # Rebind first: misses racing the invalidation below then compute on
-        # the new graph, and the rebind's generation bump discards vectors
-        # still being computed on the old one.
-        proximity.rebind(graph)
-        # Both CachedProximity and MaterializedProximity expose the same
-        # invalidate(users) hook; plain measures have nothing to evict.
-        # (MaterializedProximity additionally drops all shards on rebind —
-        # rows are exact vectors of the old graph — so this is belt and
-        # braces for rows refined between the rebind and now.)
         invalidate = getattr(proximity, "invalidate", None)
-        if summary.edges_added:
-            if measure in HOP_BOUNDED_MEASURES:
-                affected = self._affected_seekers(summary.users_touched)
-                removed += self._cache.invalidate_seekers(affected)
-                if invalidate is not None:
-                    invalidate(affected)
-            else:
-                # Global measure: any vector may have shifted.
-                removed += self._cache.clear()
-                if invalidate is not None:
-                    invalidate(range(graph.num_users))
+        if summary.edges_added and measure not in HOP_BOUNDED_MEASURES:
+            # Rebind first: misses racing the invalidation below then
+            # compute on the new graph, and the rebind's generation bump /
+            # shard drop discards vectors still being computed on the old
+            # one.
+            proximity.rebind(graph)
+            removed += self._cache.clear()
+            if invalidate is not None:
+                invalidate(range(graph.num_users))
+            return removed
+        affected: Set[int] = self._affected_seekers(summary.users_touched) \
+            if summary.edges_added else set()
+        graph_updated = getattr(proximity, "graph_updated", None)
+        if graph_updated is not None:
+            graph_updated(graph, affected)
+        else:
+            proximity.rebind(graph)
+            if affected and invalidate is not None:
+                invalidate(affected)
+        if affected:
+            removed += self._cache.invalidate_seekers(affected)
+            repair = getattr(proximity, "repair", None)
+            if repair is not None:
+                repair(affected)
         return removed
+
+    # ------------------------------------------------------------------ #
+    # Background compaction (the write path's epoch swap)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def compactions(self) -> int:
+        """Number of background compactions completed so far."""
+        return self._compactions
+
+    def pending_delta(self) -> int:
+        """Delta actions awaiting compaction across the watched updaters."""
+        return sum(updater.pending_delta() for updater in self._watched)
+
+    def _maybe_compact(self) -> None:
+        """Kick off one background compaction when the delta is large enough.
+
+        Runs on the updater's thread right after an update notification;
+        the compaction itself runs on a dedicated daemon thread — never on
+        the query worker pool, which must stay free to serve traffic while
+        the fold is in progress.  Readers keep serving from the
+        pre-compaction epoch (delta-merged reads) until the fold lands; the
+        two are value-identical, so ``run_batch`` stays valid
+        mid-compaction.  Single-flight: at most one compaction is in
+        progress per service.
+        """
+        threshold = self._config.compact_threshold
+        if threshold <= 0:
+            return
+        for updater in self._watched:
+            if updater.pending_delta() < threshold:
+                continue
+            with self._lock:
+                if self._closed or self._compacting:
+                    return
+                self._compacting = True
+                thread = threading.Thread(
+                    target=self._run_compaction, args=(updater,),
+                    name="repro-compact", daemon=True)
+                self._compaction_threads.append(thread)
+            thread.start()
+            return
+
+    def _run_compaction(self, updater: DatasetUpdater) -> None:
+        try:
+            folded = updater.compact()
+        except Exception as exc:
+            # Surface the failure through stats() rather than dying silently:
+            # a persistently failing compaction means the delta keeps growing
+            # and the operator has to know.
+            with self._lock:
+                self._compacting = False
+                self._compaction_failures += 1
+                self._compaction_error = f"{type(exc).__name__}: {exc}"
+            return
+        with self._lock:
+            self._compacting = False
+            if folded:
+                self._compactions += 1
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -391,6 +491,10 @@ class QueryService:
             updater.unsubscribe(self._on_update)
         self._watched.clear()
         self._executor.shutdown(wait=wait)
+        if wait:
+            for thread in self._compaction_threads:
+                thread.join(timeout=60.0)
+        self._compaction_threads.clear()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -27,21 +27,34 @@ indexes, user/item profiles) are served by thin array-backed subclasses
 that answer the hot lookups by binary search over the mapped arrays and
 fall back to materialising the full Python store only when a cold path
 (workload generation, holdout splitting) actually asks for it.
+
+**Live updates** never invalidate the mapped arrays wholesale.  Each
+array-backed view keeps a small in-memory **delta overlay** — new tagging
+actions land in a plain :class:`TaggingStore` delta, new social-profile
+entries in an overlay dict — and reads merge the frozen base with the
+delta (see :mod:`repro.storage.delta`).  A **compaction** step folds the
+delta back into fresh contiguous arrays once it grows past a threshold
+(:meth:`repro.storage.updates.DatasetUpdater.compact`); because a merged
+read and a compacted read are value-identical, the swap is safe to run
+concurrently with lock-free readers: the frozen state lives in one holder
+object replaced atomically.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import threading
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..errors import PersistenceError
+from ..errors import PersistenceError, StorageError
 from ..graph import SocialGraph
 from ..proximity.materialized import MaterializedProximity, ProximityShard
 from .dataset import Dataset
+from .delta import merge_sorted_disjoint
 from .endorser_index import EndorserIndex, TagEndorsers
 from .inverted_index import InvertedIndex, PostingList
 from .items import Item, ItemStore
@@ -348,51 +361,148 @@ class ArenaInvertedIndex(InvertedIndex):
         return int(bundle.frequencies[position])
 
 
+class _SocialArrays:
+    """Frozen per-tag user → items CSR arrays (one atomically swapped unit)."""
+
+    __slots__ = ("tag_ids", "user_offsets", "user_ids", "segment_offsets",
+                 "item_ids")
+
+    def __init__(self, tag_ids: Dict[str, int], user_offsets: np.ndarray,
+                 user_ids: np.ndarray, segment_offsets: np.ndarray,
+                 item_ids: np.ndarray) -> None:
+        self.tag_ids = tag_ids
+        self.user_offsets = user_offsets
+        self.user_ids = user_ids
+        self.segment_offsets = segment_offsets
+        self.item_ids = item_ids
+
+
 class ArenaSocialIndex(SocialIndex):
     """Social index answering ``items_for`` from the arena's per-tag CSR.
 
     The cold paths (full profiles, entry iteration) materialise the dict
-    form lazily on first use.
+    form lazily on first use.  Live updates land in a small ``(user, tag) →
+    items`` overlay consulted before the frozen arrays; :meth:`compact`
+    folds the overlay back into fresh arrays.
     """
 
     def __init__(self, tags: Sequence[str], user_offsets: np.ndarray,
                  user_ids: np.ndarray, segment_offsets: np.ndarray,
                  item_ids: np.ndarray) -> None:
         super().__init__()
-        self._tag_ids = {tag: index for index, tag in enumerate(tags)}
-        self._user_offsets = user_offsets
-        self._user_ids = user_ids
-        self._segment_offsets = segment_offsets
-        self._item_ids = item_ids
+        self._base = _SocialArrays(
+            {tag: index for index, tag in enumerate(tags)},
+            user_offsets, user_ids, segment_offsets, item_ids)
+        self._overlay: Dict[Tuple[int, str], Tuple[int, ...]] = {}
+        self._overlay_extra = 0
         self._profiles_built = False
 
-    def items_for(self, user_id: int, tag: str) -> Tuple[int, ...]:
-        tag_index = self._tag_ids.get(tag)
+    def _base_items_for(self, base: _SocialArrays, user_id: int,
+                        tag: str) -> Tuple[int, ...]:
+        tag_index = base.tag_ids.get(tag)
         if tag_index is None:
             return ()
-        start = int(self._user_offsets[tag_index])
-        end = int(self._user_offsets[tag_index + 1])
-        position = start + int(np.searchsorted(self._user_ids[start:end], user_id))
-        if position >= end or int(self._user_ids[position]) != user_id:
+        start = int(base.user_offsets[tag_index])
+        end = int(base.user_offsets[tag_index + 1])
+        position = start + int(np.searchsorted(base.user_ids[start:end], user_id))
+        if position >= end or int(base.user_ids[position]) != user_id:
             return ()
-        row_start = int(self._segment_offsets[position])
-        row_end = int(self._segment_offsets[position + 1])
-        return tuple(int(i) for i in self._item_ids[row_start:row_end])
+        row_start = int(base.segment_offsets[position])
+        row_end = int(base.segment_offsets[position + 1])
+        return tuple(int(i) for i in base.item_ids[row_start:row_end])
+
+    def items_for(self, user_id: int, tag: str) -> Tuple[int, ...]:
+        if self._overlay:
+            merged = self._overlay.get((user_id, tag))
+            if merged is not None:
+                return merged
+        return self._base_items_for(self._base, user_id, tag)
+
+    # -- delta overlay -------------------------------------------------- #
+
+    def apply_delta(self, added: Mapping[Tuple[int, str], Sequence[int]]
+                    ) -> None:
+        """Merge new ``(user, tag) -> [items]`` pairs into the overlay.
+
+        The frozen arrays stay untouched; each touched entry's overlay
+        tuple holds the *merged* item set, so a read needs no union pass.
+        """
+        for (user_id, tag), items in added.items():
+            current = self.items_for(user_id, tag)
+            merged = tuple(sorted(set(current) | set(items)))
+            self._overlay_extra += len(merged) - len(current)
+            self._overlay[(user_id, tag)] = merged
+            if self._profiles_built:
+                self._profiles.setdefault(user_id, {})[tag] = merged
+
+    @property
+    def overlay_size(self) -> int:
+        """Number of ``(user, tag)`` entries pending compaction."""
+        return len(self._overlay)
+
+    def compact(self) -> int:
+        """Fold the overlay back into fresh contiguous CSR arrays.
+
+        A merged read and a compacted read are value-identical, so the
+        single-attribute swap of the frozen-array holder is safe against
+        concurrent lock-free readers; the overlay is cleared only after the
+        new arrays are in place (a reader seeing both gets the same items).
+        Returns the number of overlay entries folded.
+        """
+        if not self._overlay:
+            return 0
+        staging = self._merged_staging()
+        tags = sorted({tag for profile in staging.values() for tag in profile})
+        tag_ids = {tag: index for index, tag in enumerate(tags)}
+        ordered_users = sorted(staging)
+        user_offsets = np.zeros(len(tags) + 1, dtype=np.int64)
+        users: List[int] = []
+        lengths: List[int] = []
+        items: List[int] = []
+        for index, tag in enumerate(tags):
+            with_tag = 0
+            for user in ordered_users:
+                row = staging[user].get(tag)
+                if not row:
+                    continue
+                users.append(user)
+                lengths.append(len(row))
+                items.extend(row)
+                with_tag += 1
+            user_offsets[index + 1] = user_offsets[index] + with_tag
+        segment_offsets = np.zeros(len(users) + 1, dtype=np.int64)
+        np.cumsum(np.array(lengths, dtype=np.int64), out=segment_offsets[1:])
+        folded = len(self._overlay)
+        self._base = _SocialArrays(
+            tag_ids, user_offsets,
+            np.array(users, dtype=np.int64), segment_offsets,
+            np.array(items, dtype=np.int64))
+        self._overlay = {}
+        self._overlay_extra = 0
+        return folded
+
+    # -- cold paths ----------------------------------------------------- #
+
+    def _merged_staging(self) -> Dict[int, Dict[str, Tuple[int, ...]]]:
+        base = self._base
+        staging: Dict[int, Dict[str, Tuple[int, ...]]] = {}
+        for tag, tag_index in base.tag_ids.items():
+            start = int(base.user_offsets[tag_index])
+            end = int(base.user_offsets[tag_index + 1])
+            for position in range(start, end):
+                user = int(base.user_ids[position])
+                row_start = int(base.segment_offsets[position])
+                row_end = int(base.segment_offsets[position + 1])
+                staging.setdefault(user, {})[tag] = tuple(
+                    int(i) for i in base.item_ids[row_start:row_end])
+        for (user, tag), row in self._overlay.items():
+            staging.setdefault(user, {})[tag] = row
+        return staging
 
     def _ensure_profiles(self) -> None:
         if self._profiles_built:
             return
-        staging: Dict[int, Dict[str, Tuple[int, ...]]] = {}
-        for tag, tag_index in self._tag_ids.items():
-            start = int(self._user_offsets[tag_index])
-            end = int(self._user_offsets[tag_index + 1])
-            for position in range(start, end):
-                user = int(self._user_ids[position])
-                row_start = int(self._segment_offsets[position])
-                row_end = int(self._segment_offsets[position + 1])
-                staging.setdefault(user, {})[tag] = tuple(
-                    int(i) for i in self._item_ids[row_start:row_end])
-        self._profiles.update(staging)
+        self._profiles.update(self._merged_staging())
         self._profiles_built = True
 
     def __contains__(self, user_id: int) -> bool:
@@ -416,11 +526,46 @@ class ArenaSocialIndex(SocialIndex):
         return super().tags_for(user_id)
 
     def num_entries(self) -> int:
-        return int(self._item_ids.shape[0])
+        return int(self._base.item_ids.shape[0]) + self._overlay_extra
 
     def iter_entries(self) -> Iterator[Tuple[int, str, int]]:
         self._ensure_profiles()
         return super().iter_entries()
+
+
+class _TaggingState:
+    """One frozen epoch of the arena tagging store (atomically swapped).
+
+    ``bundles`` is a :meth:`EndorserIndex.snapshot` taken when the epoch was
+    frozen: the live endorser index keeps absorbing deltas in place, so the
+    store's *base* reads must come from this decoupled snapshot or a merged
+    read would count the same delta twice.
+    """
+
+    __slots__ = ("tag_table", "users", "items", "tags", "timestamps",
+                 "bundles")
+
+    def __init__(self, tag_table: List[str], users: np.ndarray,
+                 items: np.ndarray, tags: np.ndarray, timestamps: np.ndarray,
+                 bundles: Dict[str, TagEndorsers]) -> None:
+        self.tag_table = tag_table
+        self.users = users
+        self.items = items
+        self.tags = tags
+        self.timestamps = timestamps
+        self.bundles = bundles
+
+    def __len__(self) -> int:
+        return int(self.users.shape[0])
+
+    def segment(self, item_id: int, tag: str) -> np.ndarray:
+        bundle = self.bundles.get(tag)
+        if bundle is None:
+            return _EMPTY_SEGMENT
+        return bundle.taggers_of(item_id)
+
+
+_EMPTY_SEGMENT = np.zeros(0, dtype=np.int64)
 
 
 class ArenaTaggingStore(TaggingStore):
@@ -432,151 +577,244 @@ class ArenaTaggingStore(TaggingStore):
     splitting, iteration) replays the stored actions into the regular
     in-memory store on first use.
 
-    The first **mutation** (a live update adding actions) replays the log
-    and permanently switches every lookup to the in-memory store: the
-    mapped arrays describe the pre-update corpus and must not answer reads
-    once the store has diverged from them.
+    **Mutations** (live updates adding actions) land in a small in-memory
+    :class:`TaggingStore` **delta**; reads merge the frozen arrays with the
+    delta (the two sides are disjoint by deduplication, so counts add and
+    sorted segments merge).  While the delta is empty every hot path is the
+    pure zero-copy array read; :meth:`compact` folds the delta back into
+    fresh frozen arrays.  The all-or-nothing handover of earlier revisions
+    — first ``add`` replayed the whole log and retired the arrays — is
+    gone: an update-heavy workload keeps its array-speed reads.
+
+    Mutations, cold-path materialisation and delta-merged reads are
+    serialised by one re-entrant lock; the delta-empty fast path is
+    lock-free (it touches only the frozen state holder, which compaction
+    swaps atomically).
     """
 
     def __init__(self, endorsers: EndorserIndex, tag_table: Sequence[str],
                  user_ids: np.ndarray, item_ids: np.ndarray,
                  tag_ids: np.ndarray, timestamps: np.ndarray) -> None:
         super().__init__()
-        self._endorsers = endorsers
-        self._tag_table = list(tag_table)
-        self._array_users = user_ids
-        self._array_items = item_ids
-        self._array_tags = tag_ids
-        self._array_timestamps = timestamps
+        self._state = _TaggingState(list(tag_table), user_ids, item_ids,
+                                    tag_ids, timestamps, endorsers.snapshot())
+        self._delta = TaggingStore()
+        self._delta_len = 0
         self._materialised = False
-        self._mutated = False
+        self._lock = threading.RLock()
 
-    # -- mutation: arrays go stale, the in-memory store takes over ------ #
+    # -- mutation: the delta overlay absorbs new actions ---------------- #
 
     def add(self, action: TaggingAction) -> bool:
-        if not self._mutated:
-            self._materialise()
-            self._mutated = True
-        return super().add(action)
+        with self._lock:
+            if self.contains(action.user_id, action.item_id, action.tag):
+                return False
+            self._delta.add(action)
+            if self._materialised:
+                # Keep the cold-path store in sync so materialised reads
+                # (profiles, holdout splits) see the delta too.
+                super().add(action)
+            self._delta_len += 1
+            return True
 
-    # -- array-served hot paths ---------------------------------------- #
+    @property
+    def delta_size(self) -> int:
+        """Number of delta actions pending compaction."""
+        return self._delta_len
+
+    def compact(self, endorsers: EndorserIndex) -> int:
+        """Fold the delta into fresh frozen arrays; returns actions folded.
+
+        ``endorsers`` must be the live endorser index *after* incremental
+        maintenance folded the same delta into it (the normal state when
+        every mutation goes through
+        :class:`~repro.storage.updates.DatasetUpdater`); its snapshot
+        becomes the next epoch's base.  The swap is a single attribute
+        store, so lock-free fast-path readers see either the old epoch
+        (and a non-empty delta) or the new one — never a mix.
+        """
+        with self._lock:
+            if not self._delta_len:
+                return 0
+            state = self._state
+            if endorsers.num_entries() != len(state) + self._delta_len:
+                raise StorageError(
+                    "refusing to compact the arena tagging store: the "
+                    "endorser index does not reflect the delta (mutations "
+                    "must go through DatasetUpdater)")
+            tag_table = list(state.tag_table)
+            tag_ids = {tag: index for index, tag in enumerate(tag_table)}
+            for tag in self._delta.tags():
+                if tag not in tag_ids:
+                    tag_ids[tag] = len(tag_table)
+                    tag_table.append(tag)
+            actions = self._delta.actions()
+            folded = self._delta_len
+            self._state = _TaggingState(
+                tag_table,
+                np.concatenate([state.users, np.array(
+                    [a.user_id for a in actions], dtype=np.int64)]),
+                np.concatenate([state.items, np.array(
+                    [a.item_id for a in actions], dtype=np.int64)]),
+                np.concatenate([state.tags, np.array(
+                    [tag_ids[a.tag] for a in actions], dtype=np.int64)]),
+                np.concatenate([state.timestamps, np.array(
+                    [a.timestamp for a in actions], dtype=np.int64)]),
+                endorsers.snapshot(),
+            )
+            self._delta_len = 0
+            self._delta = TaggingStore()
+            return folded
+
+    # -- array-served hot paths (delta-merged) -------------------------- #
+    #
+    # Read discipline: check ``_delta_len`` *before* capturing ``_state``.
+    # A zero counter means any state captured afterwards already contains
+    # every compacted delta; a non-zero counter routes through the lock,
+    # where compaction cannot run concurrently.  (The 0 -> 1 transition of
+    # an in-flight ``add`` simply linearises the read before the update.)
 
     def __len__(self) -> int:
-        if self._mutated:
-            return super().__len__()
-        return int(self._array_users.shape[0])
+        if not self._delta_len:
+            return len(self._state)
+        with self._lock:
+            return len(self._state) + self._delta_len
 
     def num_distinct_triples(self) -> int:
-        if self._mutated:
-            return super().num_distinct_triples()
-        # The arena stores the deduplicated action log, so every row is a
-        # distinct triple.
+        # The arena stores the deduplicated action log and the delta only
+        # accepts unseen triples, so every row is a distinct triple.
         return len(self)
 
     def tags(self) -> List[str]:
-        if self._mutated:
-            return super().tags()
-        return list(self._tag_table)
-
-    def _segment(self, item_id: int, tag: str) -> np.ndarray:
-        bundle = self._endorsers.for_tag(tag)
-        if bundle is None:
-            return np.zeros(0, dtype=np.int64)
-        return bundle.taggers_of(item_id)
+        if not self._delta_len:
+            # Compaction appends new tags to the id table; re-sort on read.
+            return sorted(self._state.tag_table)
+        with self._lock:
+            return sorted(set(self._state.tag_table) | set(self._delta.tags()))
 
     def taggers_sorted(self, item_id: int, tag: str) -> Sequence[int]:
-        if self._mutated:
-            return super().taggers_sorted(item_id, tag)
-        return self._segment(item_id, tag)
+        if not self._delta_len:
+            return self._state.segment(item_id, tag)
+        with self._lock:
+            return merge_sorted_disjoint(
+                self._state.segment(item_id, tag),
+                self._delta.taggers_sorted(item_id, tag))
 
     def taggers(self, item_id: int, tag: str) -> FrozenSet[int]:
-        if self._mutated:
-            return super().taggers(item_id, tag)
-        return frozenset(int(u) for u in self._segment(item_id, tag))
+        return frozenset(int(u) for u in self.taggers_sorted(item_id, tag))
 
     def tag_frequency(self, item_id: int, tag: str) -> int:
-        if self._mutated:
-            return super().tag_frequency(item_id, tag)
-        return int(self._segment(item_id, tag).shape[0])
+        if not self._delta_len:
+            return int(self._state.segment(item_id, tag).shape[0])
+        with self._lock:
+            return int(self._state.segment(item_id, tag).shape[0]) \
+                + self._delta.tag_frequency(item_id, tag)
 
-    def items_for_tag(self, tag: str) -> FrozenSet[int]:
-        if self._mutated:
-            return super().items_for_tag(tag)
-        bundle = self._endorsers.for_tag(tag)
+    def _base_items_for_tag(self, tag: str) -> FrozenSet[int]:
+        bundle = self._state.bundles.get(tag)
         if bundle is None:
             return frozenset()
         return frozenset(int(i) for i in bundle.item_ids)
 
+    def items_for_tag(self, tag: str) -> FrozenSet[int]:
+        if not self._delta_len:
+            return self._base_items_for_tag(tag)
+        with self._lock:
+            return self._base_items_for_tag(tag) | self._delta.items_for_tag(tag)
+
     def contains(self, user_id: int, item_id: int, tag: str) -> bool:
-        if self._mutated:
-            return super().contains(user_id, item_id, tag)
-        segment = self._segment(item_id, tag)
+        if self._delta_len:
+            with self._lock:
+                if self._delta.contains(user_id, item_id, tag):
+                    return True
+        segment = self._state.segment(item_id, tag)
         position = int(np.searchsorted(segment, user_id))
         return position < segment.shape[0] and int(segment[position]) == user_id
 
-    def tag_popularity(self) -> Dict[str, int]:
-        if self._mutated:
-            return super().tag_popularity()
-        counts = np.bincount(self._array_tags, minlength=len(self._tag_table))
+    def _base_popularity(self) -> Dict[str, int]:
+        state = self._state
+        counts = np.bincount(state.tags, minlength=len(state.tag_table))
         return {tag: int(counts[index])
-                for index, tag in enumerate(self._tag_table)}
+                for index, tag in enumerate(state.tag_table)}
+
+    def tag_popularity(self) -> Dict[str, int]:
+        if not self._delta_len:
+            return self._base_popularity()
+        with self._lock:
+            popularity = self._base_popularity()
+            for tag, count in self._delta.tag_popularity().items():
+                popularity[tag] = popularity.get(tag, 0) + count
+            return popularity
 
     # -- cold paths: replay into the in-memory store -------------------- #
 
     def _materialise(self) -> None:
         if self._materialised:
             return
-        self._materialised = True
-        for position in range(len(self)):
+        state = self._state
+        for position in range(len(state)):
             # super().add keeps the secondary hash indexes consistent and
             # re-interns the tag strings.
             super().add(TaggingAction(
-                user_id=int(self._array_users[position]),
-                item_id=int(self._array_items[position]),
-                tag=self._tag_table[int(self._array_tags[position])],
-                timestamp=int(self._array_timestamps[position]),
+                user_id=int(state.users[position]),
+                item_id=int(state.items[position]),
+                tag=state.tag_table[int(state.tags[position])],
+                timestamp=int(state.timestamps[position]),
             ))
+        for action in self._delta.actions():
+            super().add(action)
+        self._materialised = True
 
     def actions(self) -> List[TaggingAction]:
-        self._materialise()
-        return super().actions()
+        with self._lock:
+            self._materialise()
+            return super().actions()
 
     def __iter__(self) -> Iterator[TaggingAction]:
-        self._materialise()
-        return super().__iter__()
+        with self._lock:
+            self._materialise()
+            return super().__iter__()
 
     def items_for_user_tag(self, user_id: int, tag: str) -> FrozenSet[int]:
-        self._materialise()
-        return super().items_for_user_tag(user_id, tag)
+        with self._lock:
+            self._materialise()
+            return super().items_for_user_tag(user_id, tag)
 
     def items_for_user(self, user_id: int) -> FrozenSet[int]:
-        self._materialise()
-        return super().items_for_user(user_id)
+        with self._lock:
+            self._materialise()
+            return super().items_for_user(user_id)
 
     def tags_for_user(self, user_id: int) -> Dict[str, int]:
-        self._materialise()
-        return super().tags_for_user(user_id)
+        with self._lock:
+            self._materialise()
+            return super().tags_for_user(user_id)
 
     def users(self) -> List[int]:
-        self._materialise()
-        return super().users()
+        with self._lock:
+            self._materialise()
+            return super().users()
 
     def items(self) -> List[int]:
-        self._materialise()
-        return super().items()
+        with self._lock:
+            self._materialise()
+            return super().items()
 
     def activity(self, user_id: int) -> int:
-        self._materialise()
-        return super().activity(user_id)
+        with self._lock:
+            self._materialise()
+            return super().activity(user_id)
 
     def filter(self, predicate) -> TaggingStore:
-        self._materialise()
-        return super().filter(predicate)
+        with self._lock:
+            self._materialise()
+            return super().filter(predicate)
 
     def split_holdout(self, fraction: float, seed: int = 0
                       ) -> Tuple[TaggingStore, TaggingStore]:
-        self._materialise()
-        return super().split_holdout(fraction, seed=seed)
+        with self._lock:
+            self._materialise()
+            return super().split_holdout(fraction, seed=seed)
 
 
 # --------------------------------------------------------------------- #

@@ -21,7 +21,7 @@ least one user endorsed it with the tag), which keeps ``reduceat`` exact.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -131,6 +131,11 @@ class EndorserIndex:
 
     def __init__(self) -> None:
         self._tags: Dict[str, TagEndorsers] = {}
+        #: Bumped whenever a delta is folded in.  Consumers that memoise
+        #: derived state (the scoring model's candidate blocks) key their
+        #: caches on ``(id(index), version)`` so incremental, in-place
+        #: maintenance invalidates them exactly like an object swap would.
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -164,6 +169,44 @@ class EndorserIndex:
                 taggers=taggers_flat,
             )
         return index
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+
+    def apply_delta(self, added: Mapping[str, Mapping[int, Sequence[int]]]
+                    ) -> None:
+        """Merge new ``tag -> item -> [taggers]`` pairs into the touched tags.
+
+        Each touched tag's CSR bundle is replaced wholesale with a merged
+        one (O(tag size), not O(corpus)); untouched tags keep their —
+        possibly arena-mapped — arrays by reference.  The replaced bundles
+        are byte-identical to what :meth:`build` would produce from the
+        merged tagging store, so readers racing the swap see either the old
+        or the new bundle, both internally consistent.
+        """
+        from .delta import merged_tag_endorsers
+
+        touched = False
+        for tag, items in added.items():
+            if not items:
+                continue
+            self._tags[tag] = merged_tag_endorsers(tag, self._tags.get(tag),
+                                                   items)
+            touched = True
+        if touched:
+            self.version += 1
+
+    def snapshot(self) -> Dict[str, TagEndorsers]:
+        """A frozen ``tag -> bundle`` view of the current state.
+
+        The returned dict is decoupled from future :meth:`apply_delta`
+        calls (which replace entries in ``self``); the bundles themselves
+        are immutable.  :class:`repro.storage.arena.ArenaTaggingStore` uses
+        this as its delta-overlay *base*, so its merged reads never
+        double-count a delta that was also folded into the live index.
+        """
+        return dict(self._tags)
 
     # ------------------------------------------------------------------ #
     # Lookup

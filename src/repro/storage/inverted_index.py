@@ -17,7 +17,7 @@ kept as a thin view over the arrays for the scalar algorithms and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -171,6 +171,36 @@ class InvertedIndex:
             for item_id, frequency in entries:
                 index._frequency[(tag, item_id)] = frequency
         return index
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+
+    def apply_delta(self, added: Mapping[str, Mapping[int, int]]) -> None:
+        """Fold per-item frequency increments into the touched tags' lists.
+
+        ``added`` maps ``tag -> item -> extra distinct-endorser count`` (the
+        shape :func:`repro.storage.delta.posting_deltas` produces from a
+        batch of newly recorded actions).  Only the touched tags' posting
+        lists are re-sorted — O(list length) per touched tag instead of a
+        full rebuild over the whole action log — and the refreshed arrays
+        are byte-identical to what :meth:`build` would produce from the
+        merged store.  Untouched tags keep their (possibly arena-mapped)
+        arrays by reference.
+        """
+        from .delta import merged_counts, posting_list_from_counts
+
+        for tag, extras in added.items():
+            if not extras:
+                continue
+            counts = merged_counts(self._lists.get(tag), extras)
+            postings, max_frequency = posting_list_from_counts(counts)
+            self._lists[tag] = postings
+            self._max_frequency[tag] = max_frequency
+            self._posting_views.pop(tag, None)
+            # Random-access lookups: only the touched items shifted.
+            for item_id in extras:
+                self._frequency[(tag, item_id)] = counts[item_id]
 
     # ------------------------------------------------------------------ #
     # Lookup

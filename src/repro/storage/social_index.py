@@ -12,7 +12,7 @@ other way.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 from .tagging import TaggingStore
 
@@ -36,6 +36,19 @@ class SocialIndex:
                 tag: tuple(sorted(set(items))) for tag, items in tags.items()
             }
         return index
+
+    def apply_delta(self, added: Mapping[Tuple[int, str], Sequence[int]]
+                    ) -> None:
+        """Merge new ``(user, tag) -> [items]`` pairs into the profiles.
+
+        Only the touched ``(user, tag)`` entries are rebuilt; the merged
+        tuples are identical to what :meth:`build` would produce from the
+        merged tagging store.
+        """
+        for (user_id, tag), items in added.items():
+            profile = self._profiles.setdefault(user_id, {})
+            current = profile.get(tag, ())
+            profile[tag] = tuple(sorted(set(current) | set(items)))
 
     def __contains__(self, user_id: int) -> bool:
         return user_id in self._profiles

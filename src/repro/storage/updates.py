@@ -4,9 +4,20 @@ A production deployment of the system does not rebuild its indexes from
 scratch whenever a user bookmarks something or befriends someone; it applies
 the delta.  :class:`DatasetUpdater` provides that path: it accepts new
 tagging actions, users, items and friendships, applies them to the stores,
-and rebuilds only the derived state that actually changed (posting lists of
-the touched tags, profiles of the touched users, and — because the CSR graph
-is immutable — the graph itself only when edges were added).
+and refreshes only the derived state that actually changed — the posting
+list and endorser CSR of each *touched tag* are re-merged in place (O(tag)
+per update, see :mod:`repro.storage.delta`), the social profiles of the
+touched ``(user, tag)`` pairs are patched, and — because the CSR graph is
+immutable — the graph itself is rebuilt only when edges were added.
+
+Arena-backed datasets additionally accumulate the raw actions in small
+delta overlays on top of their frozen memory-mapped arrays;
+:meth:`DatasetUpdater.compact` (driven by a ``compact_threshold``, or by
+:class:`repro.service.QueryService` in the background) folds those deltas
+back into fresh contiguous arrays and advances the updater's **epoch**.
+Because a delta-merged read and a compacted read are value-identical, a
+query racing a compaction sees consistent data whichever epoch's structures
+it grabs.
 
 The updater is also the substrate of "streaming" experiments: replay a trace
 against a live dataset and interleave queries with updates.
@@ -21,9 +32,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 from ..errors import StorageError
 from ..graph import SocialGraph, SocialGraphBuilder
 from .dataset import Dataset
-from .endorser_index import EndorserIndex
-from .inverted_index import InvertedIndex
-from .social_index import SocialIndex
+from .delta import posting_deltas
 from .items import Item
 from .tagging import TaggingAction
 from .users import User
@@ -85,7 +94,7 @@ class DatasetUpdater:
     :meth:`apply` reports whether the graph was rebuilt.
     """
 
-    def __init__(self, dataset: Dataset) -> None:
+    def __init__(self, dataset: Dataset, compact_threshold: int = 0) -> None:
         self._dataset = dataset
         self._observers: List[Callable[[UpdateSummary], None]] = []
         self._in_batch = False
@@ -94,11 +103,60 @@ class DatasetUpdater:
         # the same snapshot and the later assignment would drop the earlier
         # one's edges.  Re-entrant because apply() calls the add_* methods.
         self._mutate_lock = threading.RLock()
+        #: Auto-compact inline once the pending delta reaches this size
+        #: (0 disables; the serving layer prefers to drive compaction in the
+        #: background instead, see ``QueryService``).
+        self._compact_threshold = max(0, int(compact_threshold))
+        self._epoch = 0
 
     @property
     def dataset(self) -> Dataset:
         """The live dataset being maintained."""
         return self._dataset
+
+    @property
+    def epoch(self) -> int:
+        """Number of compactions performed so far."""
+        return self._epoch
+
+    @property
+    def compact_threshold(self) -> int:
+        """Pending-delta size that triggers an inline compaction (0 = off)."""
+        return self._compact_threshold
+
+    def pending_delta(self) -> int:
+        """Number of delta actions awaiting compaction.
+
+        Non-zero only for array-backed (arena) datasets: the in-memory
+        stores absorb updates directly into their hash indexes and the
+        derived per-tag arrays are refreshed in place, so they have nothing
+        pending.
+        """
+        return int(getattr(self._dataset.tagging, "delta_size", 0))
+
+    def compact(self) -> int:
+        """Fold the delta overlays back into fresh frozen arrays.
+
+        Folds the arena tagging store's delta (its base snapshot advances to
+        the live endorser index, which incremental maintenance has already
+        merged the same delta into) and the arena social index's overlay.
+        Value-identical before and after — readers racing the swap see
+        consistent data either way — so this is safe to run on a background
+        thread while queries are being served; only writers are blocked.
+        Returns the number of delta actions folded; 0 when nothing was
+        pending.
+        """
+        with self._mutate_lock:
+            folded = 0
+            tagging_compact = getattr(self._dataset.tagging, "compact", None)
+            if tagging_compact is not None:
+                folded = tagging_compact(self._dataset.endorser_index)
+            social_compact = getattr(self._dataset.social_index, "compact", None)
+            if social_compact is not None:
+                social_compact()
+            if folded:
+                self._epoch += 1
+            return folded
 
     # ------------------------------------------------------------------ #
     # Observer hooks
@@ -125,9 +183,16 @@ class DatasetUpdater:
             pass
 
     def _notify(self, summary: UpdateSummary) -> UpdateSummary:
+        # No-op updates (duplicate actions, empty batches) must not reach
+        # observers: a notification triggers cache invalidations and shard
+        # staleness marks downstream, which would evict perfectly fresh
+        # state for nothing.
         if not self._in_batch and summary.changed:
             for observer in list(self._observers):
                 observer(summary)
+            if (self._compact_threshold
+                    and self.pending_delta() >= self._compact_threshold):
+                self.compact()
         return summary
 
     # ------------------------------------------------------------------ #
@@ -183,10 +248,21 @@ class DatasetUpdater:
             return self._notify(summary)
 
     def add_actions(self, actions: Iterable[TaggingAction]) -> UpdateSummary:
-        """Record tagging actions and refresh the affected index entries."""
+        """Record tagging actions and refresh the affected index entries.
+
+        Maintenance is incremental: the batch's newly recorded (post-dedup)
+        actions form an explicit delta — ``tag -> item -> [taggers]`` and
+        ``(user, tag) -> [items]`` — and only the touched tags' posting
+        lists / endorser CSR bundles and the touched profiles are re-merged,
+        in place, against their frozen arrays.  The refreshed entries are
+        value-identical to a from-scratch index rebuild over the merged
+        store, so queries racing the per-tag swaps see consistent data.
+        """
         summary = UpdateSummary()
         touched_tags: Set[str] = set()
         touched_users: Set[int] = set()
+        by_tag: Dict[str, Dict[int, List[int]]] = {}
+        by_user_tag: Dict[Tuple[int, str], List[int]] = {}
         with self._mutate_lock:
             for action in actions:
                 if not 0 <= action.user_id < self._dataset.graph.num_users:
@@ -198,17 +274,18 @@ class DatasetUpdater:
                     summary.actions_added += 1
                     touched_tags.add(action.tag)
                     touched_users.add(action.user_id)
+                    by_tag.setdefault(action.tag, {}) \
+                        .setdefault(action.item_id, []).append(action.user_id)
+                    by_user_tag.setdefault((action.user_id, action.tag), []) \
+                        .append(action.item_id)
                     self._dataset.items.ensure(action.item_id)
                     self._dataset.users.ensure(action.user_id)
                 else:
                     summary.actions_ignored += 1
             if summary.actions_added:
-                # Derived indexes are rebuilt from the tagging store; at the
-                # dataset sizes this library targets a full rebuild is a few
-                # milliseconds, and it is guaranteed consistent by construction.
-                self._dataset.inverted_index = InvertedIndex.build(self._dataset.tagging)
-                self._dataset.social_index = SocialIndex.build(self._dataset.tagging)
-                self._dataset.endorser_index = EndorserIndex.build(self._dataset.tagging)
+                self._dataset.endorser_index.apply_delta(by_tag)
+                self._dataset.inverted_index.apply_delta(posting_deltas(by_tag))
+                self._dataset.social_index.apply_delta(by_user_tag)
             summary.tags_touched = touched_tags
             summary.users_touched |= touched_users
             return self._notify(summary)

@@ -56,3 +56,46 @@ class TestReportIO:
         assert "exact" in text
         assert "scalar" in text
         assert "speedup" in text
+
+
+@pytest.fixture(scope="module")
+def updates_report():
+    from repro.eval.bench import run_updates_suite
+
+    return run_updates_suite(num_users=50, num_queries=4, k=5, rounds=1,
+                             update_batches=2, actions_per_batch=15,
+                             algorithms=("exact",), seed=5)
+
+
+class TestUpdatesSuite:
+    def test_report_shape(self, updates_report):
+        assert updates_report["suite"] == "updates"
+        assert updates_report["dataset"]["num_users"] == 50
+        for key in ("pre_update", "post_update", "p50_ratio", "updates",
+                    "equivalence", "equivalent"):
+            assert key in updates_report
+
+    def test_equivalence_gate_passes(self, updates_report):
+        assert updates_report["equivalent"] is True
+        assert updates_report["equivalence"]["num_mismatches"] == 0
+        assert updates_report["equivalence"]["paths"] \
+            == ["online", "materialized", "batched"]
+
+    def test_updates_actually_applied(self, updates_report):
+        updates = updates_report["updates"]
+        assert updates["actions_added"] == 30
+        assert updates["epoch"] == 1  # the mid-trace compaction ran
+        assert updates["shard_rows"] == 50  # shards survived the churn
+
+    def test_format_updates_report(self, updates_report):
+        from repro.eval.bench import format_updates_report
+
+        text = format_updates_report(updates_report)
+        assert "post-update" in text
+        assert "equivalence" in text
+
+    def test_report_is_json_serialisable(self, updates_report, tmp_path):
+        from repro.eval.bench import write_report
+
+        path = write_report(updates_report, tmp_path / "BENCH_updates.json")
+        assert json.loads(path.read_text())["suite"] == "updates"

@@ -140,3 +140,104 @@ class TestIntrospection:
         stats = built.statistics.to_dict()
         assert stats["shard_hits"] == 1
         assert stats["lookups"] == 1
+
+
+class TestIncrementalMaintenance:
+    """Updates invalidate per cluster and repair in place, never wholesale."""
+
+    def test_invalidate_repairs_only_touched_cluster_bound(self, built):
+        target = built.shards()[0]
+        victim = int(target.members[0])
+        other_bounds = {shard.cluster_id: shard.bound
+                        for shard in built.shards()
+                        if shard.cluster_id != target.cluster_id}
+        built.invalidate([victim])
+        # Untouched clusters keep their bound arrays by identity.
+        for shard in built.shards():
+            if shard.cluster_id in other_bounds:
+                assert shard.bound is other_bounds[shard.cluster_id]
+        # The touched cluster's bound is re-maximised over fresh rows only.
+        repaired = next(shard for shard in built.shards()
+                        if shard.cluster_id == target.cluster_id)
+        expected = np.zeros_like(repaired.bound)
+        for position, member in enumerate(repaired.members.tolist()):
+            if member == victim:
+                continue
+            user_ids, values = repaired.row(position)
+            np.maximum.at(expected, user_ids, values)
+        np.testing.assert_array_equal(repaired.bound, expected)
+
+    def test_stale_member_gets_no_bound_fresh_member_keeps_it(self, built):
+        shard = next(s for s in built.shards() if len(s) >= 2)
+        stale, fresh = int(shard.members[0]), int(shard.members[1])
+        built.invalidate([stale])
+        assert built.upper_bound_array(stale) is None
+        assert built.upper_bound_array(fresh) is not None
+
+    def test_all_stale_cluster_stays_repairable(self, built, inner):
+        shard = built.shards()[0]
+        members = shard.members.tolist()
+        rows_before = built.num_rows()
+        built.invalidate(members)
+        # Rows stay in storage (inert: zero bound, no lookups served).
+        assert built.num_rows() == rows_before
+        assert not built.upper_bound_array(members[0]).any() \
+            if built.upper_bound_array(members[0]) is not None else True
+        repaired = built.repair(members)
+        assert repaired == len(members)
+        for member in members:
+            np.testing.assert_array_equal(built.vector_array(member),
+                                          inner.vector_array(member))
+
+    def test_repair_restores_shard_serving(self, built, inner):
+        victim = int(built.shards()[0].members[0])
+        built.invalidate([victim])
+        calls_before = inner.array_calls
+        assert built.repair([victim]) == 1
+        assert inner.array_calls == calls_before + 1
+        assert built.statistics.repairs == 1
+        # Serving the repaired seeker is a shard hit, not a refinement.
+        hits_before = built.statistics.shard_hits
+        built.vector_array(victim)
+        assert built.statistics.shard_hits == hits_before + 1
+
+    def test_repair_ignores_unmaterialized_seekers(self, built):
+        assert built.repair([10_000]) == 0
+
+    def test_graph_updated_keeps_shards(self, built, inner, synthetic_dataset):
+        graph = synthetic_dataset.graph
+        builder = SocialGraphBuilder(graph.num_users)
+        for u, v, w in graph.iter_edges():
+            builder.add_edge(u, v, w)
+        builder.add_edge(0, graph.num_users - 1, 0.7)
+        new_graph = builder.build()
+        rows_before = built.num_rows()
+        affected = {0, graph.num_users - 1}
+        built.graph_updated(new_graph, affected)
+        assert built.built
+        assert built.num_rows() == rows_before
+        assert built.graph is new_graph
+        assert inner.graph is new_graph
+        # Affected seekers refine on the new graph; the rest still shard-hit.
+        for seeker in affected:
+            np.testing.assert_array_equal(built.vector_array(seeker),
+                                          inner.vector_array(seeker))
+
+    def test_graph_updated_pads_for_new_users(self, built, synthetic_dataset):
+        graph = synthetic_dataset.graph
+        grown = graph.num_users + 2
+        builder = SocialGraphBuilder(grown)
+        for u, v, w in graph.iter_edges():
+            builder.add_edge(u, v, w)
+        new_graph = builder.build()
+        built.graph_updated(new_graph, ())
+        labels = built.labels()
+        assert len(labels) == grown
+        # New users land in fresh singleton clusters.
+        assert labels[grown - 1] != labels[0]
+        assert labels[grown - 1] != labels[grown - 2]
+        for shard in built.shards():
+            assert shard.bound.shape[0] == grown
+        bound = built.upper_bound_array(int(built.shards()[0].members[0]))
+        assert bound.shape[0] == grown
+        assert bound[grown - 1] == 0.0

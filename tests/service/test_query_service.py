@@ -352,3 +352,141 @@ class TestBatchedServing:
         repeat = service.run_batch(queries)
         assert [r.item_ids for r in repeat] == [r.item_ids for r in results]
         assert service.metrics.to_dict()["cache_hits"] >= 3
+
+
+class TestNoOpUpdates:
+    """No-op updates must not invalidate anything (S3 regression)."""
+
+    def test_empty_apply_keeps_cache_generation(self, service, live_engine):
+        updater = DatasetUpdater(live_engine.dataset)
+        service.watch(updater)
+        query = hot_query(live_engine)
+        service.serve(query)
+        generation = service.cache.generation
+        updates_before = service.metrics.to_dict()["updates_observed"]
+        updater.apply()
+        assert service.cache.generation == generation
+        assert service.metrics.to_dict()["updates_observed"] == updates_before
+        assert service.serve(query).outcome == "hit"
+
+    def test_duplicate_only_batch_keeps_cache(self, service, live_engine):
+        updater = DatasetUpdater(live_engine.dataset)
+        service.watch(updater)
+        query = hot_query(live_engine)
+        service.serve(query)
+        generation = service.cache.generation
+        existing = live_engine.dataset.tagging.actions()[0]
+        summary = updater.add_actions([existing])
+        assert summary.actions_ignored == 1
+        assert service.cache.generation == generation
+        assert service.serve(query).outcome == "hit"
+
+    def test_duplicate_friendship_keeps_cache(self, service, live_engine):
+        updater = DatasetUpdater(live_engine.dataset)
+        service.watch(updater)
+        u, v, w = next(iter(live_engine.dataset.graph.iter_edges()))
+        query = hot_query(live_engine)
+        service.serve(query)
+        generation = service.cache.generation
+        updater.add_friendships([(u, v, w)])
+        assert service.cache.generation == generation
+
+
+class TestBackgroundCompaction:
+    """The service folds arena delta overlays past the threshold."""
+
+    def _arena_service(self, tmp_path, threshold):
+        from repro.storage import Dataset
+
+        base = tiny_dataset(seed=3)
+        path = tmp_path / "live.arena"
+        base.to_arena(path)
+        dataset = Dataset.from_arena(path)
+        engine = SocialSearchEngine(dataset)
+        updater = DatasetUpdater(dataset)
+        svc = QueryService(engine, ServiceConfig(
+            workers=2, compact_threshold=threshold), updater=updater)
+        return svc, updater, dataset
+
+    def _wait(self, predicate, timeout=10.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(0.01)
+        return predicate()
+
+    def test_compaction_triggers_past_threshold(self, tmp_path):
+        svc, updater, dataset = self._arena_service(tmp_path, threshold=8)
+        try:
+            tag = dataset.tags()[0]
+            query = hot_query(svc.engine)
+            before = svc.serve(query).result
+            updater.add_actions([
+                TaggingAction(user_id=i % dataset.num_users,
+                              item_id=90_000 + i, tag=tag, timestamp=i)
+                for i in range(10)
+            ])
+            assert self._wait(lambda: updater.pending_delta() == 0)
+            assert self._wait(lambda: svc.compactions == 1)
+            assert updater.epoch == 1
+            assert dataset.tagging.delta_size == 0
+            stats = svc.stats()
+            assert stats["write_path"]["compactions"] == 1
+            assert stats["write_path"]["epoch"] == 1
+            # Queries keep answering (and reflect the update) across the swap.
+            after = svc.serve(query).result
+            assert after.item_ids == svc.engine.run(query).item_ids
+            assert before.item_ids != after.item_ids or True
+        finally:
+            svc.close()
+
+    def test_no_compaction_below_threshold(self, tmp_path):
+        svc, updater, dataset = self._arena_service(tmp_path, threshold=100)
+        try:
+            tag = dataset.tags()[0]
+            updater.add_actions([TaggingAction(user_id=1, item_id=91_000,
+                                               tag=tag)])
+            time.sleep(0.05)
+            assert svc.compactions == 0
+            assert updater.pending_delta() == 1
+        finally:
+            svc.close()
+
+    def test_compaction_disabled_by_default(self, tmp_path):
+        svc, updater, dataset = self._arena_service(tmp_path, threshold=0)
+        try:
+            tag = dataset.tags()[0]
+            updater.add_actions([
+                TaggingAction(user_id=i % dataset.num_users,
+                              item_id=92_000 + i, tag=tag)
+                for i in range(10)
+            ])
+            time.sleep(0.05)
+            assert svc.compactions == 0
+            assert updater.pending_delta() == 10
+        finally:
+            svc.close()
+
+    def test_compaction_failure_is_visible(self, tmp_path):
+        svc, updater, dataset = self._arena_service(tmp_path, threshold=4)
+        try:
+            # A mutation that bypasses the updater leaves the endorser index
+            # stale, so the fold refuses — the failure must surface in stats
+            # instead of dying silently.
+            tag = dataset.tags()[0]
+            dataset.tagging.add(TaggingAction(user_id=1, item_id=93_000,
+                                              tag=tag))
+            updater.add_actions([
+                TaggingAction(user_id=i % dataset.num_users,
+                              item_id=94_000 + i, tag=tag)
+                for i in range(5)
+            ])
+            assert self._wait(
+                lambda: svc.stats()["write_path"]["compaction_failures"] >= 1)
+            stats = svc.stats()
+            assert svc.compactions == 0
+            assert "StorageError" in stats["write_path"]["compaction_error"]
+            assert stats["write_path"]["pending_delta"] > 0
+        finally:
+            svc.close()

@@ -171,3 +171,80 @@ class TestGenerationGuard:
         cache.invalidate_seekers([1])
         cache.clear()
         assert cache.generation == start + 3
+
+
+class TestExpirySweep:
+    """Expired entries must free their capacity on put, not on a later get."""
+
+    def test_expired_entries_swept_on_put(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        stale = [make_result(seeker=s) for s in (1, 2, 3)]
+        for result in stale:
+            cache.put(key_of(result), result)
+        clock.advance(11.0)
+        fresh = make_result(seeker=9)
+        cache.put(key_of(fresh), fresh)
+        # The dead entries are gone without any get having touched them.
+        assert len(cache) == 1
+        assert cache.statistics.expirations == 3
+        assert cache.statistics.evictions == 0
+
+    def test_expired_entries_do_not_evict_live_ones(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=2, ttl_seconds=10.0, clock=clock)
+        dead = make_result(seeker=1)
+        cache.put(key_of(dead), dead)
+        clock.advance(11.0)
+        live_a = make_result(seeker=2)
+        live_b = make_result(seeker=3)
+        cache.put(key_of(live_a), live_a)
+        cache.put(key_of(live_b), live_b)
+        # Capacity pressure resolves against the dead entry, not live_a.
+        assert cache.get(key_of(live_a)) is live_a
+        assert cache.get(key_of(live_b)) is live_b
+        assert cache.statistics.evictions == 0
+        assert cache.statistics.expirations == 1
+
+    def test_sweep_stops_at_first_live_entry(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=8, ttl_seconds=10.0, clock=clock)
+        old = make_result(seeker=1)
+        cache.put(key_of(old), old)
+        clock.advance(6.0)
+        young = make_result(seeker=2)
+        cache.put(key_of(young), young)
+        clock.advance(5.0)  # old (11s) dead, young (5s) alive
+        cache.put(key_of(make_result(seeker=3)), make_result(seeker=3))
+        assert cache.get(key_of(old)) is None
+        assert cache.get(key_of(young)) is young
+        assert cache.statistics.expirations == 1
+
+
+class TestOverwritePromotion:
+    """An overwriting put must refresh the key's LRU (and expiry) position."""
+
+    def test_overwrite_moves_key_to_back_of_lru(self):
+        cache = ResultCache(capacity=2)
+        a, b = make_result(seeker=1), make_result(seeker=2)
+        cache.put(key_of(a), a)
+        cache.put(key_of(b), b)
+        refreshed = make_result(seeker=1)
+        cache.put(key_of(refreshed), refreshed)  # overwrite: promote a
+        c = make_result(seeker=3)
+        cache.put(key_of(c), c)  # evicts b, the true LRU
+        assert cache.get(key_of(refreshed)) is refreshed
+        assert cache.get(key_of(b)) is None
+        assert cache.statistics.evictions == 1
+
+    def test_overwrite_refreshes_ttl(self):
+        clock = FakeClock()
+        cache = ResultCache(capacity=4, ttl_seconds=10.0, clock=clock)
+        first = make_result(seeker=1)
+        cache.put(key_of(first), first)
+        clock.advance(8.0)
+        second = make_result(seeker=1)
+        cache.put(key_of(second), second)
+        clock.advance(8.0)  # 16s after first, 8s after overwrite
+        assert cache.get(key_of(second)) is second
+        assert cache.statistics.expirations == 0

@@ -157,10 +157,9 @@ class TestQueryEquivalence:
 class TestLiveUpdates:
     """Regression: live updates on an arena-backed dataset must not be lost.
 
-    The mapped arrays describe the pre-update corpus; the first mutation
-    has to replay the log into the in-memory store and stop answering
-    reads from the arrays, or the rebuilt indexes silently drop the new
-    actions.
+    The mapped arrays describe the pre-update corpus; mutations land in the
+    delta overlay and every read merges it with the frozen arrays, so the
+    new actions are visible immediately without retiring the fast path.
     """
 
     def test_added_action_survives_index_rebuild(self, arena_path):
@@ -232,3 +231,153 @@ class TestShards:
         assert load_shards(path) is None
         engine_dataset = Dataset.from_arena(path)
         assert engine_dataset.graph == corpus.graph
+
+
+class TestDeltaOverlay:
+    """The write path: delta-merged reads, compaction, and thread safety."""
+
+    def _live(self, arena_path):
+        from repro.storage import DatasetUpdater
+
+        dataset = Dataset.from_arena(arena_path)
+        return dataset, DatasetUpdater(dataset)
+
+    def test_updates_stay_in_the_delta(self, arena_path):
+        from repro.storage import TaggingAction
+
+        dataset, updater = self._live(arena_path)
+        tag = dataset.tags()[0]
+        before = len(dataset.tagging)
+        updater.add_actions([TaggingAction(user_id=2, item_id=4242, tag=tag)])
+        assert dataset.tagging.delta_size == 1
+        assert len(dataset.tagging) == before + 1
+        assert dataset.tagging.tag_frequency(4242, tag) == 1
+        assert dataset.tagging.contains(2, 4242, tag)
+        # A merged segment combines frozen taggers with delta taggers.
+        item = sorted(dataset.tagging.items_for_tag(tag) - {4242})[0]
+        frozen = list(dataset.tagging.taggers_sorted(item, tag))
+        updater.add_actions([TaggingAction(user_id=0, item_id=item, tag=tag)])
+        merged = list(dataset.tagging.taggers_sorted(item, tag))
+        assert merged == sorted(set(frozen) | {0})
+
+    def test_duplicate_of_frozen_action_rejected(self, arena_path):
+        from repro.storage import TaggingAction
+
+        dataset, updater = self._live(arena_path)
+        existing = dataset.tagging.actions()[0]
+        summary = updater.add_actions([TaggingAction(
+            user_id=existing.user_id, item_id=existing.item_id,
+            tag=existing.tag, timestamp=999_999)])
+        assert summary.actions_added == 0
+        assert summary.actions_ignored == 1
+        assert dataset.tagging.delta_size == 0
+
+    def test_compaction_folds_and_preserves_reads(self, arena_path):
+        from repro.storage import TaggingAction
+
+        dataset, updater = self._live(arena_path)
+        tag = dataset.tags()[0]
+        updater.add_actions([
+            TaggingAction(user_id=1, item_id=8000 + i, tag=tag, timestamp=i)
+            for i in range(5)
+        ] + [TaggingAction(user_id=2, item_id=8000, tag="compaction-tag")])
+        snapshot = {
+            "len": len(dataset.tagging),
+            "tags": dataset.tagging.tags(),
+            "popularity": dataset.tagging.tag_popularity(),
+            "freq": dataset.tagging.tag_frequency(8000, tag),
+            "items": dataset.tagging.items_for_tag(tag),
+            "profile": dataset.social_index.items_for(1, tag),
+        }
+        assert updater.pending_delta() == 6
+        assert updater.compact() == 6
+        assert updater.pending_delta() == 0
+        assert updater.epoch == 1
+        assert dataset.tagging.delta_size == 0
+        assert dataset.social_index.overlay_size == 0
+        assert snapshot == {
+            "len": len(dataset.tagging),
+            "tags": dataset.tagging.tags(),
+            "popularity": dataset.tagging.tag_popularity(),
+            "freq": dataset.tagging.tag_frequency(8000, tag),
+            "items": dataset.tagging.items_for_tag(tag),
+            "profile": dataset.social_index.items_for(1, tag),
+        }
+        # Nothing pending: a second compact is a no-op.
+        assert updater.compact() == 0
+        assert updater.epoch == 1
+
+    def test_compact_refuses_inconsistent_endorsers(self, arena_path):
+        from repro.errors import StorageError
+        from repro.storage import TaggingAction
+
+        dataset, _updater = self._live(arena_path)
+        tag = dataset.tags()[0]
+        # Bypassing the updater leaves the endorser index stale; folding the
+        # delta against it would lose the actions.
+        dataset.tagging.add(TaggingAction(user_id=1, item_id=31337, tag=tag))
+        with pytest.raises(StorageError):
+            dataset.tagging.compact(dataset.endorser_index)
+
+    def test_concurrent_reads_during_mutation(self, arena_path):
+        """S2 regression: readers racing the first add see consistent state."""
+        import threading
+
+        from repro.storage import DatasetUpdater, TaggingAction
+
+        dataset = Dataset.from_arena(arena_path)
+        updater = DatasetUpdater(dataset)
+        tag = dataset.tags()[0]
+        item = sorted(dataset.tagging.items_for_tag(tag))[0]
+        base_frequency = dataset.tagging.tag_frequency(item, tag)
+        base_len = len(dataset.tagging)
+        errors = []
+        observed_lengths = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    length = len(dataset.tagging)
+                    assert base_len <= length <= base_len + 64
+                    observed_lengths.append(length)
+                    frequency = dataset.tagging.tag_frequency(item, tag)
+                    assert frequency >= base_frequency
+                    taggers = list(dataset.tagging.taggers_sorted(item, tag))
+                    assert taggers == sorted(taggers)
+                    dataset.tagging.contains(0, item, tag)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(64):
+                updater.add_actions([TaggingAction(
+                    user_id=i % dataset.num_users, item_id=60_000 + i,
+                    tag=tag, timestamp=i)])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+        assert not errors
+        assert len(dataset.tagging) == base_len + 64
+
+    def test_concurrent_cold_path_materialisation(self, arena_path):
+        """Two threads racing the replay must not duplicate actions."""
+        import threading
+
+        dataset = Dataset.from_arena(arena_path)
+        expected = len(dataset.tagging)
+        results = []
+
+        def cold_reader():
+            results.append(len(dataset.tagging.actions()))
+
+        threads = [threading.Thread(target=cold_reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert results == [expected] * 4

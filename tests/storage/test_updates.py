@@ -191,3 +191,78 @@ class TestObservers:
         assert tagging.changed and not tagging.graph_rebuilt
         growth = updater.add_users(1)
         assert growth.changed and growth.graph_rebuilt
+
+
+class TestIncrementalMaintenance:
+    def test_indexes_maintained_in_place(self, live_dataset):
+        """Updates refresh the touched tags, not rebuild whole indexes."""
+        inverted = live_dataset.inverted_index
+        social = live_dataset.social_index
+        endorsers = live_dataset.endorser_index
+        jazz_before = inverted.arrays("jazz")
+        rock_before = inverted.arrays("rock")
+        DatasetUpdater(live_dataset).add_actions(
+            [TaggingAction(4, 100, "jazz", timestamp=9)])
+        # Same index objects, refreshed in place...
+        assert live_dataset.inverted_index is inverted
+        assert live_dataset.social_index is social
+        assert live_dataset.endorser_index is endorsers
+        # ...with only the touched tag's arrays replaced.
+        assert inverted.arrays("jazz") is not jazz_before
+        assert inverted.arrays("rock") is rock_before
+
+    def test_endorser_version_bumped(self, live_dataset):
+        version = live_dataset.endorser_index.version
+        DatasetUpdater(live_dataset).add_actions(
+            [TaggingAction(4, 100, "jazz", timestamp=9)])
+        assert live_dataset.endorser_index.version == version + 1
+
+    def test_merged_entries_match_full_rebuild(self, live_dataset):
+        from repro.storage import EndorserIndex, InvertedIndex, SocialIndex
+
+        DatasetUpdater(live_dataset).add_actions([
+            TaggingAction(4, 100, "jazz", timestamp=9),
+            TaggingAction(0, 500, "jazz", timestamp=10),
+            TaggingAction(2, 500, "fresh", timestamp=11),
+        ])
+        rebuilt = InvertedIndex.build(live_dataset.tagging)
+        for tag in live_dataset.tagging.tags():
+            ours = live_dataset.inverted_index.arrays(tag)
+            theirs = rebuilt.arrays(tag)
+            assert ours.item_ids.tolist() == theirs.item_ids.tolist()
+            assert ours.frequencies.tolist() == theirs.frequencies.tolist()
+            assert live_dataset.inverted_index.max_frequency(tag) \
+                == rebuilt.max_frequency(tag)
+        rebuilt_endorsers = EndorserIndex.build(live_dataset.tagging)
+        for tag in live_dataset.tagging.tags():
+            ours = live_dataset.endorser_index.for_tag(tag)
+            theirs = rebuilt_endorsers.for_tag(tag)
+            assert ours.item_ids.tolist() == theirs.item_ids.tolist()
+            assert ours.offsets.tolist() == theirs.offsets.tolist()
+            assert ours.taggers.tolist() == theirs.taggers.tolist()
+        rebuilt_social = SocialIndex.build(live_dataset.tagging)
+        for user in rebuilt_social.users():
+            assert live_dataset.social_index.profile(user) \
+                == rebuilt_social.profile(user)
+
+    def test_in_memory_dataset_has_nothing_pending(self, live_dataset):
+        updater = DatasetUpdater(live_dataset)
+        updater.add_actions([TaggingAction(4, 100, "jazz", timestamp=9)])
+        assert updater.pending_delta() == 0
+        assert updater.compact() == 0
+        assert updater.epoch == 0
+
+    def test_inline_compact_threshold(self, tmp_path):
+        dataset = tiny_dataset()
+        path = tmp_path / "inline.arena"
+        dataset.to_arena(path)
+        live = Dataset.from_arena(path)
+        updater = DatasetUpdater(live, compact_threshold=4)
+        tag = live.tags()[0]
+        for index in range(6):
+            updater.add_actions([TaggingAction(
+                user_id=index % live.num_users, item_id=70_000 + index,
+                tag=tag, timestamp=index)])
+        # The fourth action crossed the threshold and compacted inline.
+        assert updater.epoch == 1
+        assert updater.pending_delta() == 2
