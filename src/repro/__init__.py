@@ -63,7 +63,9 @@ from .storage import (
     save_dataset,
 )
 from .core import (
+    ExecutionPlan,
     Query,
+    QueryPlanner,
     QueryResult,
     ScoredItem,
     ScoringModel,
@@ -147,6 +149,8 @@ __all__ = [
     "ScoredItem",
     "ScoringModel",
     "SocialSearchEngine",
+    "ExecutionPlan",
+    "QueryPlanner",
     "available_algorithms",
     "create_algorithm",
     # baselines

@@ -7,8 +7,12 @@ main flows without writing any Python:
   every algorithm, printing the comparison table.
 * ``repro generate`` — build a synthetic dataset and save it as a snapshot.
 * ``repro query`` — load a snapshot and answer an ad-hoc query.
+* ``repro explain`` — print the planner's execution plan for a query
+  (storage backing, proximity path, executor, partition fan-out, bound
+  estimates) without executing it.
 * ``repro bench`` — run a small latency/quality comparison over a workload,
-  or the headless suites (``--suite topk`` / ``--suite proximity``).
+  or the headless suites (``--suite topk`` / ``proximity`` / ``updates`` /
+  ``partitioned``).
 * ``repro build-arena`` — serialise a dataset (and optionally materialized
   proximity shards) into the memory-mapped index arena.
 * ``repro serve`` — expose a dataset behind the concurrent JSON HTTP API
@@ -50,6 +54,7 @@ def _engine_config(args: argparse.Namespace) -> EngineConfig:
             materialize=getattr(args, "materialize", False),
             cluster_rounds=getattr(args, "cluster_rounds", 5),
         ),
+        partitions=getattr(args, "partitions", 1),
     )
 
 
@@ -63,6 +68,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scalar", action="store_true",
                         help="disable the vectorized numpy scoring kernels "
                              "(scalar fallback; identical results, slower)")
+    parser.add_argument("--partitions", type=int, default=1,
+                        help="item shards for scatter-gather execution of "
+                             "the exact scan (default: 1 = classic "
+                             "single-partition layout; results are "
+                             "identical at any setting)")
 
 
 def _command_demo(args: argparse.Namespace) -> int:
@@ -112,6 +122,20 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_explain(args: argparse.Namespace) -> int:
+    """Print the planner's execution plan for a query without running it."""
+    from .core.query import Query
+
+    dataset = _load_serving_dataset(args)
+    engine = SocialSearchEngine(dataset, _engine_config(args))
+    if args.materialize and args.build_shards:
+        engine.proximity.build()
+    query = Query(seeker=args.seeker, tags=tuple(args.tags), k=args.k)
+    plan = engine.explain_plan(query, algorithm=args.algorithm)
+    print(plan.describe())
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     if args.suite:
         return _run_bench_suite(args)
@@ -144,6 +168,8 @@ def _run_bench_suite(args: argparse.Namespace) -> int:
         return _run_proximity_suite(args)
     if args.suite == "updates":
         return _run_updates_suite(args)
+    if args.suite == "partitioned":
+        return _run_partitioned_suite(args)
     report = run_topk_suite(
         num_users=args.users,
         num_queries=args.queries,
@@ -237,6 +263,44 @@ def _run_updates_suite(args: argparse.Namespace) -> int:
     if args.max_p50_ratio > 0.0 and ratio > args.max_p50_ratio:
         print(f"FAIL: post-update p50 is {ratio:.2f}x the pre-update p50, "
               f"above the allowed {args.max_p50_ratio:.2f}x")
+        return 1
+    return 0
+
+
+def _run_partitioned_suite(args: argparse.Namespace) -> int:
+    """Scatter-gather suite: p50 vs partition count + equivalence gate."""
+    from .eval.bench import format_partitioned_report, run_partitioned_suite, write_report
+
+    measure = args.proximity
+    if measure == "shortest-path":
+        # Shard pruning leans on materialized cluster bounds; the suite
+        # defaults to the paper's PPR case like the proximity suite does.
+        measure = "ppr"
+        print("partitioned suite: using measure 'ppr' (shard bounds come "
+              "from materialized cluster bound vectors)")
+    report = run_partitioned_suite(
+        num_users=args.users,
+        num_queries=args.queries,
+        k=args.k,
+        rounds=args.rounds,
+        alpha=args.alpha,
+        measure=measure,
+        seed=args.seed,
+    )
+    print(format_partitioned_report(report))
+    if args.json:
+        path = write_report(report, args.json)
+        print(f"wrote {path}")
+    if not report["equivalent"]:
+        print("FAIL: partitioned rankings diverge from single-partition "
+              "execution")
+        return 1
+    speedups = report["speedup_partitions"]
+    top = str(report["workload"]["partition_counts"][-1])  # type: ignore[index]
+    speedup = float(speedups[top])  # type: ignore[index]
+    if args.min_speedup > 0.0 and speedup < args.min_speedup:
+        print(f"FAIL: P={top} p50 speedup {speedup:.2f}x is below the "
+              f"required {args.min_speedup:.2f}x")
         return 1
     return 0
 
@@ -425,16 +489,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--algorithms", nargs="*", default=None,
                        help="algorithms to measure (both modes)")
     bench.add_argument("--suite", nargs="?", const="topk", default=None,
-                       choices=("topk", "proximity", "updates"),
+                       choices=("topk", "proximity", "updates", "partitioned"),
                        help="run a headless bench_fig*-style suite: 'topk' "
                             "(p50/p95/qps + vectorized-vs-scalar speedup; "
                             "the default when no value is given), "
                             "'proximity' (materialized shards vs online "
                             "computation, arena cold start, batching, with "
-                            "an exact-equivalence gate) or 'updates' "
+                            "an exact-equivalence gate), 'updates' "
                             "(interleaved query/update trace over an "
                             "arena-backed dataset: post- vs pre-update p50 "
-                            "plus a fresh-rebuild equivalence gate)")
+                            "plus a fresh-rebuild equivalence gate) or "
+                            "'partitioned' (scatter-gather p50 vs partition "
+                            "count 1/2/4 with per-shard bound pruning and "
+                            "an exact-equivalence gate)")
     bench.add_argument("--users", type=int, default=200,
                        help="suite dataset size in users (default: 200, the "
                             "Figure-6 medium point)")
@@ -476,6 +543,32 @@ def build_parser() -> argparse.ArgumentParser:
                              help="label-propagation rounds for the seeker "
                                   "partition (default: 5)")
     build_arena.set_defaults(handler=_command_build_arena)
+
+    explain = subparsers.add_parser(
+        "explain", help="print the planner's execution plan for a query "
+                        "(backing, proximity path, executor, partition "
+                        "fan-out, bound estimates) without executing it")
+    explain.add_argument("seeker", type=int, help="seeker user id")
+    explain.add_argument("tags", nargs="+", help="query tags")
+    explain.add_argument("--k", type=int, default=10)
+    explain.add_argument("--snapshot", default=None,
+                         help="snapshot directory written by 'repro generate' "
+                              "(default: synthetic delicious-like corpus)")
+    explain.add_argument("--arena", default=None,
+                         help="arena file written by 'repro build-arena' "
+                              "(overrides --snapshot)")
+    explain.add_argument("--scale", type=float, default=0.3,
+                         help="synthetic dataset scale when no snapshot is "
+                              "given")
+    explain.add_argument("--seed", type=int, default=7)
+    explain.add_argument("--materialize", action="store_true",
+                         help="wrap proximity in materialized shards before "
+                              "planning")
+    explain.add_argument("--build-shards", action="store_true",
+                         help="with --materialize: build the shards so the "
+                              "plan shows the shard-served bound estimates")
+    _add_engine_arguments(explain)
+    explain.set_defaults(handler=_command_explain)
 
     serve = subparsers.add_parser(
         "serve", help="serve queries over a JSON HTTP API with caching")

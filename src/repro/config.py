@@ -149,6 +149,16 @@ class EngineConfig:
     batch_size:
         Number of sequential accesses performed per scheduling decision in
         interleaving algorithms.
+    partitions:
+        Number of item shards the corpus is partitioned into for
+        scatter-gather execution (see :mod:`repro.core.partition_exec`).
+        1 (the default) keeps the classic single-partition layout; the
+        planner only fans exact vectorized scans out, so every other route
+        is unaffected by this knob.
+    partition_seed:
+        Seed of the label-propagation pass that groups users into the
+        communities the item shards follow; fixed so partition layouts are
+        reproducible across processes and CI runs.
     """
 
     algorithm: str = "social-first"
@@ -156,10 +166,14 @@ class EngineConfig:
     proximity: ProximityConfig = field(default_factory=ProximityConfig)
     early_termination: bool = True
     batch_size: int = 16
+    partitions: int = 1
+    partition_seed: int = 29
 
     def __post_init__(self) -> None:
         _require(bool(self.algorithm), "algorithm name must be a non-empty string")
         _require(self.batch_size >= 1, f"batch_size must be >= 1, got {self.batch_size}")
+        _require(self.partitions >= 1,
+                 f"partitions must be >= 1, got {self.partitions}")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -168,6 +182,8 @@ class EngineConfig:
             "proximity": self.proximity.to_dict(),
             "early_termination": self.early_termination,
             "batch_size": self.batch_size,
+            "partitions": self.partitions,
+            "partition_seed": self.partition_seed,
         }
 
 
@@ -255,6 +271,14 @@ class DatasetConfig:
         Probability that a tagging action copies an item/tag pair previously
         used by a direct friend instead of sampling globally.  This is the
         knob that makes "help from friends" informative.
+    tag_locality:
+        Probability that an independently sampled action draws its tag from
+        the user's **community vocabulary** (a community-specific permutation
+        of the tag popularity ranking) instead of the global one.  Real
+        tagging sites show exactly this structure — interest groups coin and
+        reuse their own vocabulary — and it is what gives corpus partitions
+        their prunable per-shard bounds.  0 (the default) reproduces the
+        previous generator bit for bit.
     tags_per_item:
         Mean number of distinct tags attached to an item by one action burst.
     seed:
@@ -272,6 +296,7 @@ class DatasetConfig:
     tag_zipf_exponent: float = 1.1
     item_zipf_exponent: float = 1.05
     homophily: float = 0.5
+    tag_locality: float = 0.0
     tags_per_item: float = 2.0
     seed: int = 7
     name: str = "synthetic"
@@ -285,6 +310,7 @@ class DatasetConfig:
         _require(self.tag_zipf_exponent > 0.0, "tag_zipf_exponent must be positive")
         _require(self.item_zipf_exponent > 0.0, "item_zipf_exponent must be positive")
         _require(0.0 <= self.homophily <= 1.0, "homophily must be in [0, 1]")
+        _require(0.0 <= self.tag_locality <= 1.0, "tag_locality must be in [0, 1]")
         _require(self.tags_per_item >= 1.0, "tags_per_item must be >= 1")
         _require(bool(self.name), "dataset name must be non-empty")
 

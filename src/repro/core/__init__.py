@@ -3,6 +3,8 @@
 from .accounting import AccessAccountant
 from .query import Query, QueryResult, ScoredItem, make_queries
 from .scoring import ScoreBreakdown, ScoringModel
+from .plan import BatchPlan, ExecutionPlan, PartitionPreview, QueryPlanner
+from .partition_exec import PartitionedExecutor
 from .engine import SocialSearchEngine
 from .topk import (
     ExactBaseline,
@@ -26,6 +28,11 @@ __all__ = [
     "ScoringModel",
     "ScoreBreakdown",
     "SocialSearchEngine",
+    "ExecutionPlan",
+    "BatchPlan",
+    "PartitionPreview",
+    "QueryPlanner",
+    "PartitionedExecutor",
     "TopKAlgorithm",
     "TopKHeap",
     "ExactBaseline",

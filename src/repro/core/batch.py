@@ -7,8 +7,9 @@ candidate-set construction, posting-list position lookups and the textual
 component depend only on the *tags*, and the proximity rows of same-cluster
 seekers live in the same materialized shard.
 
-:func:`run_batch` therefore groups a batch by ``(algorithm, tags)`` and,
-inside a group, orders seekers by proximity cluster:
+:func:`run_batch` therefore executes the groups the planner's
+:meth:`~repro.core.plan.QueryPlanner.plan_batch` forms — same-tags queries
+together, seekers ordered by proximity cluster:
 
 * for the vectorized **exact** algorithm the whole group shares one
   candidate scan — tag positions, frequencies, textual components and the
@@ -76,22 +77,26 @@ def group_queries(queries: Sequence[Query],
 
 def run_batch(engine, queries: Sequence[Query],
               algorithm: Optional[str] = None) -> List[QueryResult]:
-    """Answer a batch of queries with shared scans; results in input order."""
+    """Answer a batch of queries with shared scans; results in input order.
+
+    Grouping and strategy selection live in the planner
+    (:meth:`repro.core.plan.QueryPlanner.plan_batch`); this driver merely
+    executes each group — the shared candidate scan for ``"shared-scan"``
+    groups, the per-query planned route (which may itself scatter over
+    partitions) for everything else.
+    """
     queries = list(queries)
     if not queries:
         return []
-    name = algorithm or engine.config.algorithm
-    proximity = engine.proximity
-    cluster_of = getattr(proximity, "cluster_of", None) \
-        if getattr(proximity, "built", False) else None
+    plan = engine.planner.plan_batch(queries, algorithm=algorithm)
     results: List[Optional[QueryResult]] = [None] * len(queries)
-    shared_scan = (name == "exact" and engine.config.scoring.vectorized)
-    for group in group_queries(queries, cluster_of):
-        if shared_scan and len(group) >= MIN_SHARED_GROUP:
-            _run_exact_group(engine, queries, group, results)
+    for group in plan.groups:
+        if group.strategy == "shared-scan":
+            _run_exact_group(engine, queries, group.indices, results)
         else:
-            for index in group:
-                results[index] = engine.run(queries[index], algorithm=name)
+            for index in group.indices:
+                results[index] = engine.run(queries[index],
+                                            algorithm=plan.algorithm)
     return results  # type: ignore[return-value]
 
 

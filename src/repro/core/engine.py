@@ -22,7 +22,10 @@ from ..config import EngineConfig, ScoringConfig
 from ..proximity import CachedProximity, MaterializedProximity, create_proximity
 from ..proximity.base import ProximityMeasure
 from ..storage.dataset import Dataset
+from ..storage.partitioned import CorpusPartitions
 from .batch import run_batch as _run_batch
+from .partition_exec import PartitionedExecutor
+from .plan import EXECUTOR_PARTITIONED, ExecutionPlan, QueryPlanner
 from .query import Query, QueryResult
 from .scoring import ScoringModel
 from .topk.base import TopKAlgorithm, available_algorithms, create_algorithm
@@ -42,10 +45,16 @@ class SocialSearchEngine:
         Optional pre-built proximity measure.  When omitted, one is created
         from ``config.proximity`` and wrapped in an LRU cache if
         ``config.proximity.cache_size > 0``.
+    partitions:
+        Optional pre-built corpus layout.  When omitted and
+        ``config.partitions > 1``, one is built with seeded label
+        propagation; derived engines (:meth:`with_alpha`,
+        :meth:`with_algorithm`) share the parent's layout.
     """
 
     def __init__(self, dataset: Dataset, config: Optional[EngineConfig] = None,
-                 proximity: Optional[ProximityMeasure] = None) -> None:
+                 proximity: Optional[ProximityMeasure] = None,
+                 partitions: Optional[CorpusPartitions] = None) -> None:
         self._dataset = dataset
         self._config = config or EngineConfig()
         if proximity is None:
@@ -63,6 +72,16 @@ class SocialSearchEngine:
                 proximity = CachedProximity(proximity,
                                             capacity=self._config.proximity.cache_size)
         self._proximity = proximity
+        if partitions is None and self._config.partitions > 1:
+            partitions = CorpusPartitions.build(
+                dataset, self._config.partitions,
+                seed=self._config.partition_seed)
+        self._partitions = partitions
+        self._partition_executor = (
+            PartitionedExecutor(dataset, proximity, self._config, partitions)
+            if partitions is not None and partitions.num_partitions > 1
+            else None)
+        self._planner = QueryPlanner(self)
         self._algorithms: Dict[str, TopKAlgorithm] = {}
         # Algorithm instances are stateless per search, so they are shared
         # across the service's worker threads; only their lazy creation
@@ -93,6 +112,21 @@ class SocialSearchEngine:
         """A scoring model bound to this engine's configuration."""
         return ScoringModel(self._dataset, self._proximity, self._config.scoring)
 
+    @property
+    def planner(self) -> QueryPlanner:
+        """The query planner deciding every execution route."""
+        return self._planner
+
+    @property
+    def partitions(self) -> Optional[CorpusPartitions]:
+        """The corpus partition layout (``None`` for single-partition engines)."""
+        return self._partitions
+
+    @property
+    def partition_executor(self) -> Optional[PartitionedExecutor]:
+        """The scatter-gather executor (``None`` for single-partition engines)."""
+        return self._partition_executor
+
     def algorithms(self) -> List[str]:
         """Names of every available top-k algorithm."""
         return list(available_algorithms())
@@ -117,9 +151,30 @@ class SocialSearchEngine:
         return self.run(query, algorithm=algorithm)
 
     def run(self, query: Query, algorithm: Optional[str] = None) -> QueryResult:
-        """Run a prepared :class:`Query` with the configured (or given) algorithm."""
+        """Run a prepared :class:`Query` with the configured (or given) algorithm.
+
+        The planner picks the execution route (registry algorithm vs
+        partitioned scatter-gather) through its memoised route table;
+        every route answers with identical rankings, scores and access
+        accounting.  Use :meth:`explain_plan` for the full plan record.
+        """
         name = algorithm or self._config.algorithm
+        executor, _reason = self._planner.route(name)
+        if executor == EXECUTOR_PARTITIONED:
+            return self._partition_executor.search(query)
         return self._algorithm(name).search(query)
+
+    def execute(self, query: Query, plan: ExecutionPlan) -> QueryResult:
+        """Drive a planned query through its chosen executor."""
+        if plan.executor == EXECUTOR_PARTITIONED:
+            return self._partition_executor.search(query)
+        return self._algorithm(plan.algorithm).search(query)
+
+    def explain_plan(self, query: Query,
+                     algorithm: Optional[str] = None) -> ExecutionPlan:
+        """The full execution plan for ``query`` — with per-partition bound
+        previews — without executing it (backs ``repro explain``)."""
+        return self._planner.plan(query, algorithm=algorithm, preview=True)
 
     def run_many(self, queries: Iterable[Query],
                  algorithm: Optional[str] = None, parallel: bool = False,
@@ -172,12 +227,14 @@ class SocialSearchEngine:
             proximity_floor=self._config.scoring.proximity_floor,
         )
         config = replace(self._config, scoring=scoring)
-        return SocialSearchEngine(self._dataset, config, proximity=self._proximity)
+        return SocialSearchEngine(self._dataset, config, proximity=self._proximity,
+                                  partitions=self._partitions)
 
     def with_algorithm(self, algorithm: str) -> "SocialSearchEngine":
         """Return a new engine defaulting to a different algorithm (shared proximity)."""
         config = replace(self._config, algorithm=algorithm)
-        return SocialSearchEngine(self._dataset, config, proximity=self._proximity)
+        return SocialSearchEngine(self._dataset, config, proximity=self._proximity,
+                                  partitions=self._partitions)
 
     def explain(self, result: QueryResult) -> str:
         """Human-readable explanation of a query result (used by examples)."""

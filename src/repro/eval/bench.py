@@ -19,7 +19,12 @@ Three suites:
   vs pre-update query p50 (the delta overlays + incremental shard repair
   must keep the fast path) and gating on exact equivalence with a dataset
   rebuilt from scratch after the same updates, for the online,
-  materialized and batched execution paths.
+  materialized and batched execution paths;
+* ``partitioned`` — the planner/scatter-gather layer: query p50 against
+  partition counts 1/2/4 on a community corpus with community-correlated
+  vocabularies, reporting per-shard bound pruning, with a strict
+  equivalence gate (rankings, scores, accounting) across partition counts
+  and the online/materialized/batched execution paths.
 """
 
 from __future__ import annotations
@@ -507,6 +512,178 @@ def run_updates_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
     }
     report["equivalent"] = not mismatches
     return report
+
+
+def run_partitioned_suite(num_users: int = 600, num_queries: int = 20,
+                          k: int = 10, rounds: int = 3, alpha: float = 0.5,
+                          measure: str = "ppr",
+                          partition_counts: Sequence[int] = (1, 2, 4),
+                          seed: int = 23,
+                          algorithms: Sequence[str] = ("exact", "social-first"),
+                          ) -> Dict[str, object]:
+    """Run the scatter-gather suite; returns the JSON-serialisable report.
+
+    The corpus is a dense community-structured tagging site with
+    community-correlated vocabularies (``DatasetConfig.tag_locality``) —
+    the workload shape that gives item shards prunable per-shard bounds.
+    For each partition count the engine serves the same Zipf-profile
+    workload through the planner; the headline numbers:
+
+    * ``p50_by_partitions`` — exact-scan query p50 per partition count;
+    * ``speedup_partitions`` — ``p50(P=1) / p50(P)`` per measured ``P``;
+    * ``pruning`` — shards skipped by admissible bounds and candidates
+      dropped before their social gather, per partition count.
+
+    ``equivalent`` is a hard correctness verdict: rankings, scores and
+    access accounting must be identical across every partition count and
+    the online / materialized / batched execution paths.
+    """
+    from ..config import DatasetConfig
+    from ..workload.datasets import build_dataset
+
+    config = DatasetConfig(
+        name=f"partitioned-{num_users}",
+        num_users=num_users,
+        num_items=num_users * 2,
+        num_tags=max(24, num_users // 40),
+        num_actions=num_users * 400,
+        graph_model="community",
+        avg_degree=8.0,
+        homophily=0.85,
+        tag_locality=0.95,
+        seed=seed,
+    )
+    dataset = build_dataset(config)
+    queries = generate_workload(
+        dataset, WorkloadConfig(num_queries=num_queries, k=k, seed=7))
+
+    def partitioned_engine(partitions: int,
+                           materialize: bool = True) -> SocialSearchEngine:
+        proximity = ProximityConfig(measure=measure, materialize=True) \
+            if materialize else ProximityConfig(measure=measure, cache_size=0)
+        engine = SocialSearchEngine(dataset, EngineConfig(
+            algorithm="exact",
+            scoring=ScoringConfig(alpha=alpha, vectorized=True),
+            proximity=proximity,
+            partitions=partitions,
+        ))
+        if materialize:
+            engine.proximity.build()
+        return engine
+
+    report: Dict[str, object] = {
+        "suite": "partitioned",
+        "dataset": {
+            "name": dataset.name,
+            "num_users": dataset.num_users,
+            "num_items": dataset.num_items,
+            "num_tags": dataset.num_tags,
+            "num_actions": dataset.num_actions,
+            "tag_locality": config.tag_locality,
+            "homophily": config.homophily,
+        },
+        "workload": {"num_queries": len(queries), "k": k, "rounds": rounds,
+                     "alpha": alpha, "proximity": measure,
+                     "partition_counts": list(partition_counts)},
+        "platform": {"python": platform.python_version(),
+                     "machine": platform.machine()},
+    }
+
+    # 1. p50 per partition count on the serving (materialized) engine.
+    p50_by_partitions: Dict[str, float] = {}
+    pruning: Dict[str, Dict[str, float]] = {}
+    engines: Dict[int, SocialSearchEngine] = {}
+    for partitions in partition_counts:
+        engine = partitioned_engine(partitions)
+        engines[partitions] = engine
+        samples = _best_of_rounds(engine, queries, rounds)
+        p50_by_partitions[str(partitions)] = percentile(samples, 0.5) * 1000.0
+        executor = engine.partition_executor
+        pruning[str(partitions)] = (
+            executor.statistics.to_dict() if executor is not None
+            else {"searches": len(queries) * max(1, rounds),
+                  "partitions_scanned": 0, "partitions_pruned": 0,
+                  "candidates_pruned": 0, "parallel_searches": 0})
+    report["p50_by_partitions"] = p50_by_partitions
+    report["pruning"] = pruning
+    base_p50 = p50_by_partitions[str(partition_counts[0])]
+    report["speedup_partitions"] = {
+        str(partitions): (base_p50 / p50_by_partitions[str(partitions)]
+                          if p50_by_partitions[str(partitions)] else 0.0)
+        for partitions in partition_counts
+    }
+
+    # 2. Equivalence gate: every partition count, across the online,
+    # materialized and batched paths, must answer exactly like the
+    # single-partition online baseline.
+    mismatches: List[Dict[str, object]] = []
+    baseline_engine = partitioned_engine(partition_counts[0],
+                                         materialize=False)
+    for algorithm in algorithms:
+        baseline = [baseline_engine.run(query, algorithm=algorithm)
+                    for query in queries]
+        for partitions in partition_counts:
+            online = partitioned_engine(partitions, materialize=False)
+            served = engines[partitions]
+            observed_paths = (
+                ("online", [online.run(query, algorithm=algorithm)
+                            for query in queries]),
+                ("materialized", [served.run(query, algorithm=algorithm)
+                                  for query in queries]),
+                ("batched", served.run_batch(queries, algorithm=algorithm)),
+            )
+            for path_name, observed in observed_paths:
+                for query, expected, result in zip(queries, baseline,
+                                                   observed):
+                    want = _result_signature(expected)
+                    got = _result_signature(result)
+                    if got != want:
+                        mismatches.append({
+                            "algorithm": algorithm,
+                            "partitions": partitions,
+                            "path": path_name,
+                            "query": query.to_dict(),
+                            "expected": want,
+                            "got": got,
+                        })
+    report["equivalence"] = {
+        "algorithms": list(algorithms),
+        "paths": ["online", "materialized", "batched"],
+        "queries_checked": len(queries) * len(algorithms)
+        * len(partition_counts) * 3,
+        "mismatches": mismatches[:10],
+        "num_mismatches": len(mismatches),
+    }
+    report["equivalent"] = not mismatches
+    return report
+
+
+def format_partitioned_report(report: Dict[str, object]) -> str:
+    """Human-readable one-screen summary of a partitioned-suite report."""
+    p50s = report["p50_by_partitions"]
+    speedups = report["speedup_partitions"]
+    pruning = report["pruning"]
+    lines = [
+        "partitioned scatter-gather suite "
+        f"({report['dataset']['num_users']} users, "  # type: ignore[index]
+        f"{report['workload']['num_queries']} queries x "  # type: ignore[index]
+        f"{report['workload']['rounds']} rounds, "  # type: ignore[index]
+        f"measure={report['workload']['proximity']})",  # type: ignore[index]
+    ]
+    for partitions in report["workload"]["partition_counts"]:  # type: ignore[index]
+        key = str(partitions)
+        stats = pruning[key]  # type: ignore[index]
+        lines.append(
+            f"P={key}: p50 {p50s[key]:.3f} ms"  # type: ignore[index]
+            f" | speedup {speedups[key]:.2f}x"  # type: ignore[index]
+            f" | shards pruned {int(stats['partitions_pruned'])}"
+            f" / scanned {int(stats['partitions_scanned'])}"
+            f" | candidates pruned {int(stats['candidates_pruned'])}")
+    lines.append(
+        f"equivalence   {'OK' if report['equivalent'] else 'FAILED'} "
+        f"({report['equivalence']['queries_checked']} checks, "  # type: ignore[index]
+        f"{report['equivalence']['num_mismatches']} mismatches)")  # type: ignore[index]
+    return "\n".join(lines)
 
 
 def format_updates_report(report: Dict[str, object]) -> str:

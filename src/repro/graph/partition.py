@@ -13,14 +13,16 @@ generator promises.  Two standard, dependency-free tools cover both needs:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import random
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import GraphError
 from .graph import SocialGraph
 
 
 def label_propagation(graph: SocialGraph, max_rounds: int = 10,
-                      weighted: bool = True) -> List[int]:
+                      weighted: bool = True,
+                      seed: Optional[int] = None) -> List[int]:
     """Assign a community label to every node by synchronous label propagation.
 
     Parameters
@@ -33,6 +35,17 @@ def label_propagation(graph: SocialGraph, max_rounds: int = 10,
     weighted:
         When true, neighbour labels are counted with the edge weight instead
         of 1, so strong ties pull harder.
+    seed:
+        Visit order control.  ``None`` (the default) visits nodes in
+        ascending id order every round.  An integer seed visits them in a
+        per-round shuffled order drawn from a private ``random.Random(seed)``
+        — the classic asynchronous variant, which escapes the oscillation
+        plateaus the synchronous sweep can fall into on bipartite-ish
+        structures.  Either way the function is a pure function of
+        ``(graph, max_rounds, weighted, seed)``: ties are broken by the
+        smallest label, never by iteration order or hash order, so the same
+        seed reproduces the same partition layout run over run (the property
+        corpus partitioning and CI rely on).
 
     Returns
     -------
@@ -44,9 +57,13 @@ def label_propagation(graph: SocialGraph, max_rounds: int = 10,
     if max_rounds < 1:
         raise GraphError(f"max_rounds must be >= 1, got {max_rounds}")
     labels = list(range(graph.num_users))
+    order = list(range(graph.num_users))
+    rng = random.Random(seed) if seed is not None else None
     for _ in range(max_rounds):
+        if rng is not None:
+            rng.shuffle(order)
         changed = False
-        for user in range(graph.num_users):
+        for user in order:
             neighbours, weights = graph.neighbours(user)
             if neighbours.shape[0] == 0:
                 continue

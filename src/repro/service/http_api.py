@@ -13,6 +13,11 @@ any third-party web framework.  Endpoints:
     Answer one query; the response carries the ranked items, the serving
     outcome (``hit`` / ``coalesced`` / ``computed``) and both engine- and
     service-side latency.
+``GET /explain?seeker=4&tags=jazz,vinyl&k=10[&algorithm=exact]``
+``POST /explain`` with the same body as ``/query``
+    Return the planner's :class:`~repro.core.plan.ExecutionPlan` for the
+    query — storage backing, proximity route, scoring path, executor,
+    partition fan-out and per-shard bound estimates — without executing it.
 ``POST /update`` with ``{"actions": [...], "friendships": [[u, v, w]], "new_users": 0}``
     Apply a dataset update through the watched :class:`DatasetUpdater`;
     stale cache entries are invalidated before the response is sent.
@@ -100,7 +105,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._handle_health()
             elif parsed.path == "/metrics":
                 self._reply(200, self.server.service.stats())
-            elif parsed.path == "/query":
+            elif parsed.path in ("/query", "/explain"):
                 params = parse_qs(parsed.query)
                 payload = {
                     "seeker": params.get("seeker", [None])[0],
@@ -108,7 +113,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     "k": params.get("k", [10])[0],
                     "algorithm": params.get("algorithm", [None])[0],
                 }
-                self._handle_query(payload)
+                if parsed.path == "/explain":
+                    self._handle_explain(payload)
+                else:
+                    self._handle_query(payload)
             else:
                 self._reply(404, {"error": f"unknown path {parsed.path!r}"})
         except (ReproError, ValueError, KeyError, TypeError) as exc:
@@ -119,6 +127,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             if parsed.path == "/query":
                 self._handle_query(self._read_json())
+            elif parsed.path == "/explain":
+                self._handle_explain(self._read_json())
             elif parsed.path == "/update":
                 self._handle_update(self._read_json())
             else:
@@ -141,20 +151,30 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "workers": self.server.service.config.workers,
         })
 
-    def _handle_query(self, payload: Dict[str, Any]) -> None:
+    @staticmethod
+    def _parse_query(payload: Dict[str, Any]) -> Query:
+        """One parsing rule for every query-shaped payload (/query, /explain)."""
         if payload.get("seeker") is None:
             raise ValueError("missing required field 'seeker'")
         tags = [tag for tag in (payload.get("tags") or []) if str(tag).strip()]
-        query = Query(
+        return Query(
             seeker=int(payload["seeker"]),
             tags=tuple(str(tag) for tag in tags),
             k=int(payload.get("k") or 10),
         )
+
+    def _handle_query(self, payload: Dict[str, Any]) -> None:
+        query = self._parse_query(payload)
         served = self.server.service.serve(query, algorithm=payload.get("algorithm"))
         response = served.result.to_dict()
         response["outcome"] = served.outcome
         response["service_latency_seconds"] = served.latency_seconds
         self._reply(200, response)
+
+    def _handle_explain(self, payload: Dict[str, Any]) -> None:
+        plan = self.server.service.engine.explain_plan(
+            self._parse_query(payload), algorithm=payload.get("algorithm"))
+        self._reply(200, plan.to_dict())
 
     def _handle_update(self, payload: Dict[str, Any]) -> None:
         actions = [TaggingAction.from_dict(entry)

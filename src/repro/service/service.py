@@ -151,6 +151,9 @@ class QueryService:
                 "proximity": engine_config.proximity.measure,
                 "vectorized": engine_config.scoring.vectorized,
             },
+            # The planner's engine-level decision record: storage backing,
+            # proximity route, scoring path, partition layout.
+            "plan": self._engine.planner.describe(),
             "result_cache": dict(self._cache.statistics.to_dict(),
                                  size=len(self._cache),
                                  capacity=self._cache.capacity),
@@ -164,6 +167,9 @@ class QueryService:
                              default=0),
             },
         }
+        executor = self._engine.partition_executor
+        if executor is not None:
+            snapshot["partitions"] = executor.to_dict()
         proximity = self._engine.proximity
         if isinstance(proximity, CachedProximity):
             snapshot["proximity_cache"] = proximity.statistics.to_dict()
@@ -370,6 +376,13 @@ class QueryService:
             removed += self._cache.invalidate_tags(summary.tags_touched)
         if summary.graph_rebuilt:
             removed += self._refresh_proximity(summary)
+        # Route freshly written items to the partition owning their first
+        # endorser's community, so the scatter-gather layout keeps its
+        # seeker locality under live updates (unknown items would otherwise
+        # serve — correctly but slower — from the hash fallback).
+        partitions = self._engine.partitions
+        if partitions is not None and summary.items_touched:
+            partitions.route_items(summary.items_touched)
         self._metrics.record_update(removed)
         self._maybe_compact()
 

@@ -15,6 +15,7 @@ from .arena import (
     load_dataset_from_arena,
     load_shards,
 )
+from .partitioned import CorpusPartitions
 from .statistics import DatasetStatistics, compute_dataset_statistics, graph_statistics_row
 from .updates import DatasetUpdater, UpdateSummary, replay_trace
 
@@ -40,6 +41,7 @@ __all__ = [
     "build_arena",
     "load_dataset_from_arena",
     "load_shards",
+    "CorpusPartitions",
     "DatasetStatistics",
     "compute_dataset_statistics",
     "graph_statistics_row",

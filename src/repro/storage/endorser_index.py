@@ -116,6 +116,24 @@ class TagEndorsers:
             flags[self._sorted_positions[lo:hi]] = True
         return flags
 
+    def seeker_count(self, seeker: int) -> int:
+        """Number of items the seeker endorsed with this tag (``O(log E)``).
+
+        The cheap precursor to :meth:`seeker_flags`: callers that only need
+        "did the seeker touch this tag at all?" (per-query charge
+        adjustments) skip the flag-array allocation and gather when the
+        answer is 0 — the common case for tags outside the seeker's own
+        profile.
+        """
+        if len(self) == 0:
+            return 0
+        if self._sorted_taggers is None:
+            self.seeker_flags(seeker)  # builds the sorted view
+        sorted_taggers = self._sorted_taggers
+        lo = int(np.searchsorted(sorted_taggers, seeker, side="left"))
+        hi = int(np.searchsorted(sorted_taggers, seeker, side="right"))
+        return hi - lo
+
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the CSR arrays in bytes."""
         return int(self.item_ids.nbytes + self.frequencies.nbytes

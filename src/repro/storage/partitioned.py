@@ -1,0 +1,243 @@
+"""Corpus partitioning: item shards for scatter-gather top-k.
+
+Scaling query execution across cores (and eventually machines) needs the
+corpus split into **partitions** that can be scanned independently.  The
+unit of partitioning is the *item*: every item belongs to exactly one
+partition, a query scatters over the partitions whose items could reach its
+top-k, and the partial results gather back into one ranking.
+
+The split is **seeker-local**: items are assigned to the partition owning
+the community that endorses them most.  Communities come from
+:func:`repro.graph.partition.label_propagation` (seeded, so layouts are
+reproducible), communities are packed onto ``P`` partitions largest-first
+onto the least-loaded partition, and each item follows the majority of its
+taggers.  Under homophilous workloads a seeker's high-social-mass items
+then concentrate in one partition while the others' social upper bounds
+collapse — which is what lets the partitioned executor prune whole shards
+(see :mod:`repro.core.partition_exec`).  Items nobody tagged (and items the
+layout has never seen, e.g. created by live updates before they are
+routed) fall back to ``item_id % P``, so the map is total by construction.
+
+:class:`CorpusPartitions` stores only the assignment — one dense int array
+over item ids plus one over user ids.  Per-partition "index views" are
+*positional*: the executor carves candidate blocks with
+:meth:`partition_of_items` and keeps reading the existing arena/CSR payload
+arrays (posting lists, endorser CSR, proximity shards) through subset
+gathers; no payload is ever copied per partition.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import StorageError
+from ..graph.partition import label_propagation
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+class CorpusPartitions:
+    """Total item → partition assignment (plus the user map it derives from).
+
+    Parameters
+    ----------
+    num_partitions:
+        Number of item shards ``P`` (>= 1).
+    item_map:
+        Dense ``item_id -> partition`` array; ``-1`` marks "unassigned, use
+        the hash fallback".  Ids beyond the array also hash.
+    user_map:
+        Dense ``user_id -> partition`` array used to route freshly tagged
+        items to the partition owning their first endorser.
+    """
+
+    def __init__(self, num_partitions: int, item_map: np.ndarray,
+                 user_map: np.ndarray) -> None:
+        if num_partitions < 1:
+            raise StorageError(
+                f"num_partitions must be >= 1, got {num_partitions}")
+        self.num_partitions = int(num_partitions)
+        self._item_map = np.asarray(item_map, dtype=np.int64)
+        self._user_map = np.asarray(user_map, dtype=np.int64)
+        # Routing live updates appends to the item map; queries only read
+        # whole arrays, so a lock around the swap keeps readers consistent.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, dataset, num_partitions: int, cluster_rounds: int = 5,
+              seed: int = 0) -> "CorpusPartitions":
+        """Partition ``dataset`` into ``num_partitions`` seeker-local shards.
+
+        Label propagation (seeded → reproducible) groups users into
+        communities, communities are packed largest-first onto the
+        least-loaded partition, and every item lands on the partition whose
+        users endorse it most (ties to the smaller partition id, items with
+        no endorsers to the hash fallback).
+        """
+        if num_partitions < 1:
+            raise StorageError(
+                f"num_partitions must be >= 1, got {num_partitions}")
+        graph = dataset.graph
+        user_map = np.zeros(graph.num_users, dtype=np.int64)
+        if num_partitions > 1 and graph.num_users:
+            labels = label_propagation(graph, max_rounds=cluster_rounds,
+                                       seed=seed)
+            user_map = _pack_communities(labels, num_partitions)
+        max_item = -1
+        for tag in dataset.endorser_index.tags():
+            bundle = dataset.endorser_index.for_tag(tag)
+            if bundle is not None and len(bundle):
+                max_item = max(max_item, int(bundle.item_ids[-1]))
+        item_map = np.full(max_item + 1, -1, dtype=np.int64)
+        if num_partitions > 1 and max_item >= 0:
+            # Endorsement mass per (item, partition): one add.at per tag
+            # bundle over the existing CSR arrays, no per-item Python loop.
+            votes = np.zeros((max_item + 1, num_partitions), dtype=np.int64)
+            for tag in dataset.endorser_index.tags():
+                bundle = dataset.endorser_index.for_tag(tag)
+                if bundle is None or not len(bundle):
+                    continue
+                rows = np.repeat(bundle.item_ids, np.diff(bundle.offsets))
+                np.add.at(votes, (rows, user_map[bundle.taggers]), 1)
+            endorsed = votes.sum(axis=1) > 0
+            # argmax ties resolve to the lowest partition id — deterministic.
+            item_map[endorsed] = np.argmax(votes[endorsed], axis=1)
+        elif max_item >= 0:
+            item_map[:] = 0
+        return cls(num_partitions, item_map, user_map)
+
+    @classmethod
+    def hashed(cls, num_partitions: int) -> "CorpusPartitions":
+        """A pure ``item_id % P`` layout (no graph structure consulted)."""
+        return cls(num_partitions, np.zeros(0, dtype=np.int64),
+                   np.zeros(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def partition_of_items(self, item_ids: np.ndarray) -> np.ndarray:
+        """Partition of every id in ``item_ids`` (vectorized, total).
+
+        Mapped items read the layout; unmapped or out-of-range ids hash.
+        """
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if self.num_partitions == 1:
+            return np.zeros(item_ids.shape[0], dtype=np.int64)
+        with self._lock:
+            item_map = self._item_map
+        parts = item_ids % self.num_partitions
+        if item_map.shape[0]:
+            within = item_ids < item_map.shape[0]
+            mapped = item_map[item_ids[within]]
+            parts[within] = np.where(mapped >= 0, mapped, parts[within])
+        return parts
+
+    def partition_of_item(self, item_id: int) -> int:
+        """Partition of one item id."""
+        return int(self.partition_of_items(np.asarray([item_id]))[0])
+
+    def partition_of_user(self, user_id: int) -> int:
+        """Partition owning ``user_id``'s community (hash for unknown users)."""
+        with self._lock:
+            user_map = self._user_map
+        if 0 <= user_id < user_map.shape[0]:
+            return int(user_map[user_id])
+        return int(user_id % self.num_partitions)
+
+    def partition_sizes(self) -> List[int]:
+        """Number of explicitly mapped items per partition."""
+        sizes = [0] * self.num_partitions
+        with self._lock:
+            item_map = self._item_map
+        for partition, count in zip(*np.unique(item_map[item_map >= 0],
+                                               return_counts=True)):
+            sizes[int(partition)] = int(count)
+        return sizes
+
+    # ------------------------------------------------------------------ #
+    # Live-update routing
+    # ------------------------------------------------------------------ #
+
+    def route_items(self, items_to_users: Dict[int, int]) -> int:
+        """Assign freshly written items to the partition owning their tagger.
+
+        ``items_to_users`` maps each new item id to (one of) the users who
+        just endorsed it — the delta overlay's view of the write.  Items the
+        layout already covers keep their assignment (re-tagging an old item
+        must not migrate it mid-serving); genuinely new ones join the
+        partition of the endorsing user's community, so seeker locality
+        survives live updates.  Returns the number of items newly routed.
+        """
+        if self.num_partitions == 1 or not items_to_users:
+            return 0
+        routed = 0
+        with self._lock:
+            item_map = self._item_map
+            max_item = max(items_to_users)
+            if max_item >= item_map.shape[0]:
+                grown = np.full(max_item + 1, -1, dtype=np.int64)
+                grown[:item_map.shape[0]] = item_map
+                item_map = grown
+            for item_id, user_id in sorted(items_to_users.items()):
+                if item_id < 0:
+                    continue
+                if item_map[item_id] >= 0:
+                    continue
+                if 0 <= user_id < self._user_map.shape[0]:
+                    item_map[item_id] = int(self._user_map[user_id])
+                else:
+                    item_map[item_id] = item_id % self.num_partitions
+                routed += 1
+            self._item_map = item_map
+        return routed
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view for stats endpoints and plan output."""
+        return {
+            "num_partitions": self.num_partitions,
+            "mapped_items": int((self._item_map >= 0).sum()),
+            "sizes": self.partition_sizes(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CorpusPartitions(P={self.num_partitions}, "
+                f"items={int((self._item_map >= 0).sum())})")
+
+
+def _pack_communities(labels: Sequence[int], num_partitions: int) -> np.ndarray:
+    """Pack communities onto partitions, largest community first.
+
+    Greedy balanced packing: communities are ordered by (size desc, label
+    asc) and each joins the currently least-loaded partition (ties to the
+    lowest partition id), so the layout is deterministic given the labels.
+    A community larger than ``ceil(num_users / P)`` (label propagation can
+    collapse a well-mixed graph into one giant community) is first split
+    into ascending-id chunks of that size — balance beats purity there,
+    and correctness never depends on the assignment.
+    """
+    groups: Dict[int, List[int]] = {}
+    for user, label in enumerate(labels):
+        groups.setdefault(int(label), []).append(user)
+    capacity = max(1, -(-len(labels) // num_partitions))
+    chunks: List[List[int]] = []
+    for label in sorted(groups):
+        members = groups[label]
+        for start in range(0, len(members), capacity):
+            chunks.append(members[start:start + capacity])
+    chunks.sort(key=lambda members: (-len(members), members[0]))
+    loads = [0] * num_partitions
+    user_map = np.zeros(len(labels), dtype=np.int64)
+    for members in chunks:
+        target = loads.index(min(loads))
+        for user in members:
+            user_map[user] = target
+        loads[target] += len(members)
+    return user_map

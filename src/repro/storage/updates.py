@@ -49,6 +49,11 @@ class UpdateSummary:
     items_added: int = 0
     tags_touched: Set[str] = field(default_factory=set)
     users_touched: Set[int] = field(default_factory=set)
+    #: ``item -> first endorsing user`` of the batch's recorded actions;
+    #: the corpus partition layer routes freshly written items to the
+    #: partition owning that user's community (seeker locality survives
+    #: live updates).
+    items_touched: Dict[int, int] = field(default_factory=dict)
 
     @property
     def changed(self) -> bool:
@@ -70,6 +75,8 @@ class UpdateSummary:
         self.items_added += other.items_added
         self.tags_touched |= other.tags_touched
         self.users_touched |= other.users_touched
+        for item_id, user_id in other.items_touched.items():
+            self.items_touched.setdefault(item_id, user_id)
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict view for logs."""
@@ -81,6 +88,8 @@ class UpdateSummary:
             "items_added": self.items_added,
             "tags_touched": sorted(self.tags_touched),
             "users_touched": sorted(self.users_touched),
+            "items_touched": {str(item): user for item, user
+                              in sorted(self.items_touched.items())},
         }
 
 
@@ -274,6 +283,8 @@ class DatasetUpdater:
                     summary.actions_added += 1
                     touched_tags.add(action.tag)
                     touched_users.add(action.user_id)
+                    summary.items_touched.setdefault(action.item_id,
+                                                     action.user_id)
                     by_tag.setdefault(action.tag, {}) \
                         .setdefault(action.item_id, []).append(action.user_id)
                     by_user_tag.setdefault((action.user_id, action.tag), []) \

@@ -81,6 +81,11 @@ class TaggingModel:
         offset = (self._community[user] * 7919) % self._config.num_items
         return (rank + offset) % self._config.num_items
 
+    def _community_tag(self, user: int, rank: int) -> int:
+        """Map a popularity rank into the user's community vocabulary."""
+        offset = (self._community[user] * 4409) % self._config.num_tags
+        return (rank + offset) % self._config.num_tags
+
     def _sample_global_pair(self, user: int) -> Tuple[int, str]:
         rank = self._item_sampler.sample()
         if self._rng.random() < self._config.homophily:
@@ -89,7 +94,14 @@ class TaggingModel:
             item = self._community_item(user, rank)
         else:
             item = rank
-        tag = self._tags[self._tag_sampler.sample()]
+        tag_rank = self._tag_sampler.sample()
+        if self._config.tag_locality > 0.0 \
+                and self._rng.random() < self._config.tag_locality:
+            # Community vocabulary: the group's own corner of the tag
+            # space (guarded so tag_locality=0 consumes no RNG draws and
+            # reproduces pre-knob corpora bit for bit).
+            tag_rank = self._community_tag(user, tag_rank)
+        tag = self._tags[tag_rank]
         return item, tag
 
     def _sample_friend_pair(self, user: int) -> Optional[Tuple[int, str]]:

@@ -39,6 +39,29 @@ class TestLabelPropagation:
         graph = generate_graph("community", 80, 6.0, seed=3, num_communities=4)
         assert label_propagation(graph) == label_propagation(graph)
 
+    def test_seeded_runs_are_reproducible(self):
+        graph = generate_graph("community", 80, 6.0, seed=3, num_communities=4)
+        first = label_propagation(graph, seed=11)
+        second = label_propagation(graph, seed=11)
+        assert first == second
+
+    def test_seeded_labels_are_valid(self):
+        graph = generate_graph("community", 60, 6.0, seed=5, num_communities=3)
+        for seed in (0, 1, 29):
+            labels = label_propagation(graph, seed=seed)
+            assert len(labels) == 60
+            assert all(0 <= label < 60 for label in labels)
+
+    def test_seeded_still_separates_triangles(self):
+        labels = label_propagation(two_triangles(), seed=7)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_seeded_isolated_node_keeps_label(self):
+        graph = SocialGraph.from_edges(3, [(0, 1, 1.0)])
+        assert label_propagation(graph, seed=3)[2] == 2
+
     def test_invalid_rounds_rejected(self):
         with pytest.raises(GraphError):
             label_propagation(two_triangles(), max_rounds=0)

@@ -152,3 +152,37 @@ class TestUpdateEndpoint:
         status, summary = post_json(server, "/update", {})
         assert status == 200
         assert summary["applied"] is False
+
+
+class TestExplainEndpoint:
+    def test_get_explain_returns_plan(self, server):
+        tag = server.service.engine.dataset.tags()[0]
+        status, body = get_json(server, f"/explain?seeker=1&tags={tag}&k=3")
+        assert status == 200
+        assert body["query"] == {"seeker": 1, "tags": [tag], "k": 3}
+        for key in ("executor", "backing", "proximity_path", "scoring_path",
+                    "partitions", "fan_out", "reason"):
+            assert key in body
+
+    def test_post_explain_matches_get(self, server):
+        tag = server.service.engine.dataset.tags()[0]
+        _, via_get = get_json(server, f"/explain?seeker=1&tags={tag}&k=3")
+        _, via_post = post_json(server, "/explain",
+                                {"seeker": 1, "tags": [tag], "k": 3})
+        assert via_post == via_get
+
+    def test_explain_does_not_touch_metrics(self, server):
+        tag = server.service.engine.dataset.tags()[0]
+        before = server.service.metrics.to_dict()["requests"]
+        get_json(server, f"/explain?seeker=1&tags={tag}")
+        assert server.service.metrics.to_dict()["requests"] == before
+
+    def test_explain_requires_seeker(self, server):
+        with pytest.raises(urllib.error.HTTPError) as error:
+            get_json(server, "/explain?tags=jazz")
+        assert error.value.code == 400
+
+    def test_stats_carry_plan_block(self, server):
+        _, body = get_json(server, "/metrics")
+        assert body["plan"]["backing"] == "python"
+        assert body["plan"]["partitions"] == 1

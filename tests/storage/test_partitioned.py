@@ -1,0 +1,101 @@
+"""Tests for corpus partitioning (storage/partitioned.py)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.partitioned import CorpusPartitions
+
+
+def _all_items(dataset):
+    items = set()
+    for tag in dataset.endorser_index.tags():
+        bundle = dataset.endorser_index.for_tag(tag)
+        items.update(bundle.item_ids.tolist())
+    return sorted(items)
+
+
+class TestBuild:
+    def test_every_item_is_assigned(self, synthetic_dataset):
+        layout = CorpusPartitions.build(synthetic_dataset, 4, seed=3)
+        items = np.asarray(_all_items(synthetic_dataset), dtype=np.int64)
+        parts = layout.partition_of_items(items)
+        assert parts.shape[0] == items.shape[0]
+        assert ((parts >= 0) & (parts < 4)).all()
+        assert sum(layout.partition_sizes()) == items.shape[0]
+
+    def test_layout_is_deterministic_under_seed(self, synthetic_dataset):
+        items = np.asarray(_all_items(synthetic_dataset), dtype=np.int64)
+        first = CorpusPartitions.build(synthetic_dataset, 4, seed=3)
+        second = CorpusPartitions.build(synthetic_dataset, 4, seed=3)
+        assert (first.partition_of_items(items)
+                == second.partition_of_items(items)).all()
+        for user in range(synthetic_dataset.num_users):
+            assert first.partition_of_user(user) \
+                == second.partition_of_user(user)
+
+    def test_no_partition_hoards_everything(self, synthetic_dataset):
+        # Oversized communities are split before packing, so even a graph
+        # that collapses into one community spreads over the partitions.
+        layout = CorpusPartitions.build(synthetic_dataset, 4, seed=3)
+        sizes = layout.partition_sizes()
+        assert max(sizes) < sum(sizes)
+
+    def test_single_partition_is_trivial(self, synthetic_dataset):
+        layout = CorpusPartitions.build(synthetic_dataset, 1)
+        items = np.asarray(_all_items(synthetic_dataset), dtype=np.int64)
+        assert (layout.partition_of_items(items) == 0).all()
+
+    def test_invalid_partition_count_rejected(self, synthetic_dataset):
+        with pytest.raises(StorageError):
+            CorpusPartitions.build(synthetic_dataset, 0)
+        with pytest.raises(StorageError):
+            CorpusPartitions.hashed(0)
+
+
+class TestLookup:
+    def test_unknown_items_hash(self):
+        layout = CorpusPartitions.hashed(4)
+        ids = np.asarray([0, 1, 5, 123456], dtype=np.int64)
+        assert (layout.partition_of_items(ids) == ids % 4).all()
+        assert layout.partition_of_item(7) == 3
+
+    def test_unknown_users_hash(self, synthetic_dataset):
+        layout = CorpusPartitions.build(synthetic_dataset, 4, seed=3)
+        beyond = synthetic_dataset.num_users + 10
+        assert layout.partition_of_user(beyond) == beyond % 4
+
+    def test_to_dict_reports_layout(self, synthetic_dataset):
+        layout = CorpusPartitions.build(synthetic_dataset, 3, seed=3)
+        data = layout.to_dict()
+        assert data["num_partitions"] == 3
+        assert len(data["sizes"]) == 3
+        assert data["mapped_items"] == sum(data["sizes"])
+
+
+class TestRouting:
+    def test_new_item_joins_first_taggers_partition(self, synthetic_dataset):
+        layout = CorpusPartitions.build(synthetic_dataset, 4, seed=3)
+        new_item = 10_000
+        user = 5
+        routed = layout.route_items({new_item: user})
+        assert routed == 1
+        assert layout.partition_of_item(new_item) \
+            == layout.partition_of_user(user)
+
+    def test_existing_items_never_migrate(self, synthetic_dataset):
+        layout = CorpusPartitions.build(synthetic_dataset, 4, seed=3)
+        item = _all_items(synthetic_dataset)[0]
+        before = layout.partition_of_item(item)
+        assert layout.route_items({item: 49}) == 0
+        assert layout.partition_of_item(item) == before
+
+    def test_unknown_tagger_falls_back_to_hash(self, synthetic_dataset):
+        layout = CorpusPartitions.build(synthetic_dataset, 4, seed=3)
+        new_item = 20_001
+        assert layout.route_items({new_item: 999_999}) == 1
+        assert layout.partition_of_item(new_item) == new_item % 4
+
+    def test_single_partition_routing_is_noop(self, synthetic_dataset):
+        layout = CorpusPartitions.build(synthetic_dataset, 1)
+        assert layout.route_items({123: 4}) == 0

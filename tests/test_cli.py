@@ -13,8 +13,8 @@ class TestParser:
     def test_parser_knows_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("demo", "generate", "query", "bench", "serve",
-                        "build-arena", "profile"):
+        for command in ("demo", "generate", "query", "explain", "bench",
+                        "serve", "build-arena", "profile"):
             assert command in text
 
     def test_serve_defaults(self):
@@ -34,6 +34,43 @@ class TestParser:
         assert parser.parse_args(["bench", "--suite"]).suite == "topk"
         assert parser.parse_args(["bench", "--suite", "proximity"]).suite \
             == "proximity"
+        assert parser.parse_args(["bench", "--suite", "partitioned"]).suite \
+            == "partitioned"
+
+    def test_partitions_flag_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--partitions", "4"])
+        assert args.partitions == 4
+        assert parser.parse_args(["explain", "3", "jazz"]).partitions == 1
+
+
+class TestExplain:
+    def test_explain_prints_plan_without_executing(self, capsys):
+        assert main(["explain", "4", "tag-000", "tag-001", "--scale", "0.1",
+                     "--algorithm", "exact", "--partitions", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "executor:   partitioned-exact" in out
+        assert "shard 0:" in out
+
+    def test_explain_single_partition_routes_algorithm(self, capsys):
+        assert main(["explain", "4", "tag-000", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "executor:   algorithm" in out
+        assert "fan-out=1" in out
+
+    def test_bench_partitioned_suite_writes_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_partitioned.json"
+        assert main(["bench", "--suite", "partitioned", "--users", "80",
+                     "--queries", "4", "--rounds", "1",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "partitioned scatter-gather suite" in out
+        report = json.loads(path.read_text())
+        assert report["suite"] == "partitioned"
+        assert report["equivalent"] is True
+        assert set(report["p50_by_partitions"]) == {"1", "2", "4"}
 
 
 class TestDemo:

@@ -67,6 +67,13 @@ class TestEngineConfig:
         data = EngineConfig().to_dict()
         assert data["scoring"]["alpha"] == 0.5
         assert data["proximity"]["measure"] == "shortest-path"
+        assert data["partitions"] == 1
+        assert data["partition_seed"] == 29
+
+    def test_partitions_validated(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(partitions=0)
+        assert EngineConfig(partitions=4).partitions == 4
 
     def test_default_engine_config_helper(self):
         config = default_engine_config(alpha=0.2, algorithm="nra", measure="ppr")
@@ -83,6 +90,7 @@ class TestDatasetConfig:
         ("num_actions", 0),
         ("avg_degree", 0.0),
         ("homophily", 1.5),
+        ("tag_locality", 1.5),
         ("tags_per_item", 0.5),
         ("name", ""),
     ])
