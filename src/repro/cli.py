@@ -123,7 +123,13 @@ def _command_query(args: argparse.Namespace) -> int:
 
 
 def _command_explain(args: argparse.Namespace) -> int:
-    """Print the planner's execution plan for a query without running it."""
+    """Print the planner's execution plan for a query without running it.
+
+    With ``--analyze`` the query is *executed* under a fresh tracer and the
+    plan is followed by the recorded span tree — per-stage wall-clock
+    timings, per-shard scan/prune counts and the share of the wall time
+    each stage covers (EXPLAIN ANALYZE).
+    """
     from .core.query import Query
 
     dataset = _load_serving_dataset(args)
@@ -133,6 +139,33 @@ def _command_explain(args: argparse.Namespace) -> int:
     query = Query(seeker=args.seeker, tags=tuple(args.tags), k=args.k)
     plan = engine.explain_plan(query, algorithm=args.algorithm)
     print(plan.describe())
+    if not args.analyze:
+        return 0
+
+    import time as _time
+
+    from .obs.trace import Tracer, render_tree, use
+
+    with use(Tracer(sample_rate=1.0)) as tracer:
+        started = _time.perf_counter()
+        result = engine.run(query, algorithm=args.algorithm)
+        wall = _time.perf_counter() - started
+    trace = tracer.last()
+    if trace is None:
+        print("\nno trace recorded (instrumentation disabled?)")
+        return 1
+    print(f"\nEXPLAIN ANALYZE  wall={wall * 1000.0:.3f} ms  "
+          f"algorithm={result.algorithm}  results={len(result.items)}")
+    print(render_tree(trace, wall_seconds=wall))
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_jsonl())
+        print(f"wrote span JSONL to {args.trace_out}")
+    if args.chrome_trace:
+        with open(args.chrome_trace, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_chrome())
+        print(f"wrote Chrome trace_event file to {args.chrome_trace} "
+              "(load via chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 
@@ -179,8 +212,15 @@ def _run_bench_suite(args: argparse.Namespace) -> int:
         measure=args.proximity,
         algorithms=tuple(args.algorithms) if args.algorithms else DEFAULT_ALGORITHMS,
         seed=args.seed,
+        instrumentation=(args.max_trace_overhead > 0.0
+                         or bool(args.trace_jsonl)),
+        trace_jsonl=args.trace_jsonl,
     )
     print(format_report(report))
+    if args.trace_jsonl:
+        written = report.get("instrumentation", {}).get("trace_jsonl")
+        if written:
+            print(f"wrote sample trace to {written}")
     if args.json:
         path = write_report(report, args.json)
         print(f"wrote {path}")
@@ -189,6 +229,14 @@ def _run_bench_suite(args: argparse.Namespace) -> int:
         print(f"FAIL: vectorized exact speedup {speedup:.2f}x is below the "
               f"required {args.min_speedup:.2f}x")
         return 1
+    if args.max_trace_overhead > 0.0:
+        overhead = float(report["instrumentation"]["overhead_disabled"])  # type: ignore[index]
+        if overhead > args.max_trace_overhead:
+            print(f"FAIL: disabled-tracer p50 is {overhead:.3f}x the "
+                  f"never-traced p50, above the allowed "
+                  f"{args.max_trace_overhead:.3f}x instrumentation budget "
+                  "(tracer state leaking into the disabled path?)")
+            return 1
     return 0
 
 
@@ -362,6 +410,14 @@ def _command_serve(args: argparse.Namespace) -> int:
         port=args.port,
     )
     service = QueryService(engine, config)
+    if args.trace_sample_rate is not None:
+        from .obs.trace import Tracer, set_tracer
+
+        set_tracer(Tracer(sample_rate=args.trace_sample_rate,
+                          capacity=args.trace_capacity))
+        print(f"tracing enabled: sampling {args.trace_sample_rate:.0%} of "
+              f"requests, retaining the last {args.trace_capacity} traces "
+              "(GET /trace/<X-Request-Id>)")
     if args.warmup > 0:
         # Pre-populate the proximity cache/shards for the hottest seekers of
         # the workload trace before accepting traffic.
@@ -519,6 +575,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="updates suite: exit non-zero when the "
                             "post-update query p50 exceeds this multiple "
                             "of the pre-update p50 (0 = report only)")
+    bench.add_argument("--max-trace-overhead", type=float, default=0.0,
+                       help="topk suite: also measure the tracing "
+                            "instrumentation A/B (tracer off / unsampled "
+                            "/ fully sampled / off-again) and exit "
+                            "non-zero when the disabled-tracer p50 after "
+                            "tracers were installed and removed exceeds "
+                            "this multiple of the never-traced p50 "
+                            "(e.g. 1.02 = 2%% budget; 0 = skip)")
+    bench.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                       help="topk suite: write one fully-traced query's "
+                            "spans as JSON lines to PATH (CI artifact)")
     _add_engine_arguments(bench)
     bench.set_defaults(handler=_command_bench)
 
@@ -567,6 +634,17 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--build-shards", action="store_true",
                          help="with --materialize: build the shards so the "
                               "plan shows the shard-served bound estimates")
+    explain.add_argument("--analyze", action="store_true",
+                         help="execute the query under a tracer and print "
+                              "the recorded span tree — per-stage timings, "
+                              "per-shard scan/prune counts and stage "
+                              "coverage of the wall time (EXPLAIN ANALYZE)")
+    explain.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="with --analyze: write the recorded spans as "
+                              "JSON lines to PATH")
+    explain.add_argument("--chrome-trace", default=None, metavar="PATH",
+                         help="with --analyze: write a Chrome trace_event "
+                              "file to PATH (chrome://tracing / Perfetto)")
     _add_engine_arguments(explain)
     explain.set_defaults(handler=_command_explain)
 
@@ -608,6 +686,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve proximity from materialized shards "
                             "(attached from --arena when present, refined "
                             "lazily otherwise)")
+    serve.add_argument("--trace-sample-rate", type=float, default=None,
+                       metavar="RATE",
+                       help="enable end-to-end query tracing, sampling this "
+                            "fraction of requests in [0, 1]; traces are "
+                            "served back on GET /trace/<X-Request-Id> "
+                            "(default: tracing disabled, zero overhead)")
+    serve.add_argument("--trace-capacity", type=int, default=256,
+                       help="completed traces retained in the ring buffer "
+                            "(default: 256)")
     serve.add_argument("--cluster-rounds", type=int, default=5,
                        help=argparse.SUPPRESS)
     _add_engine_arguments(serve)

@@ -19,6 +19,7 @@ from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..config import EngineConfig, ScoringConfig
+from ..obs import trace as obs_trace
 from ..proximity import CachedProximity, MaterializedProximity, create_proximity
 from ..proximity.base import ProximityMeasure
 from ..storage.dataset import Dataset
@@ -159,10 +160,25 @@ class SocialSearchEngine:
         accounting.  Use :meth:`explain_plan` for the full plan record.
         """
         name = algorithm or self._config.algorithm
-        executor, _reason = self._planner.route(name)
-        if executor == EXECUTOR_PARTITIONED:
-            return self._partition_executor.search(query)
-        return self._algorithm(name).search(query)
+        tracer = obs_trace.get_tracer()
+        if tracer is None:  # production default: zero per-query overhead
+            executor, _reason = self._planner.route(name)
+            if executor == EXECUTOR_PARTITIONED:
+                return self._partition_executor.search(query)
+            return self._algorithm(name).search(query)
+        with tracer.span("engine.run", seeker=query.seeker,
+                         tags=",".join(query.tags), k=query.k,
+                         algorithm=name) as root:
+            with tracer.span("plan.route") as route_span:
+                executor, reason = self._planner.route(name)
+                route_span.set(executor=executor,
+                               memo_hits=self._planner.route_memo_hits,
+                               lookups=self._planner.route_lookups)
+            root.set(executor=executor, reason=reason)
+            if executor == EXECUTOR_PARTITIONED:
+                return self._partition_executor.search(query)
+            with tracer.span("algorithm.search", algorithm=name):
+                return self._algorithm(name).search(query)
 
     def execute(self, query: Query, plan: ExecutionPlan) -> QueryResult:
         """Drive a planned query through its chosen executor."""

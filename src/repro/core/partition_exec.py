@@ -47,6 +47,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..config import EngineConfig
+from ..obs import trace as obs_trace
+from ..obs.trace import NULL_SPAN
 from ..proximity.base import ProximityMeasure
 from ..storage.dataset import Dataset
 from ..storage.partitioned import CorpusPartitions
@@ -55,6 +57,11 @@ from .batch import _subset_social_mass
 from .query import Query, QueryResult, ScoredItem
 from .scoring import ScoringModel
 from .topk.exact import select_topk
+
+
+def _no_span(name: str, **attributes: object):
+    """Span factory of the untraced path: always the shared no-op span."""
+    return NULL_SPAN
 
 
 @dataclass
@@ -70,6 +77,8 @@ class PartitionExecStatistics:
     #: Individual candidates dropped before their social gather inside
     #: scanned shards (the item-level form of the same bound cut).
     candidates_pruned: int = 0
+    #: Individual candidates whose exact score was actually computed.
+    candidates_scanned: int = 0
     #: Searches whose surviving shards ran on the worker pool.
     parallel_searches: int = 0
 
@@ -79,6 +88,7 @@ class PartitionExecStatistics:
             "partitions_scanned": self.partitions_scanned,
             "partitions_pruned": self.partitions_pruned,
             "candidates_pruned": self.candidates_pruned,
+            "candidates_scanned": self.candidates_scanned,
             "parallel_searches": self.parallel_searches,
         }
 
@@ -122,10 +132,12 @@ class _ScatterPlan:
     """
 
     __slots__ = ("upper_ref", "static_threshold", "probe", "residual_uppers",
-                 "residual_union", "residual_offsets", "pruned_static")
+                 "residual_partitions", "residual_union", "residual_offsets",
+                 "pruned_static")
 
     def __init__(self, upper_ref, static_threshold, probe, residual_uppers,
-                 residual_union, residual_offsets, pruned_static) -> None:
+                 residual_partitions, residual_union, residual_offsets,
+                 pruned_static) -> None:
         #: The per-item bound array this plan was derived from (identity
         #: check on reuse — a repaired cluster bound produces a new array).
         self.upper_ref = upper_ref
@@ -134,6 +146,9 @@ class _ScatterPlan:
         self.probe = probe
         #: Statically surviving shards' upper bounds, descending.
         self.residual_uppers = residual_uppers
+        #: Those shards' partition ids, in the same order (per-shard trace
+        #: spans name the shard they scanned).
+        self.residual_partitions = residual_partitions
         #: Those shards' candidate positions (minus the probe), concatenated
         #: in the same descending-bound order.  A tightened threshold always
         #: prunes a *suffix* of the bound-desc order, so the per-query
@@ -450,20 +465,23 @@ class PartitionedExecutor:
             probe_mask = np.zeros(n, dtype=bool)
             probe_mask[probe] = True
         residual_uppers: List[float] = []
+        residual_partitions: List[int] = []
         residual_parts: List[np.ndarray] = []
         offsets: List[int] = []
         total = 0
-        for upper, _partition, shard in ranked:
+        for upper, partition, shard in ranked:
             residual = shard if probe_mask is None \
                 else shard[~probe_mask[shard]]
             residual_uppers.append(upper)
+            residual_partitions.append(partition)
             residual_parts.append(residual)
             total += int(residual.shape[0])
             offsets.append(total)
         residual_union = (np.concatenate(residual_parts) if residual_parts
                           else np.zeros(0, dtype=np.int64))
         plan = _ScatterPlan(upper_items, threshold, probe, residual_uppers,
-                            residual_union, offsets, pruned_static)
+                            residual_partitions, residual_union, offsets,
+                            pruned_static)
         if cacheable:
             if len(context.scatter_cache) >= 64:
                 context.scatter_cache.clear()
@@ -509,19 +527,40 @@ class PartitionedExecutor:
     # ------------------------------------------------------------------ #
 
     def search(self, query: Query) -> QueryResult:
-        """Answer ``query`` by partitioned scatter-gather (exact semantics)."""
+        """Answer ``query`` by partitioned scatter-gather (exact semantics).
+
+        When a tracer is installed and the request is sampled, the scatter
+        sweep scans shard-by-shard under per-shard ``shard.scan`` spans
+        (items in / pruned / scanned per shard) instead of the concatenated
+        union slice.  Per-item scores are segment-independent, the sweep
+        threshold is fixed, and the top-k fold is associative, so both
+        orders produce bit-identical results — the traced path trades one
+        concatenated scan for visibility, never for correctness.
+        """
         started_at = time.perf_counter()
+        tracer = obs_trace.get_tracer()
+        make_span = tracer.span if tracer is not None else _no_span
+        with make_span("executor.search",
+                       partitions=self.num_partitions) as root:
+            result = self._search(query, started_at, tracer, make_span, root)
+        return result
+
+    def _search(self, query: Query, started_at: float, tracer, make_span,
+                root) -> QueryResult:
         self._dataset.graph.validate_user(query.seeker)
         seeker = query.seeker
         alpha = self._config.scoring.alpha
         accountant = AccessAccountant()
 
-        proximity = self._scoring.proximity_vector_array(seeker)
+        with make_span("proximity.vector"):
+            proximity = self._scoring.proximity_vector_array(seeker)
         accountant.charge_user_visit(int(np.count_nonzero(proximity)))
 
-        context = self._tagset(query.tags)
-        candidates = context.candidates
-        n = int(candidates.shape[0])
+        with make_span("tagset.context") as tagset_span:
+            context = self._tagset(query.tags)
+            candidates = context.candidates
+            n = int(candidates.shape[0])
+            tagset_span.set(candidates=n)
         accountant.charge_sequential(context.sequential)
         accountant.charge_candidate(n)
 
@@ -530,31 +569,36 @@ class PartitionedExecutor:
         # pruning can never change the reported accounting.  The base
         # charges are tag-set state; only the seeker's own endorsements
         # need subtracting per query.
-        charges = context.base_charges
-        if n and not self._config.scoring.include_seeker:
-            adjust: Optional[np.ndarray] = None
-            for tag_context in context.contexts:
-                if tag_context is None \
-                        or not tag_context.bundle.seeker_count(seeker):
-                    continue
-                seeker_flags = tag_context.bundle.seeker_flags(seeker)
-                term = np.where(
-                    tag_context.found,
-                    seeker_flags[tag_context.positions].astype(np.int64), 0)
-                adjust = term if adjust is None else adjust + term
-            if adjust is not None:
-                charges = charges - adjust
-        accountant.charge_random(int(charges.sum()))
+        with make_span("accounting.charges"):
+            charges = context.base_charges
+            if n and not self._config.scoring.include_seeker:
+                adjust: Optional[np.ndarray] = None
+                for tag_context in context.contexts:
+                    if tag_context is None \
+                            or not tag_context.bundle.seeker_count(seeker):
+                        continue
+                    seeker_flags = tag_context.bundle.seeker_flags(seeker)
+                    term = np.where(
+                        tag_context.found,
+                        seeker_flags[tag_context.positions].astype(np.int64), 0)
+                    adjust = term if adjust is None else adjust + term
+                if adjust is not None:
+                    charges = charges - adjust
+            accountant.charge_random(int(charges.sum()))
 
         # The dense vector is already in hand, so its exact maximum is the
         # scalar cap; the materialized cluster bound (when the seeker is
         # shard-served) supplies the per-user mass cap.
-        cluster_bound = self._cluster_bound(seeker)
-        scalar_bound = float(proximity.max()) if proximity.shape[0] else 0.0
-        upper_items = self._upper_items(context, cluster_bound,
-                                        min(1.0, max(0.0, scalar_bound)))
-        plan = self._scatter_plan(context, upper_items, query.k,
-                                  cacheable=cluster_bound is not None)
+        with make_span("bounds.compute") as bounds_span:
+            cluster_bound = self._cluster_bound(seeker)
+            scalar_bound = float(proximity.max()) if proximity.shape[0] else 0.0
+            upper_items = self._upper_items(context, cluster_bound,
+                                            min(1.0, max(0.0, scalar_bound)))
+            plan = self._scatter_plan(context, upper_items, query.k,
+                                      cacheable=cluster_bound is not None)
+            bounds_span.set(
+                bound_path="cluster" if cluster_bound is not None else "scalar",
+                pruned_static=plan.pruned_static)
 
         # Scatter with progressive pruning — the paper's bound-based early
         # termination at shard granularity.  The probe scores the
@@ -579,54 +623,65 @@ class PartitionedExecutor:
             select_local=False)
         merged = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64),
                   np.zeros(0, dtype=np.float64))
-        if plan.probe is not None:
-            merged = self._merge_topk(merged, scan(plan.probe, threshold),
-                                      candidates, query.k)
-            threshold = self._tighten(threshold, merged, query.k, n)
-        # The tightened threshold always cuts a suffix of the bound-desc
-        # shard order, so the surviving residuals are one prefix slice of
-        # the precomputed union.
-        keep = len(plan.residual_uppers)
-        if threshold is not None:
-            while keep and plan.residual_uppers[keep - 1] < threshold:
-                keep -= 1
-        pruned += len(plan.residual_uppers) - keep
-        scanned = keep
-        if keep:
-            end = plan.residual_offsets[keep - 1]
-            union = plan.residual_union[:end]
-            if union.shape[0]:
-                pool_worthy = (self._workers > 1 and keep > 1
-                               and end >= self.PARALLEL_MIN_CANDIDATES)
-                if pool_worthy:
-                    pool_scan = lambda shard, cut: self._scan_shard(  # noqa: E731
-                        shard, query.k, cut, context, upper_items, proximity,
-                        alpha)
-                    shards = [plan.residual_union[start:stop]
-                              for start, stop in zip([0] + plan.residual_offsets,
-                                                     plan.residual_offsets[:keep])
-                              if stop > start]
-                    for partial in self._scatter(shards, threshold, pool_scan):
-                        merged = self._merge_topk(merged, partial, candidates,
-                                                  query.k)
-                else:
-                    merged = self._merge_topk(merged, scan(union, threshold),
-                                              candidates, query.k)
+        with make_span("scatter.sweep") as sweep_span:
+            if plan.probe is not None:
+                with make_span("probe.scan") as probe_span:
+                    partial = self._scan_shard(
+                        plan.probe, query.k, threshold, context, upper_items,
+                        proximity, alpha, select_local=False, span=probe_span)
+                merged = self._merge_topk(merged, partial, candidates, query.k)
+                threshold = self._tighten(threshold, merged, query.k, n)
+            # The tightened threshold always cuts a suffix of the bound-desc
+            # shard order, so the surviving residuals are one prefix slice
+            # of the precomputed union.
+            keep = len(plan.residual_uppers)
+            if threshold is not None:
+                while keep and plan.residual_uppers[keep - 1] < threshold:
+                    keep -= 1
+            pruned += len(plan.residual_uppers) - keep
+            scanned = keep
+            if keep:
+                end = plan.residual_offsets[keep - 1]
+                union = plan.residual_union[:end]
+                if union.shape[0]:
+                    pool_worthy = (self._workers > 1 and keep > 1
+                                   and end >= self.PARALLEL_MIN_CANDIDATES)
+                    starts = [0] + plan.residual_offsets
+                    stops = plan.residual_offsets[:keep]
+                    if pool_worthy:
+                        merged = self._sweep_pool(
+                            plan, starts, stops, threshold, merged, candidates,
+                            query, context, upper_items, proximity, alpha,
+                            tracer, root)
+                    elif root:
+                        merged = self._sweep_traced(
+                            plan, starts, stops, threshold, merged, candidates,
+                            query, context, upper_items, proximity, alpha,
+                            make_span)
+                    else:
+                        merged = self._merge_topk(
+                            merged, scan(union, threshold), candidates,
+                            query.k)
+            sweep_span.set(partitions_scanned=scanned,
+                           partitions_pruned=pruned)
 
-        top, top_scores, top_social = merged
-        accountant.charge_random(int(charges[top].sum()))
+        with make_span("gather.materialize"):
+            top, top_scores, top_social = merged
+            accountant.charge_random(int(charges[top].sum()))
 
-        items = [
-            ScoredItem(item_id=item_id, score=score, textual=textual,
-                       social=social)
-            for item_id, score, textual, social in zip(
-                candidates[top].tolist(), top_scores.tolist(),
-                context.textual[top].tolist(), top_social.tolist())
-        ]
+            items = [
+                ScoredItem(item_id=item_id, score=score, textual=textual,
+                           social=social)
+                for item_id, score, textual, social in zip(
+                    candidates[top].tolist(), top_scores.tolist(),
+                    context.textual[top].tolist(), top_social.tolist())
+            ]
         with self._lock:
             self.statistics.searches += 1
             self.statistics.partitions_scanned += scanned
             self.statistics.partitions_pruned += pruned
+        root.set(candidates=n, partitions_scanned=scanned,
+                 partitions_pruned=pruned)
         return QueryResult(
             query=query,
             items=items,
@@ -635,6 +690,60 @@ class PartitionedExecutor:
             accounting=accountant,
             terminated_early=False,
         )
+
+    def _sweep_traced(self, plan: _ScatterPlan, starts, stops,
+                      threshold: Optional[float], merged, candidates,
+                      query: Query, context: _TagSetContext, upper_items,
+                      proximity, alpha: float, make_span):
+        """The inline sweep, shard-by-shard under per-shard spans.
+
+        Same fixed threshold and same fold rule as the union scan, so the
+        merged top-k (and the pruned/scanned counts, which are per-item
+        comparisons either way) are bit-identical.
+        """
+        for index, (start, stop) in enumerate(zip(starts, stops)):
+            if stop <= start:
+                continue
+            with make_span("shard.scan",
+                           partition=plan.residual_partitions[index],
+                           upper_bound=plan.residual_uppers[index]) as shard_span:
+                partial = self._scan_shard(
+                    plan.residual_union[start:stop], query.k, threshold,
+                    context, upper_items, proximity, alpha,
+                    select_local=False, span=shard_span)
+            merged = self._merge_topk(merged, partial, candidates, query.k)
+        return merged
+
+    def _sweep_pool(self, plan: _ScatterPlan, starts, stops,
+                    threshold: Optional[float], merged, candidates,
+                    query: Query, context: _TagSetContext, upper_items,
+                    proximity, alpha: float, tracer, root):
+        """The pool sweep; traced shards get spans parented explicitly
+        (worker threads have no ambient span context)."""
+        if root and tracer is not None:
+            parent = tracer.current()
+
+            def pool_scan(entry, cut):
+                shard_slice, partition = entry
+                with tracer.span("shard.scan", parent=parent,
+                                 partition=partition, pool=True) as shard_span:
+                    return self._scan_shard(
+                        shard_slice, query.k, cut, context, upper_items,
+                        proximity, alpha, span=shard_span)
+
+            shards = [(plan.residual_union[start:stop],
+                       plan.residual_partitions[index])
+                      for index, (start, stop) in enumerate(zip(starts, stops))
+                      if stop > start]
+        else:
+            pool_scan = lambda shard, cut: self._scan_shard(  # noqa: E731
+                shard, query.k, cut, context, upper_items, proximity, alpha)
+            shards = [plan.residual_union[start:stop]
+                      for start, stop in zip(starts, stops)
+                      if stop > start]
+        for partial in self._scatter(shards, threshold, pool_scan):
+            merged = self._merge_topk(merged, partial, candidates, query.k)
+        return merged
 
     def _scatter(self, survivors, threshold: Optional[float], scan):
         """Run the surviving shards' scans on the pool (phase-1 threshold)."""
@@ -688,7 +797,8 @@ class PartitionedExecutor:
     def _scan_shard(self, shard: np.ndarray, k: int,
                     threshold: Optional[float], context: _TagSetContext,
                     upper_items: np.ndarray, proximity: np.ndarray,
-                    alpha: float, select_local: bool = True
+                    alpha: float, select_local: bool = True,
+                    span=NULL_SPAN
                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Exact scores + local top-k of one shard's viable candidates.
 
@@ -702,14 +812,17 @@ class PartitionedExecutor:
         — same per-tag order, same per-segment reduction order — so scores
         are bit-identical to the single-partition scan.
         """
+        items_in = int(shard.shape[0])
         if threshold is not None:
             keep = np.nonzero(upper_items[shard] >= threshold)[0]
             if keep.shape[0] < shard.shape[0]:
-                with self._lock:
-                    self.statistics.candidates_pruned += \
-                        int(shard.shape[0] - keep.shape[0])
                 shard = shard[keep]
         count = int(shard.shape[0])
+        with self._lock:
+            self.statistics.candidates_pruned += items_in - count
+            self.statistics.candidates_scanned += count
+        span.set(items_in=items_in, items_pruned=items_in - count,
+                 items_scanned=count)
         social_total = np.zeros(count, dtype=np.float64)
         for tag_context in context.contexts:
             if tag_context is None:

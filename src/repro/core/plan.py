@@ -180,6 +180,12 @@ class QueryPlanner:
         # presence) — all fixed for an engine's lifetime — so the hot
         # per-query path reads a dict instead of re-deriving the decision.
         self._routes: Dict[str, Tuple[str, str]] = {}
+        #: Route lookups / lookups answered from the memo (observability:
+        #: the miss rate should be ~0 in steady state, and per-route
+        #: decision counts show the serving mix).
+        self.route_lookups = 0
+        self.route_memo_hits = 0
+        self._route_decisions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Engine signals
@@ -281,6 +287,7 @@ class QueryPlanner:
         :class:`ExecutionPlan` record around it on demand.
         """
         name = self._resolve(algorithm)
+        self.route_lookups += 1
         cached = self._routes.get(name)
         if cached is None:
             cached = self._route(name,
@@ -292,6 +299,11 @@ class QueryPlanner:
             # let clients grow this dict without bound.
             if name in available_algorithms():
                 self._routes[name] = cached
+        else:
+            self.route_memo_hits += 1
+        executor = cached[0]
+        self._route_decisions[executor] = (
+            self._route_decisions.get(executor, 0) + 1)
         return cached
 
     def _route(self, name: str, executor_obj) -> Tuple[str, str]:
@@ -347,10 +359,18 @@ class QueryPlanner:
     # Introspection
     # ------------------------------------------------------------------ #
 
+    def route_stats(self) -> Dict[str, object]:
+        """Route-memo hit accounting and per-executor decision counts."""
+        return {
+            "route_lookups": self.route_lookups,
+            "route_memo_hits": self.route_memo_hits,
+            "route_decisions": dict(self._route_decisions),
+        }
+
     def describe(self) -> Dict[str, object]:
         """The engine-level plan shape (the service's ``stats()`` block)."""
         executor_obj = getattr(self._engine, "partition_executor", None)
-        return {
+        description: Dict[str, object] = {
             "algorithm": self._engine.config.algorithm,
             "backing": self.backing(),
             "pending_delta": self.pending_delta(),
@@ -359,3 +379,5 @@ class QueryPlanner:
             "partitions": (executor_obj.num_partitions
                            if executor_obj is not None else 1),
         }
+        description.update(self.route_stats())
+        return description

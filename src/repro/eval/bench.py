@@ -94,8 +94,17 @@ def run_topk_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
                    k: int = 10, rounds: int = 3, alpha: float = 0.5,
                    measure: str = "shortest-path",
                    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
-                   seed: int = 23) -> Dict[str, object]:
-    """Run the suite and return the JSON-serialisable report."""
+                   seed: int = 23, instrumentation: bool = False,
+                   trace_jsonl: PathLike = None) -> Dict[str, object]:
+    """Run the suite and return the JSON-serialisable report.
+
+    With ``instrumentation=True`` the report gains an ``instrumentation``
+    block: an A/B/C of the exact vectorized path with the tracer off,
+    installed-but-unsampled and fully sampled (the disabled-path overhead
+    gate), plus the per-stage time breakdown aggregated over the traced
+    round.  ``trace_jsonl`` additionally writes one fully-traced query's
+    spans as JSON lines (the CI artifact).
+    """
     dataset = scaled_dataset(num_users, seed=seed, homophily=0.5)
     queries = generate_workload(
         dataset, WorkloadConfig(num_queries=num_queries, k=k, seed=3))
@@ -141,7 +150,91 @@ def run_topk_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
         samples = _time_queries(serving_engine, queries, algorithm, rounds)
         entries.append(dict(_summarise(samples), algorithm=algorithm,
                             mode="vectorized"))
+
+    if instrumentation:
+        report["instrumentation"] = _measure_instrumentation(
+            _engine(dataset, vectorized=True, alpha=alpha, measure=measure),
+            queries, rounds, trace_jsonl=trace_jsonl)
     return report
+
+
+def _measure_instrumentation(engine: SocialSearchEngine,
+                             queries: Sequence[Query], rounds: int,
+                             trace_jsonl: PathLike = None) -> Dict[str, object]:
+    """A/B/C the tracer's cost on the exact vectorized path.
+
+    Four measurements, interleaved round by round on ONE engine so cache
+    state and allocator drift hit all modes equally, each query keeping
+    its minimum across rounds (scheduler noise stripped):
+
+    * ``off`` — no tracer installed (the production default; the call
+      sites take their ``tracer is None`` seed branch);
+    * ``unsampled`` — tracer installed with ``sample_rate=0.0``: call
+      sites build span attributes that are then thrown away.  Reported,
+      not gated — this is the cost of *turning tracing on* at rate 0;
+    * ``traced`` — ``sample_rate=1.0``, every span recorded and retained;
+    * ``disabled_check`` — no tracer again, AFTER tracers were installed
+      and removed.  ``overhead_disabled`` (the CI gate) is
+      ``disabled_check / off``: the disabled path must cost the same
+      whether or not tracing was ever enabled in the process.  A leaked
+      global tracer, or disabled-path state that does not reset, fires
+      this gate immediately.
+    """
+    from ..obs.trace import Tracer, stage_breakdown, use
+
+    capacity = max(1, len(queries)) * max(1, rounds)
+    unsampled_tracer = Tracer(sample_rate=0.0)
+    traced_tracer = Tracer(sample_rate=1.0, capacity=capacity)
+
+    for query in queries:  # warm-up: proximity cache, numpy buffers
+        engine.run(query, algorithm="exact")
+
+    best: Dict[str, List[float]] = {
+        mode: [float("inf")] * len(queries)
+        for mode in ("off", "unsampled", "traced", "disabled_check")}
+
+    def measure_pass(mode: str) -> None:
+        minima = best[mode]
+        for position, query in enumerate(queries):
+            started = time.perf_counter()
+            engine.run(query, algorithm="exact")
+            elapsed = time.perf_counter() - started
+            if elapsed < minima[position]:
+                minima[position] = elapsed
+
+    for _ in range(max(1, rounds)):
+        measure_pass("off")
+        with use(unsampled_tracer):
+            measure_pass("unsampled")
+        with use(traced_tracer):
+            measure_pass("traced")
+        measure_pass("disabled_check")
+
+    p50 = {mode: percentile(samples, 0.5) * 1000.0
+           for mode, samples in best.items()}
+    traces = traced_tracer.recent(limit=capacity)
+    block: Dict[str, object] = {
+        "p50_off_ms": p50["off"],
+        "p50_unsampled_ms": p50["unsampled"],
+        "p50_traced_ms": p50["traced"],
+        "p50_disabled_check_ms": p50["disabled_check"],
+        "overhead_disabled": (p50["disabled_check"] / p50["off"]
+                              if p50["off"] else 0.0),
+        "overhead_unsampled": (p50["unsampled"] / p50["off"]
+                               if p50["off"] else 0.0),
+        "overhead_traced": (p50["traced"] / p50["off"]
+                            if p50["off"] else 0.0),
+        "traces_recorded": len(traces),
+        "stage_breakdown": stage_breakdown(traces),
+    }
+    if trace_jsonl:
+        sample = traced_tracer.last()
+        if sample is not None:
+            path = Path(trace_jsonl)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(sample.to_jsonl(), encoding="utf-8")
+            block["trace_jsonl"] = str(path)
+    return block
 
 
 def _result_signature(result) -> Dict[str, object]:
@@ -797,4 +890,23 @@ def format_report(report: Dict[str, object]) -> str:
         f"vectorized exact speedup vs scalar: "
         f"{report['speedup_vectorized_exact']:.2f}x"
     )
+    instrumentation = report.get("instrumentation")
+    if instrumentation:
+        lines.append(
+            "tracing overhead (exact): "
+            f"off {instrumentation['p50_off_ms']:.3f} ms"  # type: ignore[index]
+            f" | disabled-after "
+            f"{instrumentation['p50_disabled_check_ms']:.3f} ms"  # type: ignore[index]
+            f" ({instrumentation['overhead_disabled']:.3f}x)"  # type: ignore[index]
+            f" | unsampled {instrumentation['p50_unsampled_ms']:.3f} ms"  # type: ignore[index]
+            f" ({instrumentation['overhead_unsampled']:.3f}x)"  # type: ignore[index]
+            f" | traced {instrumentation['p50_traced_ms']:.3f} ms"  # type: ignore[index]
+            f" ({instrumentation['overhead_traced']:.3f}x)")  # type: ignore[index]
+        breakdown = instrumentation["stage_breakdown"]  # type: ignore[index]
+        for name in sorted(breakdown,  # type: ignore[arg-type]
+                           key=lambda entry: -breakdown[entry]["total_ms"]):  # type: ignore[index]
+            stage = breakdown[name]  # type: ignore[index]
+            lines.append(f"  stage {name:<22} {stage['count']:>6.0f} spans "
+                         f"{stage['total_ms']:>10.3f} ms total "
+                         f"{stage['mean_ms']:>8.4f} ms mean")
     return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Engine-wide observability: query tracing and the metrics registry.
+
+Two small, dependency-free modules every layer of the stack reports into:
+
+* :mod:`repro.obs.trace` — hierarchical spans with thread-local context
+  propagation, a bounded ring buffer of recent traces, JSONL and Chrome
+  ``trace_event`` export, and a no-op disabled path cheap enough to leave
+  the instrumentation compiled into the hot path (gated in CI at <= 2%
+  overhead on the top-k suite).
+* :mod:`repro.obs.metrics` — a named registry of counters, gauges and
+  log-bucketed histograms with pull-style collectors (existing accounting
+  objects are *read* at exposition time, never double-counted on the hot
+  path) and a Prometheus text exposition backing ``GET /metrics``.
+
+The package deliberately imports nothing from the rest of :mod:`repro`, so
+any module — storage, proximity, core, service — can instrument itself
+without creating an import cycle.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from .trace import (
+    NULL_SPAN,
+    Span,
+    Trace,
+    Tracer,
+    current_span,
+    get_tracer,
+    render_tree,
+    set_tracer,
+    span,
+    stage_breakdown,
+    use,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "NULL_SPAN",
+    "Span",
+    "Trace",
+    "Tracer",
+    "current_span",
+    "get_tracer",
+    "render_tree",
+    "set_tracer",
+    "span",
+    "stage_breakdown",
+    "use",
+]

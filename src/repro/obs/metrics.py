@@ -1,0 +1,328 @@
+"""Engine-wide metrics registry with Prometheus text exposition.
+
+One :class:`MetricsRegistry` names every number the stack can report —
+counters, gauges and log-bucketed histograms — under a single namespace,
+replacing the ad-hoc per-subsystem ``to_dict`` snapshots as the *serving*
+surface (the snapshot methods remain; the registry reads them).
+
+Two integration styles:
+
+* **Push** for values born on the hot path with no existing home: call
+  :meth:`Counter.inc` / :meth:`Histogram.observe` directly.
+* **Pull** for accounting that already lives somewhere (the result cache's
+  hit counters, the write path's epoch, the executor's pruning stats):
+  register a **collector** — a callable run at exposition/snapshot time
+  that copies the current values into gauges.  Pull keeps the hot path
+  untouched and can never double-count.
+
+:meth:`MetricsRegistry.expose_text` renders the Prometheus text format
+(``text/plain; version=0.0.4``) served by ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+]
+
+_NAME_PATTERN = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+
+def _valid_name(name: str) -> str:
+    if not _NAME_PATTERN.match(name or ""):
+        raise ValueError(
+            f"invalid metric name {name!r}: must match "
+            "[a-zA-Z_:][a-zA-Z0-9_:]*")
+    return name
+
+
+class Counter:
+    """A monotonically increasing value (requests served, shards pruned)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
+        self.name = _valid_name(name)
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative: counters only go up)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _render(self) -> List[str]:
+        return [f"{self.name} {_format_value(self._value)}"]
+
+
+class Gauge:
+    """A value that can go anywhere (cache size, pending delta, hit rate)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
+        self.name = _valid_name(name)
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _render(self) -> List[str]:
+        return [f"{self.name} {_format_value(self._value)}"]
+
+
+def log_buckets(start: float = 1e-5, factor: float = 2.0,
+                count: int = 22) -> Tuple[float, ...]:
+    """Exponential bucket upper bounds: ``start * factor**i``.
+
+    The default spans 10 µs to ~42 s at a factor of 2 — wide enough for
+    both per-query latencies and offline build times at constant (22
+    bucket) memory, with <= factor relative quantile error.
+    """
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ValueError("log_buckets needs start > 0, factor > 1, count >= 1")
+    return tuple(start * factor ** i for i in range(count))
+
+
+class Histogram:
+    """A log-bucketed distribution (latencies, batch sizes).
+
+    Buckets are cumulative-at-render (Prometheus semantics) but stored as
+    per-bucket counts so :meth:`observe` is one bisect and one increment.
+    """
+
+    __slots__ = ("name", "help", "bounds", "_counts", "_sum", "_count",
+                 "_lock")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",  # noqa: A002
+                 bounds: Optional[Tuple[float, ...]] = None) -> None:
+        self.name = _valid_name(name)
+        self.help = help
+        self.bounds = tuple(bounds) if bounds is not None else log_buckets()
+        if list(self.bounds) != sorted(self.bounds) or len(self.bounds) < 1:
+            raise ValueError("histogram bounds must be ascending and non-empty")
+        self._counts = [0] * (len(self.bounds) + 1)  # final slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        position = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[position] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def percentile(self, fraction: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = max(1, math.ceil(fraction * total))
+        running = 0
+        for position, count in enumerate(counts):
+            running += count
+            if running >= rank:
+                if position < len(self.bounds):
+                    return self.bounds[position]
+                return self.bounds[-1]  # +Inf bucket: clamp to the last bound
+        return self.bounds[-1]
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def _render(self) -> List[str]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            observed_sum = self._sum
+        lines = []
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            lines.append(f'{self.name}_bucket{{le="{_format_value(bound)}"}} '
+                         f"{running}")
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{self.name}_sum {_format_value(observed_sum)}")
+        lines.append(f"{self.name}_count {total}")
+        return lines
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Named metrics under one namespace, plus pull-style collectors.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call fixes the type and any repeated registration with a different
+    type raises, so two subsystems can safely share a metric by name.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = _valid_name(namespace)
+        self._metrics: "Dict[str, object]" = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self._lock = threading.Lock()
+
+    def _full_name(self, name: str) -> str:
+        return _valid_name(f"{self.namespace}_{name}")
+
+    def _get_or_create(self, name: str, factory, kind: str,
+                       help: str):  # noqa: A002
+        full = self._full_name(name)
+        with self._lock:
+            existing = self._metrics.get(full)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        f"metric {full!r} already registered as "
+                        f"{existing.kind}, not {kind}")
+                return existing
+            metric = factory(full, help)
+            self._metrics[full] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:  # noqa: A002
+        """Get or create the counter ``<namespace>_<name>``."""
+        return self._get_or_create(name, Counter, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:  # noqa: A002
+        """Get or create the gauge ``<namespace>_<name>``."""
+        return self._get_or_create(name, Gauge, "gauge", help)
+
+    def histogram(self, name: str, help: str = "",  # noqa: A002
+                  bounds: Optional[Tuple[float, ...]] = None) -> Histogram:
+        """Get or create the histogram ``<namespace>_<name>``."""
+        return self._get_or_create(
+            name, lambda full, text: Histogram(full, text, bounds),
+            "histogram", help)
+
+    def register_collector(
+            self, collector: Callable[["MetricsRegistry"], None]) -> None:
+        """Run ``collector(self)`` before every snapshot/exposition.
+
+        Collectors pull existing accounting (cache statistics, write-path
+        epochs, pruning counters) into gauges so the owning hot paths stay
+        un-instrumented.
+        """
+        with self._lock:
+            self._collectors.append(collector)
+
+    def unregister_collector(
+            self, collector: Callable[["MetricsRegistry"], None]) -> None:
+        with self._lock:
+            if collector in self._collectors:
+                self._collectors.remove(collector)
+
+    def collect(self) -> None:
+        """Run all collectors (collector errors propagate: fail loudly)."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            collector(self)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str):
+        """Look up a metric by short or full name, or ``None``."""
+        with self._lock:
+            return (self._metrics.get(name)
+                    or self._metrics.get(f"{self.namespace}_{name}"))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat ``{metric_name: value-or-dict}`` view after collection."""
+        self.collect()
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: Dict[str, object] = {}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.to_dict()
+            else:
+                out[name] = metric.value
+        return out
+
+    def expose_text(self) -> str:
+        """Prometheus text exposition (``text/plain; version=0.0.4``)."""
+        self.collect()
+        with self._lock:
+            metrics = dict(self._metrics)
+        lines: List[str] = []
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            lines.extend(metric._render())
+        return "\n".join(lines) + "\n"
+
+
+#: Process-wide default registry for library-level instrumentation; the
+#: service creates its own per-instance registry so tests stay isolated.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY

@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graph.partition import label_propagation
+from ..obs.trace import span as obs_span
 from .base import ProximityMeasure
 
 _EMPTY_IDS = np.zeros(0, dtype=np.int64)
@@ -304,8 +305,10 @@ class MaterializedProximity(ProximityMeasure):
 
     def _refine(self, seeker: int) -> Tuple[np.ndarray, np.ndarray]:
         """Compute the seeker's row online and memoise it in the overlay."""
-        dense = self._inner.vector_array(seeker)
-        row = _sparse_row(dense)
+        with obs_span("proximity.refine", seeker=seeker) as refine_span:
+            dense = self._inner.vector_array(seeker)
+            row = _sparse_row(dense)
+            refine_span.set(row_entries=int(row[0].shape[0]))
         with self._lock:
             self.statistics.refinements += 1
             self._overlay[seeker] = row
@@ -442,8 +445,9 @@ class MaterializedProximity(ProximityMeasure):
             return 0
         # The online recomputation runs outside the lock: it is the
         # expensive part and must not block concurrent lookups.
-        rows = {user: _sparse_row(self._inner.vector_array(user))
-                for user in targets}
+        with obs_span("proximity.repair", rows=len(targets)):
+            rows = {user: _sparse_row(self._inner.vector_array(user))
+                    for user in targets}
         repaired = 0
         with self._lock:
             by_cluster: Dict[int, List[int]] = {}

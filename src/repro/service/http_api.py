@@ -7,7 +7,19 @@ any third-party web framework.  Endpoints:
 ``GET /health``
     Liveness probe: dataset name, sizes, worker count.
 ``GET /metrics``
-    Full service statistics (qps, latency percentiles, cache behaviour).
+    Prometheus text exposition of the engine-wide metrics registry
+    (service throughput/latency, cache behaviour, planner routes,
+    partition pruning, write-path epochs — one namespace).
+``GET /stats``
+    The same numbers as a structured JSON snapshot (plus strings the
+    text format cannot carry, like the compaction error).
+``GET /trace/<id>``
+    One completed query trace from the tracer's ring buffer — spans with
+    timings, attributes and parent links.  The ``<id>`` is the
+    ``X-Request-Id`` response header of the traced request.  404 when
+    tracing is disabled or the trace has been evicted.
+``GET /traces``
+    Ids and durations of the most recently retained traces.
 ``GET /query?seeker=4&tags=jazz,vinyl&k=10[&algorithm=social-first]``
 ``POST /query`` with ``{"seeker": 4, "tags": ["jazz"], "k": 10}``
     Answer one query; the response carries the ranked items, the serving
@@ -22,18 +34,22 @@ any third-party web framework.  Endpoints:
     Apply a dataset update through the watched :class:`DatasetUpdater`;
     stale cache entries are invalidated before the response is sent.
 
-Errors return ``4xx`` with ``{"error": "..."}``.
+Errors return ``4xx`` with ``{"error": "..."}``.  Every response carries an
+``X-Request-Id`` header — the client's own, when supplied, else a fresh
+id — which doubles as the query's trace id when tracing is on.
 """
 
 from __future__ import annotations
 
 import json
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..core.query import Query
 from ..errors import ReproError
+from ..obs import trace as obs_trace
 from ..storage.tagging import TaggingAction
 from ..storage.updates import DatasetUpdater
 from .service import QueryService
@@ -77,13 +93,31 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass
 
-    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _request_id(self) -> str:
+        """The request's id: the client's ``X-Request-Id``, else a fresh one.
+
+        ``do_GET``/``do_POST`` stamp ``_rid`` at dispatch time — the
+        handler instance is reused across keep-alive requests, so the id
+        must be re-derived per request, not memoised per handler.
+        """
+        return getattr(self, "_rid", None) or uuid.uuid4().hex[:16]
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self._request_id())
         self.end_headers()
         self.wfile.write(body)
+
+    def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+        self._send_body(status, json.dumps(payload).encode("utf-8"),
+                        "application/json")
+
+    def _reply_text(self, status: int, text: str,
+                    content_type: str = "text/plain; version=0.0.4; "
+                                        "charset=utf-8") -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
 
     def _read_json(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length", 0))
@@ -100,11 +134,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
         parsed = urlparse(self.path)
+        self._rid = self.headers.get("X-Request-Id") or uuid.uuid4().hex[:16]
         try:
             if parsed.path == "/health":
                 self._handle_health()
             elif parsed.path == "/metrics":
+                self._reply_text(200, self.server.service.metrics_text())
+            elif parsed.path == "/stats":
                 self._reply(200, self.server.service.stats())
+            elif parsed.path == "/traces":
+                self._handle_traces()
+            elif parsed.path.startswith("/trace/"):
+                self._handle_trace(parsed.path[len("/trace/"):])
             elif parsed.path in ("/query", "/explain"):
                 params = parse_qs(parsed.query)
                 payload = {
@@ -124,6 +165,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
         parsed = urlparse(self.path)
+        self._rid = self.headers.get("X-Request-Id") or uuid.uuid4().hex[:16]
         try:
             if parsed.path == "/query":
                 self._handle_query(self._read_json())
@@ -165,11 +207,38 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_query(self, payload: Dict[str, Any]) -> None:
         query = self._parse_query(payload)
-        served = self.server.service.serve(query, algorithm=payload.get("algorithm"))
+        served = self.server.service.serve(query,
+                                           algorithm=payload.get("algorithm"),
+                                           request_id=self._request_id())
         response = served.result.to_dict()
         response["outcome"] = served.outcome
         response["service_latency_seconds"] = served.latency_seconds
+        response["request_id"] = self._request_id()
         self._reply(200, response)
+
+    def _handle_trace(self, trace_id: str) -> None:
+        tracer = obs_trace.get_tracer()
+        if tracer is None:
+            self._reply(404, {"error": "tracing is disabled"})
+            return
+        trace = tracer.get(trace_id)
+        if trace is None:
+            self._reply(404, {
+                "error": f"no retained trace with id {trace_id!r} "
+                         "(unsampled, not yet completed, or evicted)"})
+            return
+        self._reply(200, trace.to_dict())
+
+    def _handle_traces(self) -> None:
+        tracer = obs_trace.get_tracer()
+        if tracer is None:
+            self._reply(404, {"error": "tracing is disabled"})
+            return
+        self._reply(200, {"traces": [
+            {"trace_id": trace.trace_id, "name": trace.name,
+             "duration_ms": trace.duration_seconds * 1000.0}
+            for trace in tracer.recent()
+        ]})
 
     def _handle_explain(self, payload: Dict[str, Any]) -> None:
         plan = self.server.service.engine.explain_plan(

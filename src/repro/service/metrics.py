@@ -17,6 +17,10 @@ from typing import Callable, Deque, Dict, List
 
 from ..eval.timing import percentile
 
+#: The only request outcomes the service produces; anything else is a bug
+#: in the caller, not a new kind of miss.
+REQUEST_OUTCOMES = frozenset({"hit", "coalesced", "miss"})
+
 
 class ServiceMetrics:
     """Thread-safe counters and latency reservoir for a query service.
@@ -52,6 +56,10 @@ class ServiceMetrics:
 
     def record_request(self, outcome: str) -> None:
         """Count one request; ``outcome`` is ``"hit"``, ``"coalesced"`` or ``"miss"``."""
+        if outcome not in REQUEST_OUTCOMES:
+            raise ValueError(
+                f"unknown request outcome {outcome!r}: expected one of "
+                f"{sorted(REQUEST_OUTCOMES)}")
         with self._lock:
             self.requests += 1
             if outcome == "hit":

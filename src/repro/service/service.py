@@ -45,6 +45,8 @@ from ..core.engine import SocialSearchEngine
 from ..core.query import Query, QueryResult
 from ..errors import ServiceError
 from ..graph.traversal import bfs_levels
+from ..obs import trace as obs_trace
+from ..obs.metrics import MetricsRegistry
 from ..proximity.cache import CachedProximity
 from ..proximity.materialized import MaterializedProximity
 from ..storage.updates import DatasetUpdater, UpdateSummary
@@ -104,6 +106,14 @@ class QueryService:
         self._cache = ResultCache(capacity=self._config.cache_capacity,
                                   ttl_seconds=self._config.cache_ttl_seconds)
         self._metrics = ServiceMetrics()
+        # Per-instance registry: push metrics (the latency histogram) live
+        # here, everything else is pulled out of stats() at exposition time
+        # by _collect_metrics, so the hot path never double-counts.
+        self._registry = MetricsRegistry()
+        self._latency_histogram = self._registry.histogram(
+            "service_latency_seconds",
+            "Service-side latency of computed queries.")
+        self._registry.register_collector(self._collect_metrics)
         self._inflight: dict = {}
         self._lock = threading.Lock()
         self._watched: List[DatasetUpdater] = []
@@ -140,6 +150,36 @@ class QueryService:
         """The live metrics collector."""
         return self._metrics
 
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The engine-wide metrics registry (backs ``GET /metrics``)."""
+        return self._registry
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        return self._registry.expose_text()
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Pull every numeric leaf of :meth:`stats` into namespaced gauges.
+
+        Runs at exposition/snapshot time only, so the counters' owning hot
+        paths stay untouched; strings (algorithm names, error text) are
+        not metrics and are skipped.
+        """
+        def put(prefix: str, mapping: dict) -> None:
+            for key, value in mapping.items():
+                name = f"{prefix}_{key}"
+                if isinstance(value, dict):
+                    put(name, value)
+                elif isinstance(value, bool):
+                    registry.gauge(name).set(int(value))
+                elif isinstance(value, (int, float)):
+                    registry.gauge(name).set(value)
+
+        for section, block in self.stats().items():
+            if isinstance(block, dict):
+                put(section, block)
+
     def stats(self) -> dict:
         """Combined snapshot: service metrics + result and proximity caches."""
         engine_config = self._engine.config
@@ -167,6 +207,15 @@ class QueryService:
                              default=0),
             },
         }
+        tracer = obs_trace.get_tracer()
+        if tracer is not None:
+            snapshot["trace"] = {
+                "sample_rate": tracer.sample_rate,
+                "roots_started": tracer.roots_started,
+                "roots_sampled": tracer.roots_sampled,
+                "retained": tracer.retained(),
+                "capacity": tracer.capacity,
+            }
         executor = self._engine.partition_executor
         if executor is not None:
             snapshot["partitions"] = executor.to_dict()
@@ -188,26 +237,43 @@ class QueryService:
     def _resolve_algorithm(self, algorithm: Optional[str]) -> str:
         return algorithm or self._engine.config.algorithm
 
-    def _execute(self, key: CacheKey, query: Query, algorithm: str) -> QueryResult:
+    def _execute(self, key: CacheKey, query: Query, algorithm: str,
+                 parent_span=None) -> QueryResult:
         started = time.perf_counter()
         # Snapshot the invalidation epoch before computing: if an update
         # invalidates mid-computation, this (possibly pre-update) result must
         # not be cached past the invalidation.
         generation = self._cache.generation
-        try:
-            result = self._engine.run(query, algorithm=algorithm)
-        except Exception:
-            self._metrics.record_error()
-            raise
+        tracer = obs_trace.get_tracer()
+        # Worker threads have no ambient span context: the submitting
+        # request's span is threaded through explicitly.  A NULL parent
+        # marks an unsampled request — suppress library spans below it so
+        # they do not start fragment traces of their own.
+        if tracer is None or parent_span is None:
+            span = obs_trace.NULL_SPAN
+        elif parent_span:
+            span = tracer.span("service.execute", parent=parent_span,
+                               algorithm=algorithm)
+        else:
+            span = tracer.suppress()
+        with span:
+            try:
+                result = self._engine.run(query, algorithm=algorithm)
+            except Exception:
+                self._metrics.record_error()
+                raise
         self._cache.put(key, result, generation=generation)
-        self._metrics.record_latency(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self._metrics.record_latency(elapsed)
+        self._latency_histogram.observe(elapsed)
         return result
 
     def _pop_inflight(self, key: CacheKey) -> None:
         with self._lock:
             self._inflight.pop(key, None)
 
-    def _submit(self, query: Query, algorithm: Optional[str]) -> "tuple[Future, str]":
+    def _submit(self, query: Query, algorithm: Optional[str],
+                parent_span=None) -> "tuple[Future, str]":
         if self._closed:
             raise ServiceError("cannot submit queries to a closed QueryService")
         name = self._resolve_algorithm(algorithm)
@@ -226,7 +292,8 @@ class QueryService:
                 if inflight is not None:
                     self._metrics.record_request("coalesced")
                     return inflight, "coalesced"
-            future = self._executor.submit(self._execute, key, query, name)
+            future = self._executor.submit(self._execute, key, query, name,
+                                           parent_span)
             if self._config.deduplicate:
                 self._inflight[key] = future
         if self._config.deduplicate:
@@ -242,11 +309,32 @@ class QueryService:
         future, _ = self._submit(query, algorithm)
         return future
 
-    def serve(self, query: Query, algorithm: Optional[str] = None) -> ServedResult:
-        """Answer ``query`` synchronously, reporting how it was served."""
+    def serve(self, query: Query, algorithm: Optional[str] = None,
+              request_id: Optional[str] = None) -> ServedResult:
+        """Answer ``query`` synchronously, reporting how it was served.
+
+        When a tracer is installed the whole request — cache probe, any
+        queueing, the engine run — becomes one trace.  ``request_id``
+        (the HTTP layer's ``X-Request-Id``) binds the trace's id so
+        ``GET /trace/<id>`` finds it afterwards.
+        """
         started = time.perf_counter()
-        future, outcome = self._submit(query, algorithm)
-        result = future.result()
+        tracer = obs_trace.get_tracer()
+        if tracer is None:
+            future, outcome = self._submit(query, algorithm)
+            result = future.result()
+            return ServedResult(result=result, outcome=outcome,
+                                latency_seconds=time.perf_counter() - started)
+        with tracer.trace("request", trace_id=request_id,
+                          seeker=query.seeker, tags=",".join(query.tags),
+                          k=query.k) as root:
+            # A sampled root is the worker's explicit parent; an unsampled
+            # one passes NULL so the worker suppresses its own spans too.
+            parent = tracer.current() if root else obs_trace.NULL_SPAN
+            future, outcome = self._submit(query, algorithm,
+                                           parent_span=parent)
+            result = future.result()
+            root.set(outcome=outcome)
         return ServedResult(result=result, outcome=outcome,
                             latency_seconds=time.perf_counter() - started)
 

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import StorageError
 from ..graph import SocialGraph, SocialGraphBuilder
+from ..obs.trace import span as obs_span
 from .dataset import Dataset
 from .delta import posting_deltas
 from .items import Item
@@ -155,7 +156,7 @@ class DatasetUpdater:
         Returns the number of delta actions folded; 0 when nothing was
         pending.
         """
-        with self._mutate_lock:
+        with self._mutate_lock, obs_span("updates.compact") as compact_span:
             folded = 0
             tagging_compact = getattr(self._dataset.tagging, "compact", None)
             if tagging_compact is not None:
@@ -165,6 +166,7 @@ class DatasetUpdater:
                 social_compact()
             if folded:
                 self._epoch += 1
+            compact_span.set(actions_folded=folded)
             return folded
 
     # ------------------------------------------------------------------ #
@@ -243,7 +245,8 @@ class DatasetUpdater:
         summary = UpdateSummary()
         if not edges:
             return summary
-        with self._mutate_lock:
+        with self._mutate_lock, obs_span("updates.graph_rebuild",
+                                         edges=len(edges)):
             old = self._dataset.graph
             builder = SocialGraphBuilder(old.num_users)
             for u, v, w in old.iter_edges():
@@ -294,9 +297,13 @@ class DatasetUpdater:
                 else:
                     summary.actions_ignored += 1
             if summary.actions_added:
-                self._dataset.endorser_index.apply_delta(by_tag)
-                self._dataset.inverted_index.apply_delta(posting_deltas(by_tag))
-                self._dataset.social_index.apply_delta(by_user_tag)
+                with obs_span("updates.delta_merge",
+                              actions=summary.actions_added,
+                              tags=len(touched_tags)):
+                    self._dataset.endorser_index.apply_delta(by_tag)
+                    self._dataset.inverted_index.apply_delta(
+                        posting_deltas(by_tag))
+                    self._dataset.social_index.apply_delta(by_user_tag)
             summary.tags_touched = touched_tags
             summary.users_touched |= touched_users
             return self._notify(summary)

@@ -1,0 +1,149 @@
+"""Tests for the metrics registry and Prometheus exposition."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+from repro.obs.metrics import log_buckets
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("requests_total").inc(-1)
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            Counter("bad name!")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = Gauge("cache_size")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value == pytest.approx(7.0)
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self):
+        histogram = Histogram("latency_seconds")
+        for value in (0.001, 0.002, 0.010):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.013)
+
+    def test_percentile_is_bucket_upper_bound(self):
+        histogram = Histogram("latency_seconds",
+                              bounds=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.005, 0.05):
+            histogram.observe(value)
+        assert histogram.percentile(0.0) == pytest.approx(0.001)
+        assert histogram.percentile(0.5) == pytest.approx(0.01)
+        assert histogram.percentile(1.0) == pytest.approx(0.1)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram("latency_seconds").percentile(0.5) == 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            Histogram("latency_seconds").percentile(1.5)
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("latency_seconds", bounds=(0.1, 0.01))
+
+    def test_log_buckets_are_exponential(self):
+        bounds = log_buckets(start=1e-3, factor=10.0, count=3)
+        assert bounds == pytest.approx((1e-3, 1e-2, 1e-1))
+        with pytest.raises(ValueError):
+            log_buckets(factor=1.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry("test")
+        first = registry.counter("requests_total")
+        second = registry.counter("requests_total")
+        assert first is second
+        first.inc()
+        assert second.value == 1
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry("test")
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_namespace_prefixes_names(self):
+        registry = MetricsRegistry("test")
+        counter = registry.counter("requests_total")
+        assert counter.name == "test_requests_total"
+        assert registry.get("requests_total") is counter
+        assert registry.get("test_requests_total") is counter
+
+    def test_collectors_run_on_snapshot(self):
+        registry = MetricsRegistry("test")
+        source = {"hits": 0}
+
+        def collect(reg):
+            reg.gauge("cache_hits").set(source["hits"])
+
+        registry.register_collector(collect)
+        source["hits"] = 7
+        assert registry.snapshot()["test_cache_hits"] == 7
+        source["hits"] = 9
+        assert registry.snapshot()["test_cache_hits"] == 9
+        registry.unregister_collector(collect)
+        source["hits"] = 11
+        assert registry.snapshot()["test_cache_hits"] == 9
+
+    def test_snapshot_includes_histogram_summary(self):
+        registry = MetricsRegistry("test")
+        registry.histogram("latency_seconds").observe(0.003)
+        summary = registry.snapshot()["test_latency_seconds"]
+        assert summary["count"] == 1
+        assert summary["sum"] == pytest.approx(0.003)
+        assert summary["p50"] > 0
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry("test")
+        registry.counter("requests_total", "Requests served.").inc(3)
+        registry.gauge("cache_size").set(9)
+        text = registry.expose_text()
+        assert "# HELP test_requests_total Requests served." in text
+        assert "# TYPE test_requests_total counter" in text
+        assert "test_requests_total 3" in text
+        assert "# TYPE test_cache_size gauge" in text
+        assert "test_cache_size 9" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry("test")
+        histogram = registry.histogram("latency_seconds",
+                                       bounds=(0.001, 0.01))
+        for value in (0.0005, 0.005, 5.0):
+            histogram.observe(value)
+        text = registry.expose_text()
+        assert 'test_latency_seconds_bucket{le="0.001"} 1' in text
+        assert 'test_latency_seconds_bucket{le="0.01"} 2' in text
+        assert 'test_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "test_latency_seconds_count 3" in text
+
+    def test_collectors_run_on_exposition(self):
+        registry = MetricsRegistry("test")
+        registry.register_collector(
+            lambda reg: reg.gauge("pulled").set(5))
+        assert "test_pulled 5" in registry.expose_text()
+
+
+def test_default_registry_is_shared():
+    assert get_registry() is get_registry()
+    assert get_registry().namespace == "repro"

@@ -56,13 +56,26 @@ class TestHealthAndMetrics:
         assert body["dataset"] == "tiny"
         assert body["workers"] == 2
 
-    def test_metrics_snapshot(self, server):
+    def test_stats_snapshot(self, server):
         tag = server.service.engine.dataset.tags()[0]
         get_json(server, f"/query?seeker=1&tags={tag}&k=3")
-        status, body = get_json(server, "/metrics")
+        status, body = get_json(server, "/stats")
         assert status == 200
         assert body["service"]["requests"] >= 1
         assert "result_cache" in body
+
+    def test_metrics_prometheus_text(self, server):
+        tag = server.service.engine.dataset.tags()[0]
+        get_json(server, f"/query?seeker=1&tags={tag}&k=3")
+        with urllib.request.urlopen(base_url(server) + "/metrics",
+                                    timeout=10.0) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode("utf-8")
+        assert "# TYPE repro_service_requests gauge" in text
+        assert "repro_service_requests 1" in text
+        assert "# TYPE repro_service_latency_seconds histogram" in text
+        assert 'repro_service_latency_seconds_bucket{le="+Inf"} 1' in text
 
 
 class TestQueryEndpoint:
@@ -183,6 +196,71 @@ class TestExplainEndpoint:
         assert error.value.code == 400
 
     def test_stats_carry_plan_block(self, server):
-        _, body = get_json(server, "/metrics")
+        _, body = get_json(server, "/stats")
         assert body["plan"]["backing"] == "python"
         assert body["plan"]["partitions"] == 1
+
+
+class TestRequestIds:
+    def test_every_response_carries_request_id(self, server):
+        with urllib.request.urlopen(base_url(server) + "/health",
+                                    timeout=10.0) as response:
+            rid = response.headers["X-Request-Id"]
+        assert rid and len(rid) == 16
+
+    def test_client_supplied_id_is_echoed(self, server):
+        request = urllib.request.Request(
+            base_url(server) + "/health",
+            headers={"X-Request-Id": "my-custom-id-42"})
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            assert response.headers["X-Request-Id"] == "my-custom-id-42"
+
+    def test_errors_carry_request_id_too(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/query?tags=jazz")
+        assert excinfo.value.headers["X-Request-Id"]
+
+
+class TestTraceEndpoints:
+    def test_trace_404_when_tracing_disabled(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/trace/deadbeef")
+        assert excinfo.value.code == 404
+        assert "disabled" in json.load(excinfo.value)["error"]
+
+    def test_traces_404_when_tracing_disabled(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(server, "/traces")
+        assert excinfo.value.code == 404
+
+    def test_trace_round_trip_via_request_id(self, server):
+        from repro.obs.trace import Tracer, use
+
+        tag = server.service.engine.dataset.tags()[0]
+        with use(Tracer(sample_rate=1.0)) as tracer:
+            request = urllib.request.Request(
+                base_url(server) + f"/query?seeker=1&tags={tag}&k=3",
+                headers={"X-Request-Id": "trace-me-000001"})
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                body = json.load(response)
+                assert body["request_id"] == "trace-me-000001"
+            status, trace = get_json(server, "/trace/trace-me-000001")
+            assert status == 200
+            assert trace["trace_id"] == "trace-me-000001"
+            span_names = [span["name"] for span in trace["spans"]]
+            assert "request" in span_names
+            assert "service.execute" in span_names
+            assert "engine.run" in span_names
+
+            _, listing = get_json(server, "/traces")
+            assert "trace-me-000001" in [
+                entry["trace_id"] for entry in listing["traces"]]
+        assert tracer.get("trace-me-000001") is not None
+
+    def test_unknown_trace_is_404(self, server):
+        from repro.obs.trace import Tracer, use
+
+        with use(Tracer(sample_rate=1.0)):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                get_json(server, "/trace/nope")
+            assert excinfo.value.code == 404

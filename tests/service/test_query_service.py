@@ -392,6 +392,86 @@ class TestNoOpUpdates:
         assert service.cache.generation == generation
 
 
+class TestStatsUnderLiveUpdates:
+    """The ``plan`` and ``partitions`` stats blocks stay coherent while
+    live updates stream in between query waves: route counters keep
+    growing, the partition layout and serving counters survive delta
+    overlays, and the pending-delta/epoch bookkeeping tracks compaction.
+    """
+
+    def test_blocks_track_interleaved_updates(self, tmp_path):
+        from repro.config import EngineConfig, ScoringConfig
+        from repro.storage import Dataset
+
+        base = tiny_dataset(seed=3)
+        path = tmp_path / "live.arena"
+        base.to_arena(path)
+        dataset = Dataset.from_arena(path)
+        engine = SocialSearchEngine(dataset, EngineConfig(
+            algorithm="exact",
+            scoring=ScoringConfig(vectorized=True),
+            partitions=2,
+        ))
+        updater = DatasetUpdater(dataset)
+        svc = QueryService(engine, ServiceConfig(
+            workers=2, cache_capacity=0, deduplicate=False), updater=updater)
+        try:
+            tag = dataset.tags()[0]
+            searches_seen = 0
+            lookups_seen = 0
+            timestamp = 1_000_000
+            for wave in range(3):
+                for seeker in (0, 1, 2):
+                    svc.serve(Query(seeker=seeker, tags=(tag,), k=5))
+                stats = svc.stats()
+
+                plan = stats["plan"]
+                assert plan["partitions"] == 2
+                assert plan["backing"] == "arena"
+                assert plan["route_lookups"] > lookups_seen
+                assert plan["route_decisions"]["partitioned-exact"] >= \
+                    plan["route_lookups"] - plan["route_memo_hits"]
+                lookups_seen = plan["route_lookups"]
+
+                partitions = stats["partitions"]
+                assert partitions["num_partitions"] == 2
+                assert sum(partitions["sizes"]) == partitions["mapped_items"]
+                assert partitions["searches"] > searches_seen
+                assert partitions["partitions_scanned"] \
+                    + partitions["partitions_pruned"] >= partitions["searches"]
+                searches_seen = partitions["searches"]
+
+                # Stream a batch of tagging actions between waves; the next
+                # wave must keep serving through the partitioned route.
+                actions = []
+                for offset in range(6):
+                    timestamp += 1
+                    actions.append(TaggingAction(
+                        user_id=(wave + offset) % dataset.num_users,
+                        item_id=90_000 + wave * 10 + offset,
+                        tag=tag, timestamp=timestamp))
+                updater.add_actions(actions)
+                assert svc.stats()["plan"]["pending_delta"] > 0
+
+            # Folding the overlays resets the delta and bumps the epoch
+            # without losing the serving counters.
+            updater.compact()
+            stats = svc.stats()
+            assert stats["plan"]["pending_delta"] == 0
+            assert stats["write_path"]["epoch"] == 1
+            assert stats["partitions"]["searches"] == searches_seen
+
+            # Post-compaction queries still go through the partitioned
+            # route and see the streamed items.
+            served = svc.serve(Query(seeker=0, tags=(tag,), k=30))
+            final = svc.stats()
+            assert final["partitions"]["searches"] == searches_seen + 1
+            assert final["plan"]["route_lookups"] > lookups_seen
+            assert any(item.item_id >= 90_000 for item in served.result.items)
+        finally:
+            svc.close()
+
+
 class TestBackgroundCompaction:
     """The service folds arena delta overlays past the threshold."""
 

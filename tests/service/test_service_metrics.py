@@ -42,6 +42,12 @@ class TestServiceMetrics:
         assert metrics.coalesced == 1
         assert metrics.cache_hit_rate == pytest.approx(1 / 3)
 
+    def test_rejects_unknown_outcome(self):
+        metrics = ServiceMetrics()
+        with pytest.raises(ValueError, match="unknown request outcome"):
+            metrics.record_request("stale")
+        assert metrics.requests == 0  # rejected before counting
+
     def test_qps_uses_uptime(self):
         clock = FakeClock()
         metrics = ServiceMetrics(clock=clock)

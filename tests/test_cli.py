@@ -58,6 +58,38 @@ class TestExplain:
         assert "executor:   algorithm" in out
         assert "fan-out=1" in out
 
+    def test_explain_analyze_prints_span_tree(self, tmp_path, capsys):
+        import json
+
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace_chrome.json"
+        assert main(["explain", "4", "tag-000", "tag-001", "--scale", "0.1",
+                     "--algorithm", "exact", "--partitions", "4",
+                     "--analyze", "--trace-out", str(jsonl),
+                     "--chrome-trace", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "engine.run" in out
+        assert "executor.search" in out
+        assert "scatter.sweep" in out
+        assert "stage coverage:" in out
+        # Exported spans round-trip as JSON and match the printed tree.
+        spans = [json.loads(line) for line in
+                 jsonl.read_text().strip().splitlines()]
+        assert "engine.run" in {span["name"] for span in spans}
+        chrome = json.loads(chrome.read_text())
+        assert {event["ph"] for event in chrome["traceEvents"]} == {"X"}
+        assert "engine.run" in {event["name"]
+                                for event in chrome["traceEvents"]}
+
+    def test_explain_analyze_leaves_global_tracer_alone(self, capsys):
+        from repro.obs.trace import get_tracer
+
+        assert main(["explain", "4", "tag-000", "--scale", "0.1",
+                     "--analyze"]) == 0
+        assert get_tracer() is None
+        assert "EXPLAIN ANALYZE" in capsys.readouterr().out
+
     def test_bench_partitioned_suite_writes_json(self, tmp_path, capsys):
         import json
 
@@ -134,6 +166,36 @@ class TestBench:
         assert args.scalar is True
         args = parser.parse_args(["query", "snap", "1", "tag"])
         assert args.scalar is False
+
+    def test_bench_suite_instrumentation_block(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "BENCH_topk.json"
+        jsonl = tmp_path / "sample_trace.jsonl"
+        assert main(["bench", "--suite", "--users", "40", "--queries", "3",
+                     "--rounds", "1", "--algorithms", "exact",
+                     "--json", str(target),
+                     "--max-trace-overhead", "1e9",
+                     "--trace-jsonl", str(jsonl)]) == 0
+        output = capsys.readouterr().out
+        assert "tracing overhead" in output
+        report = json.loads(target.read_text())
+        block = report["instrumentation"]
+        for key in ("p50_off_ms", "p50_unsampled_ms", "p50_traced_ms",
+                    "p50_disabled_check_ms", "overhead_disabled",
+                    "overhead_unsampled", "overhead_traced"):
+            assert key in block
+        assert "engine.run" in block["stage_breakdown"]
+        assert jsonl.exists()
+        assert json.loads(jsonl.read_text().splitlines()[0])["trace_id"]
+
+    def test_bench_suite_trace_overhead_gate(self, capsys):
+        # An impossibly tight budget must flip the exit code: the
+        # disabled-check p50 can never be 1e-9x the never-traced p50.
+        assert main(["bench", "--suite", "--users", "40", "--queries", "2",
+                     "--rounds", "1", "--algorithms", "exact",
+                     "--max-trace-overhead", "1e-9"]) == 1
+        assert "instrumentation budget" in capsys.readouterr().out
 
     def test_bench_proximity_suite_writes_json(self, tmp_path, capsys):
         target = tmp_path / "BENCH_proximity.json"
