@@ -16,6 +16,7 @@ Quickstart
 
 from .config import (
     DatasetConfig,
+    DurabilityConfig,
     EngineConfig,
     ExperimentConfig,
     ProximityConfig,
@@ -50,6 +51,7 @@ from .proximity import (
 )
 from .storage import (
     Dataset,
+    DurableStore,
     InvertedIndex,
     Item,
     ItemStore,
@@ -58,6 +60,7 @@ from .storage import (
     TaggingStore,
     User,
     UserStore,
+    WriteAheadLog,
     compute_dataset_statistics,
     load_dataset,
     save_dataset,
@@ -102,6 +105,7 @@ __all__ = [
     "EngineConfig",
     "ServiceConfig",
     "DatasetConfig",
+    "DurabilityConfig",
     "WorkloadConfig",
     "ExperimentConfig",
     "default_engine_config",
@@ -143,6 +147,8 @@ __all__ = [
     "save_dataset",
     "load_dataset",
     "compute_dataset_statistics",
+    "WriteAheadLog",
+    "DurableStore",
     # core
     "Query",
     "QueryResult",

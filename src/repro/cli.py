@@ -203,6 +203,8 @@ def _run_bench_suite(args: argparse.Namespace) -> int:
         return _run_updates_suite(args)
     if args.suite == "partitioned":
         return _run_partitioned_suite(args)
+    if args.suite == "durability":
+        return _run_durability_suite(args)
     report = run_topk_suite(
         num_users=args.users,
         num_queries=args.queries,
@@ -353,6 +355,34 @@ def _run_partitioned_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_durability_suite(args: argparse.Namespace) -> int:
+    """Chaos sweep: kill at every injection point, recover, verify, time."""
+    from .eval.bench import format_durability_report, run_durability_suite, write_report
+
+    report = run_durability_suite(
+        num_users=args.users,
+        num_queries=args.queries,
+        k=args.k,
+        rounds=args.rounds,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    print(format_durability_report(report))
+    if args.json:
+        path = write_report(report, args.json)
+        print(f"wrote {path}")
+    lost = int(report["acked_updates_lost"])
+    if lost:
+        print(f"FAIL: {lost} acknowledged update(s) lost across the crash "
+              "matrix — the WAL contract is broken")
+        return 1
+    if not report["equivalent"]:
+        print("FAIL: a recovered dataset diverged from its pre-crash "
+              "merged reads")
+        return 1
+    return 0
+
+
 def _load_serving_dataset(args: argparse.Namespace):
     if getattr(args, "arena", None):
         from .storage.dataset import Dataset
@@ -385,7 +415,11 @@ def _command_serve(args: argparse.Namespace) -> int:
     from .service import QueryService
     from .service.http_api import serve_forever
 
-    dataset = _load_serving_dataset(args)
+    durable = None
+    if args.durable_dir:
+        durable, dataset = _open_durable(args)
+    else:
+        dataset = _load_serving_dataset(args)
     engine = SocialSearchEngine(dataset, _engine_config(args))
     if getattr(args, "arena", None) and args.materialize:
         from .errors import PersistenceError
@@ -409,7 +443,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
     )
-    service = QueryService(engine, config)
+    service = QueryService(engine, config, durable=durable)
     if args.trace_sample_rate is not None:
         from .obs.trace import Tracer, set_tracer
 
@@ -434,7 +468,65 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"warmed proximity for {warmed} seekers in "
               f"{(_time.perf_counter() - started) * 1000.0:.1f} ms")
     print(dataset.describe())
-    serve_forever(service, host=config.host, port=config.port)
+    serve_forever(service, host=config.host, port=config.port,
+                  updater=durable.updater if durable is not None else None)
+    return 0
+
+
+def _open_durable(args: argparse.Namespace):
+    """Open (crash-recovering) or bootstrap the ``--durable-dir`` store.
+
+    Returns ``(store, dataset)``; the served dataset is always the store's
+    own memory-mapped generation, so recovery and normal startup are the
+    same code path.
+    """
+    from pathlib import Path as _Path
+
+    from .config import DurabilityConfig
+    from .storage.durable import MANIFEST_NAME, DurableStore
+
+    dconfig = DurabilityConfig(directory=args.durable_dir,
+                               wal_fsync=args.wal_fsync)
+    if (_Path(args.durable_dir) / MANIFEST_NAME).exists():
+        store = DurableStore.open(args.durable_dir, config=dconfig)
+        report = store.recovery
+        print(f"recovered durable store {args.durable_dir}: generation "
+              f"{store.generation}, {report.records_replayed} WAL records "
+              f"replayed ({report.torn_tail_bytes} torn bytes dropped) in "
+              f"{report.duration_seconds * 1000.0:.1f} ms")
+    else:
+        dataset = _load_serving_dataset(args)
+        store = DurableStore.initialise(dataset, args.durable_dir,
+                                        config=dconfig)
+        print(f"initialised durable store {args.durable_dir} (generation 0, "
+              f"wal fsync={dconfig.wal_fsync})")
+    return store, store.dataset
+
+
+def _command_recover(args: argparse.Namespace) -> int:
+    """Recover a durable store and report what the replay did.
+
+    This is the same code path ``repro serve --durable-dir`` runs on
+    startup, exposed standalone so an operator can inspect (and with
+    ``--checkpoint`` collapse) a crashed store without serving traffic.
+    """
+    import json as _json
+
+    from .config import DurabilityConfig
+    from .storage.durable import DurableStore
+
+    config = DurabilityConfig(directory=args.directory,
+                              wal_fsync=args.wal_fsync)
+    store = DurableStore.open(args.directory, config=config)
+    report = store.recovery.to_dict()
+    print(_json.dumps(report, indent=2))
+    print(store.dataset.describe())
+    if args.checkpoint:
+        result = store.checkpoint(force=True)
+        print(f"checkpointed: generation {result['generation']}, "
+              f"{result['folded']} delta actions folded, removed "
+              f"{result.get('gc_removed', [])}")
+    store.close()
     return 0
 
 
@@ -545,7 +637,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--algorithms", nargs="*", default=None,
                        help="algorithms to measure (both modes)")
     bench.add_argument("--suite", nargs="?", const="topk", default=None,
-                       choices=("topk", "proximity", "updates", "partitioned"),
+                       choices=("topk", "proximity", "updates", "partitioned",
+                                "durability"),
                        help="run a headless bench_fig*-style suite: 'topk' "
                             "(p50/p95/qps + vectorized-vs-scalar speedup; "
                             "the default when no value is given), "
@@ -557,7 +650,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "plus a fresh-rebuild equivalence gate) or "
                             "'partitioned' (scatter-gather p50 vs partition "
                             "count 1/2/4 with per-shard bound pruning and "
-                            "an exact-equivalence gate)")
+                            "an exact-equivalence gate) or 'durability' "
+                            "(chaos sweep killing the write path at every "
+                            "fault-injection point, with an acked-update-"
+                            "loss gate, recovery equivalence gate, replay "
+                            "timing and WAL fsync-policy overhead)")
     bench.add_argument("--users", type=int, default=200,
                        help="suite dataset size in users (default: 200, the "
                             "Figure-6 medium point)")
@@ -695,10 +792,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-capacity", type=int, default=256,
                        help="completed traces retained in the ring buffer "
                             "(default: 256)")
+    serve.add_argument("--durable-dir", default=None, metavar="DIR",
+                       help="serve from a durable store rooted at DIR: "
+                            "updates are WAL-logged before they are "
+                            "acknowledged, compaction publishes atomic "
+                            "arena generations, and startup crash-recovers "
+                            "automatically (bootstrapped from the served "
+                            "dataset when DIR holds no store yet)")
+    serve.add_argument("--wal-fsync", default="always",
+                       choices=("always", "interval", "off"),
+                       help="WAL fsync policy with --durable-dir: 'always' "
+                            "syncs every append before acking (survives "
+                            "power loss), 'interval' amortises syncs, "
+                            "'off' leaves it to the OS page cache "
+                            "(default: always)")
     serve.add_argument("--cluster-rounds", type=int, default=5,
                        help=argparse.SUPPRESS)
     _add_engine_arguments(serve)
     serve.set_defaults(handler=_command_serve)
+
+    recover = subparsers.add_parser(
+        "recover", help="crash-recover a durable store (arena generation + "
+                        "WAL replay) and print the recovery report")
+    recover.add_argument("directory",
+                         help="durable store directory (MANIFEST.json + "
+                              "gen-<n>.arena + wal-<n>.log)")
+    recover.add_argument("--wal-fsync", default="always",
+                         choices=("always", "interval", "off"),
+                         help="fsync policy for the re-opened WAL "
+                              "(default: always)")
+    recover.add_argument("--checkpoint", action="store_true",
+                         help="after recovery, fold the replayed records "
+                              "and publish a fresh generation so the next "
+                              "startup replays nothing")
+    recover.set_defaults(handler=_command_recover)
 
     profile = subparsers.add_parser(
         "profile", help="cProfile a batched run over a query trace and "

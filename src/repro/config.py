@@ -248,6 +248,68 @@ class ServiceConfig:
 
 
 @dataclass(frozen=True)
+class DurabilityConfig:
+    """Configuration of the durable write path (WAL + arena generations).
+
+    Attributes
+    ----------
+    directory:
+        Root of the durable store: ``MANIFEST.json`` plus the
+        ``gen-<n>.arena`` / ``wal-<n>.log`` generation files.  ``None``
+        (the default) disables durability entirely — updates live only in
+        the in-memory delta overlays, the pre-WAL behaviour.
+    wal_fsync:
+        Fsync policy of the write-ahead log: ``"always"`` syncs every
+        append before it is acknowledged (the only policy under which an
+        acknowledged update unconditionally survives power loss),
+        ``"interval"`` syncs at most once per ``wal_fsync_interval_seconds``
+        (bounded loss, amortised cost), ``"off"`` leaves durability to the
+        OS page cache (survives process crashes only).
+    wal_fsync_interval_seconds:
+        Maximum staleness of the log under the ``interval`` policy.
+    checkpoint_threshold:
+        Once the pending delta reaches this many actions the service
+        checkpoints — compacts, publishes a new arena generation and
+        rotates the WAL — instead of merely folding in memory.  0 disables
+        automatic checkpoints (``DurableStore.checkpoint`` can still be
+        called explicitly).
+    keep_generations:
+        Number of superseded generations retained after a checkpoint
+        before garbage collection removes them (the current generation is
+        always kept; 0 keeps only the current one).
+    """
+
+    directory: Optional[str] = None
+    wal_fsync: str = "always"
+    wal_fsync_interval_seconds: float = 0.05
+    checkpoint_threshold: int = 0
+    keep_generations: int = 0
+
+    _FSYNC_POLICIES = ("always", "interval", "off")
+
+    def __post_init__(self) -> None:
+        _require(
+            self.wal_fsync in self._FSYNC_POLICIES,
+            f"wal_fsync must be one of {self._FSYNC_POLICIES}, "
+            f"got {self.wal_fsync!r}",
+        )
+        _require(self.wal_fsync_interval_seconds >= 0.0,
+                 "wal_fsync_interval_seconds must be non-negative")
+        _require(self.checkpoint_threshold >= 0,
+                 "checkpoint_threshold must be non-negative")
+        _require(self.keep_generations >= 0,
+                 "keep_generations must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a durable directory was configured."""
+        return self.directory is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
 class DatasetConfig:
     """Parameters of a synthetic social-tagging dataset.
 

@@ -1,6 +1,6 @@
 """Engine-wide observability: query tracing and the metrics registry.
 
-Two small, dependency-free modules every layer of the stack reports into:
+Three small, dependency-free modules every layer of the stack reports into:
 
 * :mod:`repro.obs.trace` — hierarchical spans with thread-local context
   propagation, a bounded ring buffer of recent traces, JSONL and Chrome
@@ -11,12 +11,25 @@ Two small, dependency-free modules every layer of the stack reports into:
   log-bucketed histograms with pull-style collectors (existing accounting
   objects are *read* at exposition time, never double-counted on the hot
   path) and a Prometheus text exposition backing ``GET /metrics``.
+* :mod:`repro.obs.faults` — named fault-injection points compiled into the
+  durable write path, armed by crash-recovery tests and the
+  ``bench --suite durability`` chaos sweep (near-free while disarmed, the
+  same discipline as the disabled tracer).
 
 The package deliberately imports nothing from the rest of :mod:`repro`, so
 any module — storage, proximity, core, service — can instrument itself
 without creating an import cycle.
 """
 
+from .faults import (
+    FaultRegistry,
+    InjectedCrash,
+    InjectedFault,
+    armed,
+    fault_point,
+    faults,
+    tear_final_record,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
 from .trace import (
     NULL_SPAN,
@@ -33,6 +46,13 @@ from .trace import (
 )
 
 __all__ = [
+    "FaultRegistry",
+    "InjectedCrash",
+    "InjectedFault",
+    "armed",
+    "fault_point",
+    "faults",
+    "tear_final_record",
     "Counter",
     "Gauge",
     "Histogram",

@@ -259,9 +259,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
 
 def serve_forever(service: QueryService, host: str = "127.0.0.1",
-                  port: int = 8080) -> None:
-    """Blocking convenience used by ``repro serve``; Ctrl-C shuts down cleanly."""
-    server = ServiceHTTPServer((host, port), service)
+                  port: int = 8080,
+                  updater: Optional[DatasetUpdater] = None) -> None:
+    """Blocking convenience used by ``repro serve``; Ctrl-C shuts down cleanly.
+
+    ``updater`` routes ``/update`` requests through an existing updater —
+    in durable mode the :class:`~repro.storage.durable.DurableStore`'s own
+    WAL-attached updater, so every acknowledged HTTP update is logged
+    before the response is sent.
+    """
+    server = ServiceHTTPServer((host, port), service, updater=updater)
     print(f"repro service listening on http://{host}:{server.server_port} "
           f"(workers={service.config.workers}, "
           f"cache={service.config.cache_capacity})")
@@ -272,3 +279,5 @@ def serve_forever(service: QueryService, host: str = "127.0.0.1",
     finally:
         server.server_close()
         service.close()
+        if service.durable is not None:
+            service.durable.close()

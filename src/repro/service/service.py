@@ -49,6 +49,7 @@ from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
 from ..proximity.cache import CachedProximity
 from ..proximity.materialized import MaterializedProximity
+from ..storage.durable import DurableStore
 from ..storage.updates import DatasetUpdater, UpdateSummary
 from .cache import CacheKey, ResultCache
 from .metrics import ServiceMetrics
@@ -93,11 +94,20 @@ class QueryService:
     updater:
         Optional :class:`DatasetUpdater` to watch from construction; more
         can be attached later with :meth:`watch`.
+    durable:
+        Optional :class:`~repro.storage.durable.DurableStore` owning the
+        served dataset.  When attached, the background fold triggered by
+        ``compact_threshold`` becomes a full durable **checkpoint** —
+        compact, publish a new arena generation, rotate the WAL — instead
+        of an in-memory-only compaction, and :meth:`stats` grows a
+        ``durability`` block.  The store's updater is watched
+        automatically.
     """
 
     def __init__(self, engine: SocialSearchEngine,
                  config: Optional[ServiceConfig] = None,
-                 updater: Optional[DatasetUpdater] = None) -> None:
+                 updater: Optional[DatasetUpdater] = None,
+                 durable: Optional[DurableStore] = None) -> None:
         self._engine = engine
         self._config = config or ServiceConfig()
         self._executor = ThreadPoolExecutor(
@@ -123,8 +133,11 @@ class QueryService:
         self._compaction_failures = 0
         self._compaction_error: Optional[str] = None
         self._compaction_threads: List[threading.Thread] = []
+        self._durable: Optional[DurableStore] = None
         if updater is not None:
             self.watch(updater)
+        if durable is not None:
+            self.attach_durable(durable)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -207,6 +220,8 @@ class QueryService:
                              default=0),
             },
         }
+        if self._durable is not None:
+            snapshot["durability"] = self._durable.stats()
         tracer = obs_trace.get_tracer()
         if tracer is not None:
             snapshot["trace"] = {
@@ -434,6 +449,23 @@ class QueryService:
         self._watched.append(updater)
         return updater
 
+    def attach_durable(self, durable: DurableStore) -> DurableStore:
+        """Attach the durable store backing the served dataset.
+
+        Its updater is watched (if not already), and from here on the
+        background compaction driven by ``compact_threshold`` publishes a
+        full durable checkpoint rather than an in-memory-only fold.
+        """
+        self._durable = durable
+        if durable.updater not in self._watched:
+            self.watch(durable.updater)
+        return durable
+
+    @property
+    def durable(self) -> Optional[DurableStore]:
+        """The attached durable store, if any."""
+        return self._durable
+
     @property
     def invalidation_horizon(self) -> int:
         """Hop radius used for friendship-driven invalidation."""
@@ -563,7 +595,16 @@ class QueryService:
 
     def _run_compaction(self, updater: DatasetUpdater) -> None:
         try:
-            folded = updater.compact()
+            durable = self._durable
+            if durable is not None and updater is durable.updater:
+                # Durable mode: the fold is one step of a full checkpoint —
+                # compact, publish a fresh arena generation, rotate the WAL
+                # — so a crash right after never replays more than one
+                # threshold's worth of records.  Queries are untouched
+                # either way; only writers block for the publish.
+                folded = int(durable.checkpoint().get("folded", 0))
+            else:
+                folded = updater.compact()
         except Exception as exc:
             # Surface the failure through stats() rather than dying silently:
             # a persistently failing compaction means the delta keeps growing

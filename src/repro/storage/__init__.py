@@ -18,6 +18,14 @@ from .arena import (
 from .partitioned import CorpusPartitions
 from .statistics import DatasetStatistics, compute_dataset_statistics, graph_statistics_row
 from .updates import DatasetUpdater, UpdateSummary, replay_trace
+from .wal import (
+    WriteAheadLog,
+    WalRecord,
+    WalScan,
+    scan_wal,
+    truncate_torn_tail,
+)
+from .durable import DurableStore, RecoveryReport, read_manifest, write_manifest
 
 __all__ = [
     "Item",
@@ -48,4 +56,13 @@ __all__ = [
     "DatasetUpdater",
     "UpdateSummary",
     "replay_trace",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalScan",
+    "scan_wal",
+    "truncate_torn_tail",
+    "DurableStore",
+    "RecoveryReport",
+    "read_manifest",
+    "write_manifest",
 ]

@@ -43,6 +43,7 @@ object replaced atomically.
 from __future__ import annotations
 
 import json
+import os
 import struct
 import threading
 from pathlib import Path
@@ -52,6 +53,7 @@ import numpy as np
 
 from ..errors import PersistenceError, StorageError
 from ..graph import SocialGraph
+from ..obs.faults import fault_point
 from ..proximity.materialized import MaterializedProximity, ProximityShard
 from .dataset import Dataset
 from .delta import merge_sorted_disjoint
@@ -80,9 +82,18 @@ def _align(offset: int) -> int:
 
 def write_arena(path: PathLike, meta: Dict[str, object],
                 arrays: Dict[str, np.ndarray]) -> Path:
-    """Write ``meta`` + named arrays in the arena format; returns the path."""
+    """Write ``meta`` + named arrays in the arena format; returns the path.
+
+    The write is **atomic**: the bytes go to ``<path>.tmp``, are fsynced,
+    and only then renamed over the target with ``os.replace``.  An
+    interrupted build can therefore never leave a half-written arena at
+    the target path — readers see either the previous complete file or
+    the new complete file, which is what lets compaction publish fresh
+    generations while queries keep memory-mapping the old one.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(path.name + ".tmp")
     manifest: List[Dict[str, object]] = []
     ordered: List[Tuple[str, np.ndarray]] = []
     for name, array in arrays.items():
@@ -106,18 +117,47 @@ def write_arena(path: PathLike, meta: Dict[str, object],
     encoded = json.dumps(header, sort_keys=True).encode("utf-8")
     if _PREAMBLE.size + len(encoded) > data_start:
         raise PersistenceError("arena header overflowed its reserved space")
-    with path.open("wb") as handle:
-        handle.write(_PREAMBLE.pack(MAGIC, ARENA_VERSION, len(encoded)))
-        handle.write(encoded)
-        for entry, (_name, array) in zip(manifest, ordered):
-            handle.seek(int(entry["offset"]))
-            handle.write(array.tobytes())
-        # Pad the file to the last aligned boundary so every mapped view is
-        # in bounds.
-        handle.seek(0, 2)
-        if handle.tell() < offset:
-            handle.truncate(offset)
+    try:
+        with tmp_path.open("wb") as handle:
+            handle.write(_PREAMBLE.pack(MAGIC, ARENA_VERSION, len(encoded)))
+            handle.write(encoded)
+            for entry, (_name, array) in zip(manifest, ordered):
+                handle.seek(int(entry["offset"]))
+                handle.write(array.tobytes())
+            # Pad the file to the last aligned boundary so every mapped view
+            # is in bounds.
+            handle.seek(0, 2)
+            if handle.tell() < offset:
+                handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("arena.before_replace")
+        os.replace(tmp_path, path)
+    except BaseException:
+        # Never leave a stray .tmp behind a failed/killed build; the real
+        # kill case (power loss) is covered by the rename being last.
+        if tmp_path.exists():
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+        raise
+    _fsync_directory(path.parent)
     return path
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory so renames in it are durable."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class Arena:
@@ -440,17 +480,19 @@ class ArenaSocialIndex(SocialIndex):
         """Number of ``(user, tag)`` entries pending compaction."""
         return len(self._overlay)
 
-    def compact(self) -> int:
-        """Fold the overlay back into fresh contiguous CSR arrays.
+    def stage_compact(self) -> Optional[Tuple[_SocialArrays, int]]:
+        """Build the next epoch's arrays without mutating anything.
 
-        A merged read and a compacted read are value-identical, so the
-        single-attribute swap of the frozen-array holder is safe against
-        concurrent lock-free readers; the overlay is cleared only after the
-        new arrays are in place (a reader seeing both gets the same items).
-        Returns the number of overlay entries folded.
+        Returns ``None`` when the overlay is empty, else ``(arrays,
+        folded)`` to hand to :meth:`commit_compact`.  Staging performs all
+        the work that can fail (allocation, merging); the commit is then a
+        pure attribute swap, which is what gives
+        :meth:`~repro.storage.updates.DatasetUpdater.compact` its
+        failure atomicity — an exception mid-compaction leaves the old
+        epoch fully intact.
         """
         if not self._overlay:
-            return 0
+            return None
         staging = self._merged_staging()
         tags = sorted({tag for profile in staging.values() for tag in profile})
         tag_ids = {tag: index for index, tag in enumerate(tags)}
@@ -472,14 +514,33 @@ class ArenaSocialIndex(SocialIndex):
             user_offsets[index + 1] = user_offsets[index] + with_tag
         segment_offsets = np.zeros(len(users) + 1, dtype=np.int64)
         np.cumsum(np.array(lengths, dtype=np.int64), out=segment_offsets[1:])
-        folded = len(self._overlay)
-        self._base = _SocialArrays(
+        arrays = _SocialArrays(
             tag_ids, user_offsets,
             np.array(users, dtype=np.int64), segment_offsets,
             np.array(items, dtype=np.int64))
+        return arrays, len(self._overlay)
+
+    def commit_compact(self, staged: Optional[Tuple[_SocialArrays, int]]
+                       ) -> int:
+        """Install staged arrays; pure attribute swaps that cannot raise.
+
+        A merged read and a compacted read are value-identical, so the
+        single-attribute swap of the frozen-array holder is safe against
+        concurrent lock-free readers; the overlay is cleared only after the
+        new arrays are in place (a reader seeing both gets the same items).
+        Returns the number of overlay entries folded.
+        """
+        if staged is None:
+            return 0
+        arrays, folded = staged
+        self._base = arrays
         self._overlay = {}
         self._overlay_extra = 0
         return folded
+
+    def compact(self) -> int:
+        """Fold the overlay into fresh arrays (stage + commit in one step)."""
+        return self.commit_compact(self.stage_compact())
 
     # -- cold paths ----------------------------------------------------- #
 
@@ -622,20 +683,24 @@ class ArenaTaggingStore(TaggingStore):
         """Number of delta actions pending compaction."""
         return self._delta_len
 
-    def compact(self, endorsers: EndorserIndex) -> int:
-        """Fold the delta into fresh frozen arrays; returns actions folded.
+    def stage_compact(self, endorsers: EndorserIndex
+                      ) -> Optional[Tuple[_TaggingState, int]]:
+        """Build the next epoch's frozen state without mutating anything.
 
         ``endorsers`` must be the live endorser index *after* incremental
         maintenance folded the same delta into it (the normal state when
         every mutation goes through
         :class:`~repro.storage.updates.DatasetUpdater`); its snapshot
-        becomes the next epoch's base.  The swap is a single attribute
-        store, so lock-free fast-path readers see either the old epoch
-        (and a non-empty delta) or the new one — never a mix.
+        becomes the next epoch's base.  Returns ``None`` when the delta is
+        empty, else ``(state, folded)`` for :meth:`commit_compact`.  All
+        validation and allocation happens here; an exception leaves the
+        store byte-for-byte on its old epoch.  Stage and commit must run
+        under the same writer lock (the updater's mutate lock) so no add
+        lands between them.
         """
         with self._lock:
             if not self._delta_len:
-                return 0
+                return None
             state = self._state
             if endorsers.num_entries() != len(state) + self._delta_len:
                 raise StorageError(
@@ -649,8 +714,7 @@ class ArenaTaggingStore(TaggingStore):
                     tag_ids[tag] = len(tag_table)
                     tag_table.append(tag)
             actions = self._delta.actions()
-            folded = self._delta_len
-            self._state = _TaggingState(
+            staged = _TaggingState(
                 tag_table,
                 np.concatenate([state.users, np.array(
                     [a.user_id for a in actions], dtype=np.int64)]),
@@ -662,9 +726,28 @@ class ArenaTaggingStore(TaggingStore):
                     [a.timestamp for a in actions], dtype=np.int64)]),
                 endorsers.snapshot(),
             )
+            return staged, self._delta_len
+
+    def commit_compact(self, staged: Optional[Tuple[_TaggingState, int]]
+                       ) -> int:
+        """Install a staged epoch; pure attribute swaps that cannot raise.
+
+        The swap is a single attribute store, so lock-free fast-path
+        readers see either the old epoch (and a non-empty delta) or the
+        new one — never a mix.  Returns the number of actions folded.
+        """
+        if staged is None:
+            return 0
+        state, folded = staged
+        with self._lock:
+            self._state = state
             self._delta_len = 0
             self._delta = TaggingStore()
             return folded
+
+    def compact(self, endorsers: EndorserIndex) -> int:
+        """Fold the delta into fresh arrays (stage + commit in one step)."""
+        return self.commit_compact(self.stage_compact(endorsers))
 
     # -- array-served hot paths (delta-merged) -------------------------- #
     #

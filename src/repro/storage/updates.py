@@ -31,12 +31,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import StorageError
 from ..graph import SocialGraph, SocialGraphBuilder
+from ..obs.faults import fault_point
 from ..obs.trace import span as obs_span
 from .dataset import Dataset
 from .delta import posting_deltas
 from .items import Item
 from .tagging import TaggingAction
 from .users import User
+from .wal import WriteAheadLog
 
 
 @dataclass
@@ -118,6 +120,12 @@ class DatasetUpdater:
         #: background instead, see ``QueryService``).
         self._compact_threshold = max(0, int(compact_threshold))
         self._epoch = 0
+        #: Optional write-ahead log: when attached, every effective update
+        #: is appended (and made durable per the log's fsync policy)
+        #: *before* the public call returns — i.e. before the update is
+        #: acknowledged.  A crash after the append loses nothing: recovery
+        #: replays the record through this same incremental path.
+        self._wal: Optional[WriteAheadLog] = None
 
     @property
     def dataset(self) -> Dataset:
@@ -134,6 +142,27 @@ class DatasetUpdater:
         """Pending-delta size that triggers an inline compaction (0 = off)."""
         return self._compact_threshold
 
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The attached write-ahead log, if any."""
+        return self._wal
+
+    @property
+    def mutate_lock(self) -> threading.RLock:
+        """The writer lock; the durable store holds it across a checkpoint
+        so no update can be acknowledged into the *old* WAL segment after
+        the new generation's arena has been built."""
+        return self._mutate_lock
+
+    def attach_wal(self, wal: Optional[WriteAheadLog]) -> None:
+        """Attach (or with ``None`` detach) the updater's write-ahead log.
+
+        Detaching is what recovery uses while *replaying* records — the
+        replayed updates are already durable and must not be re-appended.
+        """
+        with self._mutate_lock:
+            self._wal = wal
+
     def pending_delta(self) -> int:
         """Number of delta actions awaiting compaction.
 
@@ -143,6 +172,11 @@ class DatasetUpdater:
         pending.
         """
         return int(getattr(self._dataset.tagging, "delta_size", 0))
+
+    def restore_epoch(self, epoch: int) -> None:
+        """Reset the epoch counter (crash-recovery continuity only)."""
+        with self._mutate_lock:
+            self._epoch = int(epoch)
 
     def compact(self) -> int:
         """Fold the delta overlays back into fresh frozen arrays.
@@ -155,15 +189,38 @@ class DatasetUpdater:
         thread while queries are being served; only writers are blocked.
         Returns the number of delta actions folded; 0 when nothing was
         pending.
+
+        Compaction is **two-phase** for failure atomicity: both stores
+        first *stage* their next epoch (all the work that can fail —
+        validation, allocation, snapshotting), then an epoch marker is
+        appended to the WAL (which can also fail), and only then do the
+        stores *commit* via pure attribute swaps that cannot raise.  An
+        exception anywhere before the commit leaves the updater on the old
+        epoch with its merged reads fully intact.
         """
         with self._mutate_lock, obs_span("updates.compact") as compact_span:
+            tagging = self._dataset.tagging
+            social = self._dataset.social_index
+            stage_tagging = getattr(tagging, "stage_compact", None)
+            staged_tagging = None
             folded = 0
-            tagging_compact = getattr(self._dataset.tagging, "compact", None)
-            if tagging_compact is not None:
-                folded = tagging_compact(self._dataset.endorser_index)
-            social_compact = getattr(self._dataset.social_index, "compact", None)
-            if social_compact is not None:
-                social_compact()
+            if stage_tagging is not None:
+                staged_tagging = stage_tagging(self._dataset.endorser_index)
+                if staged_tagging is not None:
+                    folded = staged_tagging[1]
+            fault_point("compact.stage")
+            stage_social = getattr(social, "stage_compact", None)
+            staged_social = stage_social() if stage_social is not None else None
+            if folded and self._wal is not None:
+                # The marker is durable before the swap: recovery can
+                # correlate log positions with epochs, and a failing append
+                # aborts the compaction with the old epoch intact.
+                self._wal.append_epoch(self._epoch + 1, folded=folded)
+            fault_point("compact.commit")
+            if staged_tagging is not None:
+                tagging.commit_compact(staged_tagging)
+            if staged_social is not None:
+                social.commit_compact(staged_social)
             if folded:
                 self._epoch += 1
             compact_span.set(actions_folded=folded)
@@ -227,16 +284,23 @@ class DatasetUpdater:
             for user_id in range(old.num_users, new_size):
                 self._dataset.users.add(User(user_id=user_id, name=f"user-{user_id}"))
             summary.users_added = count
+            if self._wal is not None:
+                self._wal.append("users", {"count": count})
             return self._notify(summary)
 
     def add_items(self, items: Iterable[Item]) -> UpdateSummary:
         """Register new items in the catalogue."""
         summary = UpdateSummary()
+        added: List[Item] = []
         with self._mutate_lock:
             for item in items:
                 if item.item_id not in self._dataset.items:
                     self._dataset.items.add(item)
+                    added.append(item)
                     summary.items_added += 1
+            if added and self._wal is not None:
+                self._wal.append("items", {
+                    "items": [item.to_dict() for item in added]})
             return self._notify(summary)
 
     def add_friendships(self, edges: Iterable[Tuple[int, int, float]]) -> UpdateSummary:
@@ -257,6 +321,12 @@ class DatasetUpdater:
                 summary.users_touched.update((u, v))
             summary.edges_added = builder.num_edges - before
             self._dataset.graph = builder.build()
+            if summary.edges_added and self._wal is not None:
+                # The full batch is logged (not just the novel edges):
+                # replaying duplicates through the graph builder is
+                # idempotent, and the record mirrors what the caller sent.
+                self._wal.append("friendships", {
+                    "edges": [[int(u), int(v), float(w)] for u, v, w in edges]})
             return self._notify(summary)
 
     def add_actions(self, actions: Iterable[TaggingAction]) -> UpdateSummary:
@@ -273,6 +343,7 @@ class DatasetUpdater:
         summary = UpdateSummary()
         touched_tags: Set[str] = set()
         touched_users: Set[int] = set()
+        recorded: List[TaggingAction] = []
         by_tag: Dict[str, Dict[int, List[int]]] = {}
         by_user_tag: Dict[Tuple[int, str], List[int]] = {}
         with self._mutate_lock:
@@ -284,6 +355,7 @@ class DatasetUpdater:
                     )
                 if self._dataset.tagging.add(action):
                     summary.actions_added += 1
+                    recorded.append(action)
                     touched_tags.add(action.tag)
                     touched_users.add(action.user_id)
                     summary.items_touched.setdefault(action.item_id,
@@ -304,6 +376,15 @@ class DatasetUpdater:
                     self._dataset.inverted_index.apply_delta(
                         posting_deltas(by_tag))
                     self._dataset.social_index.apply_delta(by_user_tag)
+                if self._wal is not None:
+                    # Durable *before* the caller gets its summary back —
+                    # the WAL contract: an acknowledged action survives a
+                    # crash.  A failing append raises and nothing is acked
+                    # (the in-memory state is ahead of the log, which is
+                    # safe: at-least-once, never lost-after-ack).  Only the
+                    # effective post-dedup actions are logged, so replaying
+                    # through this same method is exactly idempotent.
+                    self._wal.append_actions(recorded)
             summary.tags_touched = touched_tags
             summary.users_touched |= touched_users
             return self._notify(summary)

@@ -1,0 +1,358 @@
+"""Append-only update log (WAL) for the durable write path.
+
+Acknowledged live updates used to live only in in-memory delta overlays
+(:mod:`repro.storage.delta`): a crash lost every update since the arena was
+built.  The WAL closes that hole — :class:`~repro.storage.updates.DatasetUpdater`
+appends each effective update batch *before acknowledging it*, so recovery
+(:mod:`repro.storage.durable`) can replay the log over the newest arena
+generation and reconstruct exactly the acknowledged state.
+
+On-disk format (little-endian)::
+
+    magic "RPRWAL01"                               (8-byte file header)
+    repeat:
+        uint32 payload_length | uint32 crc32(payload) | payload bytes
+
+The payload is one UTF-8 JSON object ``{"kind": ..., ...}``; record kinds
+are ``actions`` / ``friendships`` / ``users`` / ``items`` (the update
+batches) and ``epoch`` (a marker emitted by ``DatasetUpdater.compact``
+when the delta overlays fold, letting readers correlate log positions with
+arena generations).  The length prefix + CRC make every record
+self-validating: a **torn final record** — the one crash artefact an
+append-only log can legally contain — is detected by a short read or a CRC
+mismatch and treated as end-of-log, never as corruption of the records
+before it.
+
+Durability is governed by the **fsync policy**:
+
+* ``always`` — fsync after every append: an acknowledgement implies the
+  record is on stable storage (the default, and the only policy under
+  which the "zero acked updates lost" guarantee is unconditional);
+* ``interval`` — flush every append, fsync at most once per
+  ``fsync_interval_seconds``: bounded data loss, amortised fsync cost;
+* ``off`` — flush to the OS page cache only: survives process crashes but
+  not power loss; the benchmark baseline.
+
+Appends, replay and fsyncs are instrumented: spans via
+:mod:`repro.obs.trace` and counters/histograms pushed into the process
+metrics registry (``repro_wal_*``), surfaced by ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..errors import PersistenceError
+from ..obs.faults import fault_point
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.trace import span as obs_span
+from .items import Item
+from .tagging import TaggingAction
+
+PathLike = Union[str, Path]
+
+WAL_MAGIC = b"RPRWAL01"
+_RECORD_HEADER = struct.Struct("<II")
+
+FSYNC_POLICIES = ("always", "interval", "off")
+
+#: Record kinds understood by replay (anything else is rejected at append).
+RECORD_KINDS = ("actions", "friendships", "users", "items", "epoch")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record: its kind, JSON payload and position."""
+
+    lsn: int
+    kind: str
+    payload: Dict[str, object]
+
+    def actions(self) -> List[TaggingAction]:
+        """The tagging actions of an ``actions`` record."""
+        return [TaggingAction.from_dict(entry)
+                for entry in self.payload.get("actions", [])]
+
+    def friendships(self) -> List[Tuple[int, int, float]]:
+        """The ``(u, v, w)`` edges of a ``friendships`` record."""
+        return [(int(u), int(v), float(w))
+                for u, v, w in self.payload.get("edges", [])]
+
+    def items(self) -> List[Item]:
+        """The catalogue items of an ``items`` record."""
+        return [Item.from_dict(entry)
+                for entry in self.payload.get("items", [])]
+
+
+@dataclass
+class WalScan:
+    """Result of scanning a log file: the valid prefix plus tail diagnosis."""
+
+    records: List[WalRecord] = field(default_factory=list)
+    #: Byte offset one past the last fully valid record; appending must
+    #: resume here (truncating any torn tail first).
+    valid_bytes: int = len(WAL_MAGIC)
+    #: Whether trailing bytes past the valid prefix were found and ignored.
+    torn: bool = False
+
+
+def _encode_record(kind: str, payload: Dict[str, object]) -> bytes:
+    body = dict(payload)
+    body["kind"] = kind
+    encoded = json.dumps(body, sort_keys=True).encode("utf-8")
+    return _RECORD_HEADER.pack(len(encoded), zlib.crc32(encoded)) + encoded
+
+
+class WriteAheadLog:
+    """One append-only log segment with a configurable fsync policy.
+
+    Thread-safe: appends from concurrent updaters serialise on an internal
+    lock (the callers — ``DatasetUpdater`` under its mutate lock — already
+    serialise, but the log must not rely on that).
+    """
+
+    def __init__(self, path: PathLike, fsync: str = "always",
+                 fsync_interval_seconds: float = 0.05,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise PersistenceError(
+                f"unknown WAL fsync policy {fsync!r}; "
+                f"expected one of {FSYNC_POLICIES}")
+        if fsync_interval_seconds < 0:
+            raise PersistenceError(
+                f"fsync_interval_seconds must be >= 0, "
+                f"got {fsync_interval_seconds}")
+        self.path = Path(path)
+        self.fsync_policy = fsync
+        self.fsync_interval_seconds = fsync_interval_seconds
+        self._lock = threading.Lock()
+        self._last_fsync = 0.0
+        self._closed = False
+        registry = registry or get_registry()
+        self._records_metric = registry.counter(
+            "wal_records_appended_total", "WAL records appended.")
+        self._bytes_metric = registry.counter(
+            "wal_bytes_appended_total", "WAL bytes appended.")
+        self._fsync_metric = registry.counter(
+            "wal_fsync_total", "WAL fsync calls issued.")
+        self._fsync_histogram = registry.histogram(
+            "wal_fsync_seconds", "Latency of WAL fsync calls.")
+        # Session accounting (the registry counters aggregate across
+        # segments and processes; these are this segment's own numbers).
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.fsyncs = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._handle = self.path.open("ab")
+        if fresh:
+            self._handle.write(WAL_MAGIC)
+            self._handle.flush()
+            self._fsync(force=True)
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+
+    def append(self, kind: str, payload: Dict[str, object]) -> int:
+        """Append one record and make it durable per the fsync policy.
+
+        Returns the record's LSN (its index within this segment).  The
+        record is on stable storage when this returns under the ``always``
+        policy; under ``interval``/``off`` it is at least in the OS page
+        cache.  Raises :class:`PersistenceError` for unknown kinds and
+        propagates I/O errors — the caller must *not* acknowledge the
+        update when append raises.
+        """
+        if kind not in RECORD_KINDS:
+            raise PersistenceError(
+                f"unknown WAL record kind {kind!r}; "
+                f"expected one of {RECORD_KINDS}")
+        blob = _encode_record(kind, payload)
+        with self._lock, obs_span("wal.append", kind=kind, bytes=len(blob)):
+            if self._closed:
+                raise PersistenceError(
+                    f"cannot append to closed WAL {self.path}")
+            fault_point("wal.before_append")
+            self._handle.write(blob)
+            self._handle.flush()
+            if self.fsync_policy == "always":
+                self._fsync(force=True)
+            elif self.fsync_policy == "interval":
+                self._fsync(force=False)
+            lsn = self.records_appended
+            self.records_appended += 1
+            self.bytes_appended += len(blob)
+            self._records_metric.inc()
+            self._bytes_metric.inc(len(blob))
+            fault_point("wal.after_append")
+            return lsn
+
+    def append_actions(self, actions: Iterable[TaggingAction]) -> int:
+        """Append an ``actions`` record (the common live-update batch)."""
+        return self.append("actions", {
+            "actions": [action.to_dict() for action in actions]})
+
+    def append_epoch(self, epoch: int, folded: int = 0) -> int:
+        """Append the marker ``DatasetUpdater.compact`` emits per fold."""
+        return self.append("epoch", {"epoch": int(epoch),
+                                     "folded": int(folded)})
+
+    def sync(self) -> None:
+        """Force an fsync regardless of policy (checkpoint barriers)."""
+        with self._lock:
+            if not self._closed:
+                self._handle.flush()
+                self._fsync(force=True)
+
+    def _fsync(self, force: bool) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_fsync < self.fsync_interval_seconds:
+            return
+        fault_point("wal.fsync")
+        started = time.perf_counter()
+        import os
+
+        os.fsync(self._handle.fileno())
+        self._fsync_histogram.observe(time.perf_counter() - started)
+        self._fsync_metric.inc()
+        self.fsyncs += 1
+        self._last_fsync = now
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Flush, sync and close the segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.flush()
+            try:
+                self._fsync(force=True)
+            finally:
+                self._closed = True
+                self._handle.close()
+
+    def stats(self) -> Dict[str, object]:
+        """Plain-dict accounting for ``stats()`` / logs."""
+        return {
+            "path": str(self.path),
+            "fsync_policy": self.fsync_policy,
+            "records_appended": self.records_appended,
+            "bytes_appended": self.bytes_appended,
+            "fsyncs": self.fsyncs,
+        }
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# Reading a log back
+# --------------------------------------------------------------------- #
+
+def scan_wal(path: PathLike) -> WalScan:
+    """Decode every valid record of a log file, tolerating a torn tail.
+
+    The scan stops — without raising — at the first short header, short
+    payload or CRC mismatch: that is the torn final record a crash during
+    an append legally leaves behind.  A bad *magic* or an unreadable file
+    is real corruption and raises :class:`PersistenceError`.
+    """
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise PersistenceError(f"failed to read WAL {path}: {exc}") from exc
+    if len(blob) < len(WAL_MAGIC) or blob[:len(WAL_MAGIC)] != WAL_MAGIC:
+        raise PersistenceError(f"{path}: not a WAL file (bad magic)")
+    scan = WalScan()
+    offset = len(WAL_MAGIC)
+    with obs_span("wal.scan", path=str(path)) as scan_span:
+        while offset < len(blob):
+            if offset + _RECORD_HEADER.size > len(blob):
+                scan.torn = True
+                break
+            length, crc = _RECORD_HEADER.unpack_from(blob, offset)
+            start = offset + _RECORD_HEADER.size
+            end = start + length
+            if end > len(blob):
+                scan.torn = True
+                break
+            payload_bytes = blob[start:end]
+            if zlib.crc32(payload_bytes) != crc:
+                scan.torn = True
+                break
+            try:
+                payload = json.loads(payload_bytes.decode("utf-8"))
+                kind = str(payload.pop("kind"))
+            except (ValueError, KeyError) as exc:
+                raise PersistenceError(
+                    f"{path}: record {len(scan.records)} passed its CRC "
+                    f"but failed to decode: {exc}") from exc
+            scan.records.append(WalRecord(lsn=len(scan.records), kind=kind,
+                                          payload=payload))
+            offset = end
+            scan.valid_bytes = offset
+        scan_span.set(records=len(scan.records), torn=scan.torn)
+    return scan
+
+
+def torn_tail_offset(path: PathLike) -> int:
+    """Byte offset where the final record of a log file begins.
+
+    Used by the fault harness to tear the last record; raises
+    :class:`PersistenceError` when the file holds no complete record.
+    """
+    scan = scan_wal(path)
+    if not scan.records:
+        raise PersistenceError(f"{path}: no complete record to tear")
+    last = scan.records[-1]
+    blob = _encode_record(last.kind, dict(last.payload))
+    return scan.valid_bytes - len(blob)
+
+
+def truncate_torn_tail(path: PathLike) -> int:
+    """Drop any torn tail so the file ends at its last valid record.
+
+    Returns the number of bytes removed (0 when the file was clean).
+    Appending to a log whose tail is torn would strand the new records
+    behind garbage, so recovery calls this before reopening the segment
+    for writing.
+    """
+    path = Path(path)
+    scan = scan_wal(path)
+    size = path.stat().st_size
+    removed = size - scan.valid_bytes
+    if removed > 0:
+        with path.open("rb+") as handle:
+            handle.truncate(scan.valid_bytes)
+            import os
+
+            os.fsync(handle.fileno())
+    return removed
+
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "RECORD_KINDS",
+    "WAL_MAGIC",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "scan_wal",
+    "torn_tail_offset",
+    "truncate_torn_tail",
+]

@@ -1,0 +1,127 @@
+"""Tests for the fault-injection harness (repro.obs.faults)."""
+
+import pytest
+
+from repro.obs.faults import (
+    InjectedCrash,
+    InjectedFault,
+    armed,
+    fault_point,
+    faults,
+    tear_final_record,
+)
+from repro.storage.wal import WriteAheadLog, scan_wal
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestFaultRegistry:
+    def test_disarmed_point_is_a_no_op(self):
+        fault_point("wal.before_append")  # must not raise
+
+    def test_armed_point_raises_injected_crash(self):
+        faults.arm("wal.before_append")
+        with pytest.raises(InjectedCrash) as excinfo:
+            fault_point("wal.before_append")
+        assert excinfo.value.point == "wal.before_append"
+
+    def test_injected_crash_is_not_an_exception(self):
+        # A simulated kill must not be swallowed by broad except Exception.
+        assert not issubclass(InjectedCrash, Exception)
+        assert issubclass(InjectedFault, Exception)
+
+    def test_custom_exception_payload(self):
+        faults.arm("wal.fsync", exc=OSError("disk gone"))
+        with pytest.raises(OSError, match="disk gone"):
+            fault_point("wal.fsync")
+
+    def test_after_skips_the_first_hits(self):
+        faults.arm("p", after=2)
+        fault_point("p")
+        fault_point("p")
+        with pytest.raises(InjectedCrash):
+            fault_point("p")
+
+    def test_times_fires_then_disarms(self):
+        faults.arm("p", exc=InjectedFault("p"), times=2)
+        with pytest.raises(InjectedFault):
+            fault_point("p")
+        with pytest.raises(InjectedFault):
+            fault_point("p")
+        fault_point("p")  # disarmed after two firings
+        assert not faults.active
+
+    def test_callback_runs_without_raising(self):
+        seen = []
+        faults.arm("p", callback=seen.append)
+        fault_point("p")
+        assert seen == ["p"]
+
+    def test_hits_counted_while_armed(self):
+        faults.arm("other")
+        fault_point("p")
+        fault_point("p")
+        assert faults.hits("p") == 2
+
+    def test_disarm_and_reset(self):
+        faults.arm("p")
+        faults.arm("q")
+        assert faults.armed_points() == ["p", "q"]
+        faults.disarm("p")
+        assert faults.armed_points() == ["q"]
+        faults.reset()
+        assert not faults.active
+        assert faults.armed_points() == []
+
+    def test_invalid_schedules_rejected(self):
+        with pytest.raises(ValueError):
+            faults.arm("p", after=-1)
+        with pytest.raises(ValueError):
+            faults.arm("p", times=0)
+
+
+class TestArmedContextManager:
+    def test_disarms_on_exit(self):
+        with armed("p"):
+            assert faults.armed_points() == ["p"]
+        assert faults.armed_points() == []
+
+    def test_disarms_when_the_crash_propagates(self):
+        with pytest.raises(InjectedCrash):
+            with armed("p"):
+                fault_point("p")
+        assert not faults.active
+
+
+class TestTearFinalRecord:
+    def _wal_with_records(self, tmp_path, count=3):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync="off")
+        for index in range(count):
+            wal.append("users", {"count": index})
+        wal.close()
+        return wal.path
+
+    def test_tears_only_the_final_record(self, tmp_path):
+        path = self._wal_with_records(tmp_path, count=3)
+        removed = tear_final_record(path, keep_bytes=3)
+        assert removed > 0
+        scan = scan_wal(path)
+        assert scan.torn
+        assert [record.payload["count"] for record in scan.records] == [0, 1]
+
+    def test_keep_zero_bytes_drops_the_record_cleanly(self, tmp_path):
+        path = self._wal_with_records(tmp_path, count=2)
+        tear_final_record(path, keep_bytes=0)
+        scan = scan_wal(path)
+        assert not scan.torn  # nothing of the record survives: clean tail
+        assert len(scan.records) == 1
+
+    def test_refuses_to_keep_the_record_intact(self, tmp_path):
+        path = self._wal_with_records(tmp_path, count=1)
+        with pytest.raises(ValueError):
+            tear_final_record(path, keep_bytes=10_000)

@@ -266,3 +266,57 @@ class TestIncrementalMaintenance:
         # The fourth action crossed the threshold and compacted inline.
         assert updater.epoch == 1
         assert updater.pending_delta() == 2
+
+
+class TestCompactionFaultAtomicity:
+    """Fault-injected regression: a failed compaction commits nothing.
+
+    Compaction is staged (all fallible work) and then committed (pure
+    attribute swaps); a crash between the two must leave the old epoch,
+    the old overlays and identical merged reads behind — the exact window
+    that used to be able to publish a half-folded store.
+    """
+
+    def _arena_backed(self, tmp_path):
+        dataset = tiny_dataset()
+        path = tmp_path / "atomic.arena"
+        dataset.to_arena(path)
+        live = Dataset.from_arena(path)
+        updater = DatasetUpdater(live)
+        tag = live.tags()[0]
+        updater.add_actions([
+            TaggingAction(user_id=index % live.num_users,
+                          item_id=80_000 + index, tag=tag,
+                          timestamp=index)
+            for index in range(5)
+        ])
+        return live, updater, tag
+
+    def _merged_reads(self, live, tag):
+        arrays = live.inverted_index.arrays(tag)
+        return (arrays.item_ids.tolist(), arrays.frequencies.tolist(),
+                live.inverted_index.max_frequency(tag))
+
+    @pytest.mark.parametrize("point", ["compact.stage", "compact.commit"])
+    def test_crash_mid_compaction_commits_nothing(self, tmp_path, point):
+        from repro.obs.faults import InjectedCrash, armed
+
+        live, updater, tag = self._arena_backed(tmp_path)
+        before = self._merged_reads(live, tag)
+        pending = updater.pending_delta()
+        assert pending == 5
+
+        with armed(point):
+            with pytest.raises(InjectedCrash):
+                updater.compact()
+
+        # Nothing committed: old epoch, overlays still pending, reads same.
+        assert updater.epoch == 0
+        assert updater.pending_delta() == pending
+        assert self._merged_reads(live, tag) == before
+
+        # The survivor path: the very next compaction folds cleanly.
+        assert updater.compact() == pending
+        assert updater.epoch == 1
+        assert updater.pending_delta() == 0
+        assert self._merged_reads(live, tag) == before

@@ -1,0 +1,160 @@
+"""Tests for the append-only update log (repro.storage.wal)."""
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.storage import Item, TaggingAction
+from repro.storage.wal import (
+    WAL_MAGIC,
+    WriteAheadLog,
+    scan_wal,
+    torn_tail_offset,
+    truncate_torn_tail,
+)
+
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return tmp_path / "wal-0.log"
+
+
+class TestAppendAndScan:
+    def test_fresh_file_starts_with_magic(self, wal_path):
+        WriteAheadLog(wal_path, fsync="off").close()
+        assert wal_path.read_bytes() == WAL_MAGIC
+
+    def test_record_roundtrip_all_kinds(self, wal_path):
+        actions = [TaggingAction(1, 100, "jazz", timestamp=7)]
+        items = [Item(item_id=300, title="new-item")]
+        with WriteAheadLog(wal_path, fsync="off") as wal:
+            wal.append_actions(actions)
+            wal.append("friendships", {"edges": [[0, 4, 0.5]]})
+            wal.append("users", {"count": 2})
+            wal.append("items", {"items": [item.to_dict() for item in items]})
+            wal.append_epoch(3, folded=12)
+        scan = scan_wal(wal_path)
+        assert not scan.torn
+        assert [record.kind for record in scan.records] == [
+            "actions", "friendships", "users", "items", "epoch"]
+        assert scan.records[0].actions() == actions
+        assert scan.records[1].friendships() == [(0, 4, 0.5)]
+        assert scan.records[2].payload["count"] == 2
+        assert [item.item_id for item in scan.records[3].items()] == [300]
+        assert scan.records[4].payload == {"epoch": 3, "folded": 12}
+
+    def test_lsns_are_sequential_per_segment(self, wal_path):
+        with WriteAheadLog(wal_path, fsync="off") as wal:
+            assert [wal.append("users", {"count": i}) for i in range(3)] \
+                == [0, 1, 2]
+
+    def test_reopen_appends_after_existing_records(self, wal_path):
+        with WriteAheadLog(wal_path, fsync="off") as wal:
+            wal.append("users", {"count": 1})
+        with WriteAheadLog(wal_path, fsync="off") as wal:
+            wal.append("users", {"count": 2})
+        counts = [record.payload["count"]
+                  for record in scan_wal(wal_path).records]
+        assert counts == [1, 2]
+
+    def test_unknown_kind_rejected(self, wal_path):
+        with WriteAheadLog(wal_path, fsync="off") as wal:
+            with pytest.raises(PersistenceError):
+                wal.append("bogus", {})
+
+    def test_append_after_close_rejected(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync="off")
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(PersistenceError):
+            wal.append("users", {"count": 1})
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "not-a-wal.log"
+        path.write_bytes(b"GARBAGE!" + b"\x00" * 16)
+        with pytest.raises(PersistenceError):
+            scan_wal(path)
+
+    def test_stats_accounting(self, wal_path):
+        with WriteAheadLog(wal_path, fsync="off") as wal:
+            wal.append("users", {"count": 1})
+            stats = wal.stats()
+        assert stats["records_appended"] == 1
+        assert stats["bytes_appended"] > 0
+        assert stats["fsync_policy"] == "off"
+
+
+class TestTornTail:
+    def _write(self, path, count):
+        with WriteAheadLog(path, fsync="off") as wal:
+            for index in range(count):
+                wal.append("users", {"count": index})
+
+    def test_short_payload_treated_as_end_of_log(self, wal_path):
+        self._write(wal_path, 3)
+        start = torn_tail_offset(wal_path)
+        with wal_path.open("rb+") as handle:
+            handle.truncate(start + 5)  # header survives, payload torn
+        scan = scan_wal(wal_path)
+        assert scan.torn
+        assert len(scan.records) == 2
+        assert scan.valid_bytes == start
+
+    def test_corrupted_crc_treated_as_end_of_log(self, wal_path):
+        self._write(wal_path, 2)
+        blob = bytearray(wal_path.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload byte of the final record
+        wal_path.write_bytes(bytes(blob))
+        scan = scan_wal(wal_path)
+        assert scan.torn
+        assert len(scan.records) == 1
+
+    def test_truncate_torn_tail_then_append(self, wal_path):
+        self._write(wal_path, 2)
+        start = torn_tail_offset(wal_path)
+        with wal_path.open("rb+") as handle:
+            handle.truncate(start + 3)
+        removed = truncate_torn_tail(wal_path)
+        assert removed == 3
+        assert truncate_torn_tail(wal_path) == 0  # already clean
+        with WriteAheadLog(wal_path, fsync="off") as wal:
+            wal.append("users", {"count": 99})
+        scan = scan_wal(wal_path)
+        assert not scan.torn
+        assert [record.payload["count"] for record in scan.records] == [0, 99]
+
+    def test_torn_tail_offset_requires_a_record(self, wal_path):
+        WriteAheadLog(wal_path, fsync="off").close()
+        with pytest.raises(PersistenceError):
+            torn_tail_offset(wal_path)
+
+
+class TestFsyncPolicies:
+    def test_always_syncs_every_append(self, wal_path):
+        with WriteAheadLog(wal_path, fsync="always") as wal:
+            baseline = wal.fsyncs  # the fresh-file magic sync
+            wal.append("users", {"count": 1})
+            wal.append("users", {"count": 2})
+            assert wal.fsyncs == baseline + 2
+
+    def test_off_never_syncs_on_append(self, wal_path):
+        with WriteAheadLog(wal_path, fsync="off") as wal:
+            baseline = wal.fsyncs
+            wal.append("users", {"count": 1})
+            assert wal.fsyncs == baseline
+
+    def test_interval_amortises_syncs(self, wal_path):
+        with WriteAheadLog(wal_path, fsync="interval",
+                           fsync_interval_seconds=3600.0) as wal:
+            baseline = wal.fsyncs
+            for index in range(5):
+                wal.append("users", {"count": index})
+            assert wal.fsyncs == baseline  # interval not yet elapsed
+            wal.sync()
+            assert wal.fsyncs == baseline + 1
+
+    def test_unknown_policy_rejected(self, wal_path):
+        with pytest.raises(PersistenceError):
+            WriteAheadLog(wal_path, fsync="sometimes")
+        with pytest.raises(PersistenceError):
+            WriteAheadLog(wal_path, fsync="interval",
+                          fsync_interval_seconds=-1.0)
