@@ -205,6 +205,8 @@ def _run_bench_suite(args: argparse.Namespace) -> int:
         return _run_partitioned_suite(args)
     if args.suite == "durability":
         return _run_durability_suite(args)
+    if args.suite == "scale":
+        return _run_scale_suite(args)
     report = run_topk_suite(
         num_users=args.users,
         num_queries=args.queries,
@@ -383,6 +385,43 @@ def _run_durability_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scale_suite(args: argparse.Namespace) -> int:
+    """Out-of-core corpus sweep: streaming builds, RSS, operating point."""
+    from .eval.bench import write_report
+    from .eval.scale import DEFAULT_SIZES, format_scale_report, run_scale_suite
+
+    sizes = DEFAULT_SIZES
+    if args.scale_sizes:
+        sizes = tuple(int(part) for part in args.scale_sizes.split(",")
+                      if part.strip())
+    report = run_scale_suite(
+        sizes=sizes,
+        num_queries=args.queries,
+        k=args.k,
+        rounds=args.rounds,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+        compare_users=args.scale_compare_users,
+        target_p50_ms=args.target_p50_ms,
+        rss_ceiling_mb=args.rss_ceiling_mb,
+    )
+    print(format_scale_report(report))
+    if args.json:
+        path = write_report(report, args.json)
+        print(f"wrote {path}")
+    if not report["equivalent"]:
+        print("FAIL: the streaming build diverges from the in-memory "
+              "builder (arena bytes or query answers differ)")
+        return 1
+    ratio = float(report["memory_comparison"]["rss_ratio"])  # type: ignore[index]
+    if args.min_rss_ratio > 0.0 and ratio < args.min_rss_ratio:
+        print(f"FAIL: in-memory/streaming build peak-RSS ratio "
+              f"{ratio:.2f}x is below the required "
+              f"{args.min_rss_ratio:.2f}x")
+        return 1
+    return 0
+
+
 def _load_serving_dataset(args: argparse.Namespace):
     if getattr(args, "arena", None):
         from .storage.dataset import Dataset
@@ -535,6 +574,32 @@ def _command_build_arena(args: argparse.Namespace) -> int:
 
     from .storage.arena import build_arena
 
+    if args.stream:
+        # Out-of-core path: the corpus is generated chunk-at-a-time and the
+        # index sections are assembled through scratch memmaps, so the
+        # whole dataset never exists as Python objects.
+        from .storage.arena_stream import build_arena_streaming
+        from .workload.datasets import scaled_config
+
+        if args.snapshot:
+            print("--stream builds a synthetic scaled corpus and cannot "
+                  "read a snapshot; drop --snapshot or --stream")
+            return 1
+        if args.materialize:
+            print("--stream does not support --materialize (proximity "
+                  "shards are built from a loaded arena instead)")
+            return 1
+        config = scaled_config(args.users, seed=args.seed)
+        started = _time.perf_counter()
+        path = build_arena_streaming(config, args.output,
+                                     chunk_size=args.chunk_size)
+        elapsed = (_time.perf_counter() - started) * 1000.0
+        size = path.stat().st_size
+        print(f"wrote arena {path} ({size} bytes) in {elapsed:.1f} ms: "
+              f"streamed {config.name!r} ({config.num_users} users, "
+              f"{config.num_actions} actions, chunk {args.chunk_size})")
+        return 0
+
     dataset = _load_serving_dataset(args)
     proximity = None
     if args.materialize:
@@ -638,7 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="algorithms to measure (both modes)")
     bench.add_argument("--suite", nargs="?", const="topk", default=None,
                        choices=("topk", "proximity", "updates", "partitioned",
-                                "durability"),
+                                "durability", "scale"),
                        help="run a headless bench_fig*-style suite: 'topk' "
                             "(p50/p95/qps + vectorized-vs-scalar speedup; "
                             "the default when no value is given), "
@@ -654,7 +719,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(chaos sweep killing the write path at every "
                             "fault-injection point, with an acked-update-"
                             "loss gate, recovery equivalence gate, replay "
-                            "timing and WAL fsync-policy overhead)")
+                            "timing and WAL fsync-policy overhead) or "
+                            "'scale' (out-of-core corpus sweep: streaming "
+                            "arena builds vs the in-memory builder with "
+                            "per-size peak RSS, cold start and serving "
+                            "p50/p95, a byte-identity equivalence gate and "
+                            "an optional operating-point binary search)")
     bench.add_argument("--users", type=int, default=200,
                        help="suite dataset size in users (default: 200, the "
                             "Figure-6 medium point)")
@@ -683,6 +753,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trace-jsonl", default=None, metavar="PATH",
                        help="topk suite: write one fully-traced query's "
                             "spans as JSON lines to PATH (CI artifact)")
+    bench.add_argument("--scale-sizes", default=None, metavar="N,N,...",
+                       help="scale suite: comma-separated corpus sizes in "
+                            "users (default: 2500,10000,25000,50000,100000)")
+    bench.add_argument("--chunk-size", type=int, default=100000,
+                       help="scale suite: streaming generator batch size in "
+                            "actions (default: 100000)")
+    bench.add_argument("--scale-compare-users", type=int, default=None,
+                       help="scale suite: corpus size for the in-memory vs "
+                            "streaming peak-RSS comparison (default: the "
+                            "largest sweep size)")
+    bench.add_argument("--target-p50-ms", type=float, default=None,
+                       help="scale suite: serving-latency target; enables "
+                            "the operating-point binary search for the "
+                            "largest corpus meeting it")
+    bench.add_argument("--rss-ceiling-mb", type=float, default=None,
+                       help="scale suite: peak-RSS ceiling (build and "
+                            "serve) for the operating-point search")
+    bench.add_argument("--min-rss-ratio", type=float, default=0.0,
+                       help="scale suite: exit non-zero when the in-memory/"
+                            "streaming build peak-RSS ratio falls below "
+                            "this factor (0 = report only)")
     _add_engine_arguments(bench)
     bench.set_defaults(handler=_command_bench)
 
@@ -706,6 +797,18 @@ def build_parser() -> argparse.ArgumentParser:
     build_arena.add_argument("--cluster-rounds", type=int, default=5,
                              help="label-propagation rounds for the seeker "
                                   "partition (default: 5)")
+    build_arena.add_argument("--stream", action="store_true",
+                             help="build out-of-core: generate a scaled "
+                                  "synthetic corpus (--users) chunk-at-a-"
+                                  "time and assemble the arena through "
+                                  "scratch memmaps; byte-identical to the "
+                                  "in-memory build at the same seed")
+    build_arena.add_argument("--users", type=int, default=2500,
+                             help="with --stream: corpus size in users "
+                                  "(default: 2500)")
+    build_arena.add_argument("--chunk-size", type=int, default=100000,
+                             help="with --stream: generator batch size in "
+                                  "actions (default: 100000)")
     build_arena.set_defaults(handler=_command_build_arena)
 
     explain = subparsers.add_parser(

@@ -13,7 +13,15 @@ from .metrics import (
     reciprocal_rank,
     summarize_metric,
 )
-from .timing import LatencyRecorder, Timer
+from .timing import (
+    LatencyRecorder,
+    MemoryMeter,
+    Timer,
+    current_rss_bytes,
+    measure_in_subprocess,
+    memory_summary,
+    peak_rss_bytes,
+)
 from .runner import AlgorithmReport, ExperimentRunner, WorkloadReport, sweep
 from .bench import (
     format_proximity_report,
@@ -24,6 +32,7 @@ from .bench import (
     run_updates_suite,
     write_report,
 )
+from .scale import format_scale_report, run_scale_suite
 from .tables import format_series, format_table, select_columns
 from .plots import ascii_bar_chart, ascii_line_chart, series_from_rows
 
@@ -41,16 +50,23 @@ __all__ = [
     "summarize_metric",
     "Timer",
     "LatencyRecorder",
+    "MemoryMeter",
+    "current_rss_bytes",
+    "measure_in_subprocess",
+    "memory_summary",
+    "peak_rss_bytes",
     "ExperimentRunner",
     "AlgorithmReport",
     "WorkloadReport",
     "sweep",
     "run_proximity_suite",
+    "run_scale_suite",
     "run_topk_suite",
     "run_updates_suite",
     "write_report",
     "format_proximity_report",
     "format_report",
+    "format_scale_report",
     "format_updates_report",
     "format_table",
     "format_series",

@@ -50,7 +50,7 @@ from ..storage.dataset import Dataset
 from ..storage.tagging import TaggingAction
 from ..workload.datasets import scaled_dataset
 from ..workload.queries import generate_workload
-from .timing import percentile
+from .timing import memory_summary, percentile
 
 PathLike = Union[str, Path]
 
@@ -162,6 +162,7 @@ def run_topk_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
         report["instrumentation"] = _measure_instrumentation(
             _engine(dataset, vectorized=True, alpha=alpha, measure=measure),
             queries, rounds, trace_jsonl=trace_jsonl)
+    report["memory"] = memory_summary()
     return report
 
 
@@ -418,6 +419,7 @@ def run_proximity_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
         "num_mismatches": len(mismatches),
     }
     report["equivalent"] = not mismatches
+    report["memory"] = memory_summary()
     return report
 
 
@@ -611,6 +613,7 @@ def run_updates_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
         "num_mismatches": len(mismatches),
     }
     report["equivalent"] = not mismatches
+    report["memory"] = memory_summary()
     return report
 
 
@@ -755,6 +758,7 @@ def run_partitioned_suite(num_users: int = 600, num_queries: int = 20,
         "num_mismatches": len(mismatches),
     }
     report["equivalent"] = not mismatches
+    report["memory"] = memory_summary()
     return report
 
 
@@ -783,6 +787,7 @@ def format_partitioned_report(report: Dict[str, object]) -> str:
         f"equivalence   {'OK' if report['equivalent'] else 'FAILED'} "
         f"({report['equivalence']['queries_checked']} checks, "  # type: ignore[index]
         f"{report['equivalence']['num_mismatches']} mismatches)")  # type: ignore[index]
+    lines.extend(_memory_line(report))
     return "\n".join(lines)
 
 
@@ -808,6 +813,7 @@ def format_updates_report(report: Dict[str, object]) -> str:
         f"({report['equivalence']['queries_checked']} checks vs fresh "  # type: ignore[index]
         f"rebuild, {report['equivalence']['num_mismatches']} mismatches)",  # type: ignore[index]
     ]
+    lines.extend(_memory_line(report))
     return "\n".join(lines)
 
 
@@ -1198,6 +1204,7 @@ def run_durability_suite(num_users: int = MEDIUM_USERS, num_queries: int = 10,
     }
     report["equivalent"] = (not all_mismatches and all_fired
                             and not swap_errors)
+    report["memory"] = memory_summary()
     return report
 
 
@@ -1246,6 +1253,7 @@ def format_durability_report(report: Dict[str, object]) -> str:
         f"equivalence       {'OK' if report['equivalent'] else 'FAILED'} "
         f"({report['equivalence']['queries_checked']} checks vs fresh "  # type: ignore[index]
         f"rebuild, {report['equivalence']['num_mismatches']} mismatches)")  # type: ignore[index]
+    lines.extend(_memory_line(report))
     return "\n".join(lines)
 
 
@@ -1305,7 +1313,19 @@ def format_proximity_report(report: Dict[str, object]) -> str:
         f"({report['equivalence']['queries_checked']} checks, "  # type: ignore[index]
         f"{report['equivalence']['num_mismatches']} mismatches)",  # type: ignore[index]
     ]
+    lines.extend(_memory_line(report))
     return "\n".join(lines)
+
+
+def _memory_line(report: Dict[str, object]) -> List[str]:
+    """The peak-memory footer every suite formatter appends."""
+    memory = report.get("memory")
+    if not memory:
+        return []
+    return [
+        f"memory        peak rss {memory['peak_rss_mb']:.1f} MB"  # type: ignore[index]
+        f" | current rss {memory['current_rss_mb']:.1f} MB"  # type: ignore[index]
+    ]
 
 
 def write_report(report: Dict[str, object], output: PathLike) -> Path:
@@ -1354,4 +1374,5 @@ def format_report(report: Dict[str, object]) -> str:
             lines.append(f"  stage {name:<22} {stage['count']:>6.0f} spans "
                          f"{stage['total_ms']:>10.3f} ms total "
                          f"{stage['mean_ms']:>8.4f} ms mean")
+    lines.extend(_memory_line(report))
     return "\n".join(lines)

@@ -59,18 +59,36 @@ def label_propagation(graph: SocialGraph, max_rounds: int = 10,
     labels = list(range(graph.num_users))
     order = list(range(graph.num_users))
     rng = random.Random(seed) if seed is not None else None
+    # Convert the CSR arrays to plain Python lists once, outside the round
+    # loop: the old per-node ``graph.neighbours(user)`` + ``.tolist()`` boxed
+    # every neighbour id into a fresh Python object on every visit of every
+    # round, which dominated the runtime at large corpus sizes.  The
+    # propagation itself is unchanged — same visit order, same in-round
+    # label reads, same smallest-label tie break — so the returned partition
+    # is identical.
+    csr_offsets, csr_neighbours, csr_weights = graph.csr_arrays()
+    starts = csr_offsets.tolist()
+    neighbour_list = csr_neighbours.tolist()
+    weight_list = csr_weights.tolist() if weighted else None
     for _ in range(max_rounds):
         if rng is not None:
             rng.shuffle(order)
         changed = False
         for user in order:
-            neighbours, weights = graph.neighbours(user)
-            if neighbours.shape[0] == 0:
+            start = starts[user]
+            end = starts[user + 1]
+            if start == end:
                 continue
             scores: Dict[int, float] = {}
-            for neighbour, weight in zip(neighbours.tolist(), weights.tolist()):
-                label = labels[int(neighbour)]
-                scores[label] = scores.get(label, 0.0) + (weight if weighted else 1.0)
+            if weighted:
+                for neighbour, weight in zip(neighbour_list[start:end],
+                                             weight_list[start:end]):
+                    label = labels[neighbour]
+                    scores[label] = scores.get(label, 0.0) + weight
+            else:
+                for neighbour in neighbour_list[start:end]:
+                    label = labels[neighbour]
+                    scores[label] = scores.get(label, 0.0) + 1.0
             top = max(scores.values())
             best = min(label for label, score in scores.items() if score >= top - 1e-12)
             if best != labels[user]:

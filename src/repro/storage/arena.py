@@ -43,6 +43,7 @@ object replaced atomically.
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import struct
 import threading
@@ -70,10 +71,111 @@ MAGIC = b"RPRARENA"
 ARENA_VERSION = 1
 _ALIGNMENT = 64
 _PREAMBLE = struct.Struct("<8sIQ")
+#: bytes written per chunk when streaming array payloads to disk; bounds the
+#: writer's transient allocations regardless of array size.
+_WRITE_CHUNK_BYTES = 16 * 1024 * 1024
 
 
 def _align(offset: int) -> int:
     return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def _release_mapped_pages(array: np.ndarray) -> None:
+    """Evict a memmap-backed array's resident pages (data stays on disk).
+
+    The streaming builder hands :func:`write_arena` scratch ``np.memmap``
+    arrays whose touched pages would otherwise stay resident until process
+    exit, so a large build's peak RSS would grow with the whole arena even
+    though each page is needed only once.  ``madvise(MADV_DONTNEED)`` on a
+    shared file mapping just unmaps the pages from this process — the page
+    cache keeps the data and later reads fault it back in.  No-op for heap
+    arrays and on platforms without ``madvise``.
+    """
+    mapped = getattr(array, "_mmap", None)
+    if mapped is None or not hasattr(mapped, "madvise"):
+        return
+    advice = getattr(mmap, "MADV_DONTNEED", None)
+    if advice is None:
+        return
+    try:
+        if getattr(array, "mode", "r") not in ("r", "c"):
+            array.flush()
+        mapped.madvise(advice)
+    except (OSError, ValueError):
+        pass
+
+
+class LazyRecordList:
+    """A ``(length, factory)`` stand-in for a list of JSON record dicts.
+
+    ``meta["users"]`` / ``meta["items"]`` are hundreds of thousands of tiny
+    dicts at the corpus sizes the streaming builder targets — materialising
+    them costs more RSS than every array buffer combined.  The builder
+    passes this instead; :func:`write_arena` serialises it record-at-a-time
+    into the exact bytes ``json.dumps`` would produce for the eager list.
+    """
+
+    __slots__ = ("_length", "_factory")
+
+    def __init__(self, length: int, factory) -> None:
+        self._length = int(length)
+        self._factory = factory
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int):
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        return self._factory(index)
+
+    def __iter__(self):
+        return (self._factory(index) for index in range(self._length))
+
+
+def _encode_header(header: Dict[str, object]) -> bytes:
+    """``json.dumps(header, sort_keys=True)`` with lazy meta lists spliced.
+
+    Each :class:`LazyRecordList` under ``header["meta"]`` is first encoded
+    as ``[]`` and then replaced by its records serialised one at a time —
+    ``json.dumps`` renders a list as ``[`` + ``", ".join(records)`` + ``]``
+    with the default separators, so the spliced bytes are identical to the
+    eager encoding while only one record dict is ever alive.
+    """
+    meta = header.get("meta")
+    lazy = {key: value for key, value in meta.items()
+            if isinstance(value, LazyRecordList)} \
+        if isinstance(meta, dict) else {}
+    if not lazy:
+        return json.dumps(header, sort_keys=True).encode("utf-8")
+    plain = dict(header)
+    plain["meta"] = {key: ([] if key in lazy else value)
+                     for key, value in meta.items()}
+    encoded = json.dumps(plain, sort_keys=True)
+    for key, records in lazy.items():
+        placeholder = json.dumps(key) + ": []"
+        if encoded.count(placeholder) != 1:
+            raise PersistenceError(
+                f"cannot splice lazy meta entry {key!r} into the header")
+        body = ", ".join(json.dumps(record, sort_keys=True)
+                         for record in records)
+        encoded = encoded.replace(
+            placeholder, json.dumps(key) + ": [" + body + "]")
+    return encoded.encode("utf-8")
+
+
+def _write_array_chunked(handle, array: np.ndarray) -> None:
+    """Write ``array``'s bytes in bounded slices.
+
+    ``array.tobytes()`` materialises a full in-RAM copy of the payload —
+    for a memmap-backed array that is exactly the allocation the streaming
+    build works to avoid.  Writing ``_WRITE_CHUNK_BYTES``-sized slices keeps
+    the writer's footprint constant while producing identical file bytes.
+    """
+    flat = array.reshape(-1)
+    step = max(1, _WRITE_CHUNK_BYTES // max(1, array.dtype.itemsize))
+    for start in range(0, flat.shape[0], step):
+        handle.write(flat[start:start + step].tobytes())
 
 
 # --------------------------------------------------------------------- #
@@ -97,7 +199,11 @@ def write_arena(path: PathLike, meta: Dict[str, object],
     manifest: List[Dict[str, object]] = []
     ordered: List[Tuple[str, np.ndarray]] = []
     for name, array in arrays.items():
-        array = np.ascontiguousarray(array)
+        # Memmap-backed arrays from the streaming builder are already
+        # contiguous; copying them into RAM here would defeat the bounded
+        # write path, so only non-contiguous inputs are materialised.
+        if not array.flags["C_CONTIGUOUS"]:
+            array = np.ascontiguousarray(array)
         ordered.append((name, array))
         manifest.append({
             "name": name,
@@ -108,13 +214,13 @@ def write_arena(path: PathLike, meta: Dict[str, object],
     # Two-pass offset computation: the header length depends on the offsets
     # only through their decimal width, so size the header once without
     # them and reserve generous room (32 bytes per offset entry).
-    encoded = json.dumps(header, sort_keys=True).encode("utf-8")
+    encoded = _encode_header(header)
     data_start = _align(_PREAMBLE.size + len(encoded) + 32 * len(manifest) + 64)
     offset = data_start
     for entry, (_name, array) in zip(manifest, ordered):
         entry["offset"] = offset
         offset = _align(offset + array.nbytes)
-    encoded = json.dumps(header, sort_keys=True).encode("utf-8")
+    encoded = _encode_header(header)
     if _PREAMBLE.size + len(encoded) > data_start:
         raise PersistenceError("arena header overflowed its reserved space")
     try:
@@ -123,7 +229,8 @@ def write_arena(path: PathLike, meta: Dict[str, object],
             handle.write(encoded)
             for entry, (_name, array) in zip(manifest, ordered):
                 handle.seek(int(entry["offset"]))
-                handle.write(array.tobytes())
+                _write_array_chunked(handle, array)
+                _release_mapped_pages(array)
             # Pad the file to the last aligned boundary so every mapped view
             # is in bounds.
             handle.seek(0, 2)

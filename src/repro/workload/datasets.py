@@ -118,12 +118,17 @@ def tiny_dataset(seed: int = 3, homophily: float = 0.5,
     return build_dataset(config, holdout_fraction=holdout_fraction)
 
 
-def scaled_dataset(num_users: int, seed: int = 23, homophily: float = 0.5,
-                   actions_per_user: float = 25.0,
-                   graph_model: str = "barabasi-albert",
-                   name: Optional[str] = None) -> Dataset:
-    """A corpus whose size scales linearly with ``num_users`` (scalability sweeps)."""
-    config = DatasetConfig(
+def scaled_config(num_users: int, seed: int = 23, homophily: float = 0.5,
+                  actions_per_user: float = 25.0,
+                  graph_model: str = "barabasi-albert",
+                  name: Optional[str] = None) -> DatasetConfig:
+    """The :func:`scaled_dataset` parameters without building the corpus.
+
+    The streaming arena builder and the ``bench --suite scale`` sweep use
+    this directly so that an out-of-core build at size N describes exactly
+    the corpus ``scaled_dataset(N)`` would have materialised in memory.
+    """
+    return DatasetConfig(
         name=name or f"scaled-{num_users}",
         num_users=num_users,
         num_items=max(20, num_users * 3),
@@ -134,7 +139,16 @@ def scaled_dataset(num_users: int, seed: int = 23, homophily: float = 0.5,
         homophily=homophily,
         seed=seed,
     )
-    return build_dataset(config)
+
+
+def scaled_dataset(num_users: int, seed: int = 23, homophily: float = 0.5,
+                   actions_per_user: float = 25.0,
+                   graph_model: str = "barabasi-albert",
+                   name: Optional[str] = None) -> Dataset:
+    """A corpus whose size scales linearly with ``num_users`` (scalability sweeps)."""
+    return build_dataset(scaled_config(
+        num_users, seed=seed, homophily=homophily,
+        actions_per_user=actions_per_user, graph_model=graph_model, name=name))
 
 
 def homophily_sweep_dataset(homophily: float, scale: float = 0.5, seed: int = 31

@@ -19,11 +19,22 @@ is produced by one of two processes,
 Setting ``homophily = 0`` disables both mechanisms and yields a corpus where
 the social graph carries no information about tastes — the natural control
 condition for the quality experiments.
+
+The model exposes two equivalent output shapes over one sampling core:
+
+* :meth:`TaggingModel.generate` — the classic list of
+  :class:`TaggingAction` objects (what :func:`build_dataset` consumes);
+* :meth:`TaggingModel.generate_chunks` — the same action stream as bounded
+  numpy record batches ``(user, item, tag_rank, timestamp)``, which is what
+  the out-of-core arena builder consumes.  Both wrap the same per-action
+  generator and therefore the same RNG call sequence, so at equal seeds the
+  streams are identical action for action.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from array import array
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +44,9 @@ from ..graph import SocialGraph
 from ..graph.partition import label_propagation
 from ..storage.tagging import TaggingAction
 from .distributions import ZipfSampler, make_tag_vocabulary, poisson_at_least_one
+
+#: one streamed action: ``(user_id, item_id, tag_rank, timestamp)``.
+ActionTuple = Tuple[int, int, int, int]
 
 
 class TaggingModel:
@@ -58,8 +72,17 @@ class TaggingModel:
         activity = np.arange(1, config.num_users + 1, dtype=np.float64) ** -1.05
         self._rng.shuffle(activity)
         self._user_probabilities = activity / activity.sum()
-        #: per-user history of (item, tag) pairs, consulted by imitation.
-        self._history: Dict[int, List[Tuple[int, str]]] = {}
+        # Precomputed cdf mirroring Generator.choice's internal derivation so
+        # each user draw is one random() double + a binary search instead of
+        # an O(num_users) cdf rebuild; bit-identical at every seed.
+        self._user_cdf = self._user_probabilities.cumsum()
+        self._user_cdf /= self._user_cdf[-1]
+        #: per-user history, consulted by imitation.  Each entry packs one
+        #: ``(item, tag_rank)`` pair into a single machine int
+        #: (``item * num_tags + tag_rank``) inside an ``array('q')``, so a
+        #: multi-million-action corpus costs 8 bytes per remembered action
+        #: instead of a Python tuple + string per action.
+        self._history: Dict[int, array] = {}
         #: per-user community label: users in the same neighbourhood share a
         #: label and therefore the same permuted item catalogue.
         self._community = label_propagation(graph, max_rounds=5, weighted=False)
@@ -74,7 +97,7 @@ class TaggingModel:
     # ------------------------------------------------------------------ #
 
     def _sample_user(self) -> int:
-        return int(self._rng.choice(self._config.num_users, p=self._user_probabilities))
+        return int(self._user_cdf.searchsorted(self._rng.random(), side="right"))
 
     def _community_item(self, user: int, rank: int) -> int:
         """Map a popularity rank into the user's community catalogue."""
@@ -86,7 +109,7 @@ class TaggingModel:
         offset = (self._community[user] * 4409) % self._config.num_tags
         return (rank + offset) % self._config.num_tags
 
-    def _sample_global_pair(self, user: int) -> Tuple[int, str]:
+    def _sample_global_pair(self, user: int) -> Tuple[int, int]:
         rank = self._item_sampler.sample()
         if self._rng.random() < self._config.homophily:
             # Community interest: the same popularity curve, but over the
@@ -101,11 +124,10 @@ class TaggingModel:
             # space (guarded so tag_locality=0 consumes no RNG draws and
             # reproduces pre-knob corpora bit for bit).
             tag_rank = self._community_tag(user, tag_rank)
-        tag = self._tags[tag_rank]
-        return item, tag
+        return item, tag_rank
 
-    def _sample_friend_pair(self, user: int) -> Optional[Tuple[int, str]]:
-        """A random (item, tag) pair from a random friend's history, if any."""
+    def _sample_friend_pair(self, user: int) -> Optional[Tuple[int, int]]:
+        """A random (item, tag_rank) pair from a random friend's history, if any."""
         neighbours = self._graph.neighbour_ids(user)
         if neighbours.shape[0] == 0:
             return None
@@ -114,49 +136,114 @@ class TaggingModel:
             friend = int(neighbours[index])
             history = self._history.get(friend)
             if history:
-                return history[int(self._rng.integers(len(history)))]
+                packed = history[int(self._rng.integers(len(history)))]
+                return divmod(packed, self._config.num_tags)
         return None
 
-    def _record(self, user: int, item: int, tag: str) -> None:
-        self._history.setdefault(user, []).append((item, tag))
+    def _record(self, user: int, item: int, tag_rank: int) -> None:
+        entries = self._history.get(user)
+        if entries is None:
+            entries = self._history[user] = array("q")
+        entries.append(item * self._config.num_tags + tag_rank)
 
     # ------------------------------------------------------------------ #
     # Generation
     # ------------------------------------------------------------------ #
 
-    def generate(self, num_actions: Optional[int] = None) -> List[TaggingAction]:
-        """Generate ``num_actions`` tagging actions (default from the config)."""
-        if num_actions is None:
-            num_actions = self._config.num_actions
-        if num_actions < 1:
-            raise WorkloadError(f"num_actions must be >= 1, got {num_actions}")
-        actions: List[TaggingAction] = []
+    def _iter_actions(self, num_actions: int) -> Iterator[ActionTuple]:
+        """The sampling core: yield exactly ``num_actions`` action tuples.
+
+        Every RNG draw happens here in a fixed order, so any consumer —
+        the in-memory list builder, the chunked streaming builder — sees
+        the same action stream at the same seed.
+        """
+        emitted = 0
         timestamp = 0
-        while len(actions) < num_actions:
+        homophily = self._config.homophily
+        tags_per_item = self._config.tags_per_item
+        rng = self._rng
+        while emitted < num_actions:
             user = self._sample_user()
             # Each "session" tags one item with a burst of tags.
-            pair: Optional[Tuple[int, str]] = None
-            if self._rng.random() < self._config.homophily:
+            pair: Optional[Tuple[int, int]] = None
+            if rng.random() < homophily:
                 pair = self._sample_friend_pair(user)
             if pair is None:
                 pair = self._sample_global_pair(user)
             item, first_tag = pair
-            burst = poisson_at_least_one(self._rng, self._config.tags_per_item)
+            burst = poisson_at_least_one(rng, tags_per_item)
             session_tags = [first_tag]
             while len(session_tags) < burst:
-                extra = self._tags[self._tag_sampler.sample()]
+                extra = self._tag_sampler.sample()
                 if extra not in session_tags:
                     session_tags.append(extra)
                 else:
                     break
-            for tag in session_tags:
-                actions.append(TaggingAction(user_id=user, item_id=item, tag=tag,
-                                             timestamp=timestamp))
+            for tag_rank in session_tags:
+                yield (user, item, tag_rank, timestamp)
                 timestamp += 1
-                self._record(user, item, tag)
-                if len(actions) >= num_actions:
+                emitted += 1
+                self._record(user, item, tag_rank)
+                if emitted >= num_actions:
                     break
-        return actions
+
+    def _checked_num_actions(self, num_actions: Optional[int]) -> int:
+        if num_actions is None:
+            num_actions = self._config.num_actions
+        if num_actions < 1:
+            raise WorkloadError(f"num_actions must be >= 1, got {num_actions}")
+        return num_actions
+
+    def generate(self, num_actions: Optional[int] = None) -> List[TaggingAction]:
+        """Generate ``num_actions`` tagging actions (default from the config)."""
+        num_actions = self._checked_num_actions(num_actions)
+        tags = self._tags
+        return [
+            TaggingAction(user_id=user, item_id=item, tag=tags[tag_rank],
+                          timestamp=timestamp)
+            for user, item, tag_rank, timestamp in self._iter_actions(num_actions)
+        ]
+
+    def generate_chunks(self, chunk_size: int,
+                        num_actions: Optional[int] = None
+                        ) -> Iterator[Dict[str, np.ndarray]]:
+        """Yield the action stream as bounded numpy record batches.
+
+        Each batch is a dict of equal-length int64 arrays ``user_ids`` /
+        ``item_ids`` / ``tag_ranks`` / ``timestamps`` with at most
+        ``chunk_size`` rows.  Concatenating all batches reproduces
+        :meth:`generate` exactly (same seed → same actions in the same
+        order, with ``tag_ranks`` indexing :attr:`tags`).
+        """
+        if chunk_size < 1:
+            raise WorkloadError(f"chunk_size must be >= 1, got {chunk_size}")
+        num_actions = self._checked_num_actions(num_actions)
+        users = array("q")
+        items = array("q")
+        ranks = array("q")
+        stamps = array("q")
+        columns = (users, items, ranks, stamps)
+
+        def flush() -> Dict[str, np.ndarray]:
+            batch = {
+                "user_ids": np.frombuffer(users, dtype=np.int64).copy(),
+                "item_ids": np.frombuffer(items, dtype=np.int64).copy(),
+                "tag_ranks": np.frombuffer(ranks, dtype=np.int64).copy(),
+                "timestamps": np.frombuffer(stamps, dtype=np.int64).copy(),
+            }
+            for column in columns:
+                del column[:]
+            return batch
+
+        for user, item, tag_rank, timestamp in self._iter_actions(num_actions):
+            users.append(user)
+            items.append(item)
+            ranks.append(tag_rank)
+            stamps.append(timestamp)
+            if len(users) >= chunk_size:
+                yield flush()
+        if users:
+            yield flush()
 
 
 def generate_actions(graph: SocialGraph, config: DatasetConfig,

@@ -1,0 +1,89 @@
+"""Tests for the corpus-scale bench suite (``bench --suite scale``)."""
+
+import pytest
+
+from repro.eval.scale import arena_workload, format_scale_report, run_scale_suite
+from repro.storage.arena import Arena
+from repro.storage.arena_stream import build_arena_streaming
+from repro.workload.datasets import scaled_config
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One tiny sweep shared by the assertions below."""
+    return run_scale_suite(sizes=(300,), num_queries=4, rounds=1,
+                           chunk_size=256, equivalence_chunk_sizes=(7, 256),
+                           target_p50_ms=10_000.0)
+
+
+class TestRunScaleSuite:
+    def test_report_shape(self, report):
+        assert report["suite"] == "scale"
+        assert report["workload"]["sizes"] == [300]
+        assert len(report["entries"]) == 1
+
+    def test_entry_carries_build_and_serve_numbers(self, report):
+        entry = report["entries"][0]
+        assert entry["num_users"] == 300
+        build = entry["build"]
+        assert build["streaming_seconds"] > 0.0
+        assert build["streaming_peak_rss_mb"] >= 0.0
+        assert build["arena_mb"] > 0.0
+        assert build["actions_stored"] > 0
+        serve = entry["serve"]
+        assert serve["cold_start_ms"] > 0.0
+        assert serve["p95_ms"] >= serve["p50_ms"] - 1e-9
+        assert serve["queries"] == 4.0
+
+    def test_memory_comparison_present(self, report):
+        comparison = report["memory_comparison"]
+        assert comparison["num_users"] == 300
+        assert comparison["in_memory_build_peak_rss_mb"] >= 0.0
+        assert comparison["rss_ratio"] > 0.0
+
+    def test_equivalence_gate_passes(self, report):
+        gate = report["equivalence"]
+        assert gate["arena_bytes_identical"]
+        assert gate["query_results_identical"]
+        assert gate["query_mismatches"] == 0
+        # clamped to the sweep maximum
+        assert gate["num_users"] == 300
+        assert report["equivalent"] is True
+
+    def test_operating_point_from_sweep(self, report):
+        point = report["operating_point"]
+        assert point["max_users"] == 300
+        assert point["target_p50_ms"] == 10_000.0
+
+    def test_memory_block_present(self, report):
+        assert report["memory"]["peak_rss_mb"] > 0.0
+
+    def test_format_is_one_screen(self, report):
+        text = format_scale_report(report)
+        assert "corpus scale suite" in text
+        assert "equivalence   OK" in text
+        assert "operating pt" in text
+        assert "300" in text
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ValueError):
+            run_scale_suite(sizes=())
+
+
+class TestArenaWorkload:
+    def test_deterministic_and_in_domain(self, tmp_path):
+        config = scaled_config(200, seed=23)
+        path = build_arena_streaming(config, tmp_path / "wl.arena",
+                                     chunk_size=512)
+        arena = Arena.open(path)
+        tags = {str(tag) for tag in arena.meta["tags"]}
+        first = arena_workload(arena, 12, 5, seed=3)
+        second = arena_workload(Arena.open(path), 12, 5, seed=3)
+        assert [(q.seeker, q.tags, q.k) for q in first] == \
+            [(q.seeker, q.tags, q.k) for q in second]
+        for query in first:
+            assert 0 <= query.seeker < config.num_users
+            assert query.k == 5
+            assert query.tags
+            assert set(query.tags) <= tags
+            assert len(set(query.tags)) == len(query.tags)

@@ -1,0 +1,74 @@
+"""Tests for the memory-measurement helpers in ``repro.eval.timing``."""
+
+import numpy as np
+import pytest
+
+from repro.eval.timing import (
+    MemoryMeter,
+    current_rss_bytes,
+    measure_in_subprocess,
+    memory_summary,
+    peak_rss_bytes,
+)
+
+
+class TestRssProbes:
+    def test_peak_rss_positive(self):
+        assert peak_rss_bytes() > 1024 * 1024  # any python process is >1 MB
+
+    def test_current_rss_positive_on_linux(self):
+        assert current_rss_bytes() > 1024 * 1024
+
+    def test_peak_is_at_least_current(self):
+        assert peak_rss_bytes() >= current_rss_bytes() * 0.5
+
+    def test_memory_summary_shape(self):
+        summary = memory_summary()
+        assert set(summary) == {"peak_rss_mb", "current_rss_mb"}
+        assert summary["peak_rss_mb"] > 1.0
+
+
+class TestMemoryMeter:
+    def test_tracks_numpy_allocation(self):
+        with MemoryMeter() as meter:
+            block = np.ones(2 * 1024 * 1024, dtype=np.float64)  # 16 MB
+            block[0] = 2.0
+        assert meter.peak_bytes >= 12 * 1024 * 1024
+        assert meter.peak_mb == pytest.approx(meter.peak_bytes / 2**20)
+
+    def test_nested_meters_do_not_stop_outer_tracing(self):
+        with MemoryMeter() as outer:
+            with MemoryMeter() as inner:
+                np.ones(1024 * 1024, dtype=np.float64)
+            assert inner.peak_bytes > 0
+        assert outer.peak_bytes >= 0
+
+
+class TestMeasureInSubprocess:
+    def test_returns_value_and_positive_duration(self):
+        value, peak, seconds = measure_in_subprocess(lambda: 41 + 1)
+        assert value == 42
+        assert peak >= 0
+        assert seconds >= 0.0
+
+    def test_measures_child_allocation(self):
+        def allocate():
+            block = np.ones(8 * 1024 * 1024, dtype=np.float64)  # 64 MB
+            return float(block.sum())
+
+        value, peak, _seconds = measure_in_subprocess(allocate)
+        assert value == float(8 * 1024 * 1024)
+        assert peak >= 48 * 1024 * 1024  # most of the 64 MB must show up
+
+    def test_child_peak_excludes_parent_baseline(self):
+        # A no-op child should report (near) zero growth even though the
+        # parent process has a large absolute peak.
+        _value, peak, _seconds = measure_in_subprocess(lambda: None)
+        assert peak < 32 * 1024 * 1024
+
+    def test_propagates_child_errors(self):
+        def boom():
+            raise ValueError("from the child")
+
+        with pytest.raises(RuntimeError, match="from the child"):
+            measure_in_subprocess(boom)

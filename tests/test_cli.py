@@ -36,6 +36,18 @@ class TestParser:
             == "proximity"
         assert parser.parse_args(["bench", "--suite", "partitioned"]).suite \
             == "partitioned"
+        args = parser.parse_args(["bench", "--suite", "scale",
+                                  "--scale-sizes", "2500,10000",
+                                  "--chunk-size", "50000",
+                                  "--target-p50-ms", "25",
+                                  "--rss-ceiling-mb", "2048",
+                                  "--min-rss-ratio", "5"])
+        assert args.suite == "scale"
+        assert args.scale_sizes == "2500,10000"
+        assert args.chunk_size == 50000
+        assert args.target_p50_ms == 25.0
+        assert args.rss_ceiling_mb == 2048.0
+        assert args.min_rss_ratio == 5.0
 
     def test_partitions_flag_parses(self):
         parser = build_parser()
@@ -283,3 +295,53 @@ class TestWarmupHelpers:
         trace = [Query(seeker=5000, tags=("a",))] * 10 + trace
         assert _warmup_seekers(FakeDataset(), trace, 2) == [7, 2]
         assert _warmup_seekers(FakeDataset(), trace, 10) == [7, 2, 5]
+
+
+class TestStreamingCli:
+    def test_build_arena_stream_writes_loadable_arena(self, tmp_path, capsys):
+        from repro.storage.dataset import Dataset
+
+        target = tmp_path / "streamed.arena"
+        assert main(["build-arena", str(target), "--stream",
+                     "--users", "300", "--chunk-size", "512",
+                     "--seed", "23"]) == 0
+        assert "streamed" in capsys.readouterr().out
+        dataset = Dataset.from_arena(target)
+        assert dataset.num_users == 300
+
+    def test_build_arena_stream_matches_in_memory_build(self, tmp_path,
+                                                        capsys):
+        from repro.storage.arena import build_arena
+        from repro.workload.datasets import scaled_dataset
+
+        streamed = tmp_path / "streamed.arena"
+        assert main(["build-arena", str(streamed), "--stream",
+                     "--users", "200", "--seed", "23"]) == 0
+        capsys.readouterr()
+        reference = build_arena(scaled_dataset(200, seed=23),
+                                tmp_path / "reference.arena")
+        assert streamed.read_bytes() == reference.read_bytes()
+
+    def test_build_arena_stream_rejects_snapshot(self, tmp_path, capsys):
+        assert main(["build-arena", str(tmp_path / "x.arena"), "--stream",
+                     "--snapshot", str(tmp_path)]) == 1
+        assert "--stream" in capsys.readouterr().out
+
+    def test_bench_scale_suite_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_scale.json"
+        assert main(["bench", "--suite", "scale",
+                     "--scale-sizes", "300", "--queries", "3",
+                     "--rounds", "1", "--chunk-size", "512",
+                     "--json", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "corpus scale suite" in output
+        assert "equivalence   OK" in output
+        assert target.exists()
+
+    def test_bench_scale_suite_min_rss_ratio_gate(self, capsys):
+        # An impossible bar must flip the exit code (the CI smoke gate).
+        assert main(["bench", "--suite", "scale",
+                     "--scale-sizes", "300", "--queries", "2",
+                     "--rounds", "1", "--chunk-size", "512",
+                     "--min-rss-ratio", "1e9"]) == 1
+        assert "FAIL" in capsys.readouterr().out
