@@ -1,0 +1,47 @@
+"""Static analysis over the repo's own invariants.
+
+The serving stack rests on conventions the type system cannot see: which
+attributes a lock guards, which writer modules must stay byte-identical,
+how the durable write path orders tmp + fsync + ``os.replace``, that every
+random draw flows through a seeded generator, and that serve/executor
+modules never materialise corpus-sized Python structures.  This package
+checks those conventions at diff time, over :mod:`ast`, before a violation
+costs a scale-suite bisect.
+
+Entry points:
+
+* :func:`repro.analysis.runner.lint_paths` — lint files/directories and
+  return a :class:`~repro.analysis.runner.LintReport`;
+* :func:`repro.analysis.runner.lint_source` — lint one source string under
+  a chosen module path (how the rule unit tests drive fixtures);
+* ``repro lint`` — the CLI wrapper with text/JSON output and the committed
+  baseline workflow (see :mod:`repro.analysis.baseline`).
+
+Annotations the rules understand (see each rule module for details):
+
+* ``# guarded-by: _lock`` on an ``__init__`` assignment declares the
+  attribute lock-guarded;
+* ``# lock-held: _lock`` on a ``def`` line declares a private helper that
+  must only be called with the lock already held;
+* ``# lint: allow(rule-id) -- reason`` suppresses one finding on that line
+  (or the line below the comment); the reason is mandatory.
+"""
+
+from .baseline import diff_against_baseline, load_baseline, write_baseline
+from .findings import Finding
+from .registry import LintRule, all_rules, get_rule, register_rule
+from .runner import LintReport, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "all_rules",
+    "diff_against_baseline",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "register_rule",
+    "write_baseline",
+]

@@ -1,0 +1,117 @@
+"""The committed baseline: grandfathered findings the gate tolerates.
+
+The baseline is a JSON file checked into the repo.  ``repro lint``
+compares the live findings against it: findings **not** in the baseline
+fail the run (exit 1), findings in the baseline pass **only if justified**
+(each entry must carry a non-empty ``justification``), and baseline
+entries that no longer fire are reported as stale so the file shrinks
+over time instead of fossilising.
+
+Workflow: fix the violation if you can; if you genuinely cannot, run
+``repro lint --baseline write`` to append the finding, then edit the
+file and fill in the ``justification`` — an unjustified entry fails the
+gate exactly like a new finding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+def load_baseline(path) -> List[Dict[str, object]]:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(data, dict):  # versioned envelope
+        entries = data.get("findings", [])
+    else:  # bare list is accepted too
+        entries = data
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: baseline must hold a list of findings")
+    return [dict(entry) for entry in entries]
+
+
+def write_baseline(path, findings: Sequence[Finding],
+                   existing: Sequence[Dict[str, object]] = ()) -> int:
+    """Write ``findings`` as the new baseline, keeping prior justifications.
+
+    Returns the number of entries written.  Entries are sorted so the file
+    diffs cleanly in review.
+    """
+    justifications = {
+        _entry_key(entry): str(entry.get("justification", ""))
+        for entry in existing
+    }
+    entries = []
+    for finding in sorted(set(findings)):
+        entry = finding.to_dict()
+        entry["justification"] = justifications.get(finding.key(), "")
+        entries.append(entry)
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+@dataclass
+class BaselineDiff:
+    """How the live findings relate to the committed baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    grandfathered: List[Finding] = field(default_factory=list)
+    unjustified: List[Finding] = field(default_factory=list)
+    stale: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def failing(self) -> List[Finding]:
+        """Findings that fail the gate: new plus unjustified-baselined."""
+        return sorted(set(self.new) | set(self.unjustified))
+
+
+def diff_against_baseline(findings: Sequence[Finding],
+                          baseline: Sequence[Dict[str, object]]
+                          ) -> BaselineDiff:
+    """Partition findings into new / grandfathered / unjustified / stale."""
+    by_key: Dict[_Key, Dict[str, object]] = {
+        _entry_key(entry): entry for entry in baseline
+    }
+    diff = BaselineDiff()
+    seen: set = set()
+    for finding in sorted(set(findings)):
+        entry = by_key.get(finding.key())
+        if entry is None:
+            diff.new.append(finding)
+            continue
+        seen.add(finding.key())
+        if str(entry.get("justification", "")).strip():
+            diff.grandfathered.append(finding)
+        else:
+            diff.unjustified.append(finding)
+    diff.stale = [entry for key, entry in sorted(by_key.items())
+                  if key not in seen]
+    return diff
+
+
+def _entry_key(entry: Dict[str, object]) -> _Key:
+    return (str(entry.get("rule", "")), str(entry.get("file", "")),
+            str(entry.get("message", "")))
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineDiff",
+    "diff_against_baseline",
+    "load_baseline",
+    "write_baseline",
+]

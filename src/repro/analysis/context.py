@@ -1,0 +1,65 @@
+"""Per-module lint context: parsed tree, source lines and comment map.
+
+Rules share one parse and one tokenize pass per file.  Comments matter as
+much as the tree here — the ``# guarded-by:`` / ``# lock-held:``
+annotations and ``# lint: allow(...)`` suppressions all live in comments,
+which :mod:`ast` discards, so the context recovers them with
+:mod:`tokenize` and exposes a line-indexed map.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from typing import Dict, Optional, Tuple
+
+_ALLOW = re.compile(
+    r"#\s*lint:\s*allow\(\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\s*\)"
+    r"\s*(?:--\s*(\S.*))?")
+
+
+class ModuleContext:
+    """Everything a rule needs to scan one module."""
+
+    def __init__(self, module: str, text: str) -> None:
+        self.module = module
+        self.text = text
+        self.tree = ast.parse(text)
+        self.lines = text.splitlines()
+        self.comments: Dict[int, str] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            pass  # a file ast accepts but tokenize rejects keeps no comments
+
+    def comment_on(self, line: int) -> str:
+        """The comment text on ``line`` (1-based), or ``""``."""
+        return self.comments.get(line, "")
+
+    def allow_for(self, rule_id: str, line: int) -> Optional[Tuple[bool, str]]:
+        """The suppression covering ``line`` for ``rule_id``, if any.
+
+        A ``# lint: allow(rule-a, rule-b) -- reason`` comment suppresses
+        findings of the named rules on its own line and on the line
+        directly below it (so it can sit above a long statement).  Returns
+        ``(justified, reason)`` when a matching allow exists — an allow
+        without a reason is returned unjustified, and the runner keeps the
+        finding alive with a reminder that the reason is mandatory.
+        """
+        for candidate in (line, line - 1):
+            match = _ALLOW.search(self.comment_on(candidate))
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")}
+            if rule_id in rules:
+                reason = (match.group(2) or "").strip()
+                return (bool(reason), reason)
+        return None
+
+
+__all__ = ["ModuleContext"]

@@ -1,0 +1,53 @@
+"""The unit of lint output: one rule violation at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: where it is, which rule fired, and why.
+
+    Ordering is (file, line, rule, message) so reports read top to bottom
+    per file.  The :meth:`key` deliberately excludes the line number —
+    baseline matching must survive unrelated edits shifting code up or
+    down, so a grandfathered finding is identified by what it says, not by
+    where it currently sits.
+    """
+
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Identity for baseline matching: ``(rule, file, message)``."""
+        return (self.rule, self.file, self.message)
+
+    def format(self) -> str:
+        """The one-line ``file:line: [rule] message`` text rendering."""
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (``repro lint --format json``)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (baseline entries)."""
+        return cls(
+            file=str(data["file"]),
+            line=int(data.get("line", 0)),
+            rule=str(data["rule"]),
+            message=str(data["message"]),
+        )
+
+
+__all__ = ["Finding"]

@@ -1,0 +1,78 @@
+"""Rule registry: rules self-register at import time, the runner asks here.
+
+A rule is an instance with a ``rule_id``, a ``description``, an
+``applies_to(module)`` scope predicate and a ``check(context)`` generator
+of findings.  Registration happens when :mod:`repro.analysis.rules` is
+imported, so the registry is complete by the time any runner entry point
+executes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from .context import ModuleContext
+from .findings import Finding
+
+
+class LintRule:
+    """Base class for repo-invariant rules.
+
+    Subclasses set ``rule_id`` (the kebab-case name used in reports,
+    baselines and ``# lint: allow(...)`` comments) and ``description``, and
+    implement :meth:`check`.  Override :meth:`applies_to` to scope the rule
+    to the modules whose invariant it encodes — scoping is on the
+    posix-style path the runner hands in (e.g. ``src/repro/service/
+    service.py``), so fixtures exercise scoped rules by mirroring the
+    layout under their own directory.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def applies_to(self, module: str) -> bool:
+        """Whether this rule scans ``module`` (a posix relative path)."""
+        return True
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finding(self, context: ModuleContext, line: int, message: str
+                ) -> Finding:
+        """Build a finding for this rule at ``line`` of the context."""
+        return Finding(file=context.module, line=line, rule=self.rule_id,
+                       message=message)
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def register_rule(rule_class: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator: instantiate and register a rule by its ``rule_id``."""
+    instance = rule_class()
+    if not instance.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if instance.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.rule_id!r}")
+    _REGISTRY[instance.rule_id] = instance
+    return rule_class
+
+
+def all_rules() -> List[LintRule]:
+    """Every registered rule, sorted by id (import side effect included)."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> LintRule:
+    """Look up one rule by id; raises ``KeyError`` for unknown ids."""
+    _ensure_loaded()
+    return _REGISTRY[rule_id]
+
+
+def _ensure_loaded() -> None:
+    from . import rules  # noqa: F401  (registration side effect)
+
+
+__all__ = ["LintRule", "all_rules", "get_rule", "register_rule"]

@@ -1,0 +1,7 @@
+"""Importing this package registers every built-in rule."""
+
+from . import byte_identity  # noqa: F401
+from . import durability  # noqa: F401
+from . import guarded_by  # noqa: F401
+from . import hot_path  # noqa: F401
+from . import rng_determinism  # noqa: F401

@@ -1,0 +1,63 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+
+def self_attr_name(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` is exactly ``self.<attr>``, else ``None``."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def self_attr_root(node: ast.AST) -> Optional[str]:
+    """The ``self.<attr>`` root of an access chain, else ``None``.
+
+    Descends through attribute access, subscripts and call results, so
+    ``self._x[k]``, ``self._x.setdefault(k, []).append(v)`` and
+    ``self._x.items()`` all resolve to ``_x``.
+    """
+    while True:
+        direct = self_attr_name(node)
+        if direct is not None:
+            return direct
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return None
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``""`` for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def has_keyword(call: ast.Call, name: str) -> bool:
+    """Whether ``call`` passes keyword argument ``name``."""
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Every (sync or async) function definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+__all__ = ["dotted_name", "has_keyword", "self_attr_name", "self_attr_root",
+           "walk_functions"]

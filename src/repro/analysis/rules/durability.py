@@ -1,0 +1,121 @@
+"""durability-ordering: the crash-safety conventions of the write path.
+
+Two families of checks:
+
+**Exception discipline (every module).**  Crash tests inject
+``InjectedCrash``, which subclasses ``BaseException`` precisely so that
+``except Exception`` recovery code cannot swallow it.  A bare ``except:``
+or an ``except BaseException`` handler that does not re-raise would — so
+both are flagged unless the handler body contains a bare ``raise``
+(cleanup-and-reraise, the pattern ``write_arena`` uses, is fine).
+
+**Atomic publish discipline (durable writer modules — file names
+mentioning ``durable``, ``wal``, ``arena`` or ``manifest``).**  Everything
+published under a durable directory must flow through the
+tmp + fsync + ``os.replace`` sequence:
+
+* ``os.rename`` is flagged (silently fails across filesystems and has no
+  atomic-replace guarantee on all platforms; ``os.replace`` is the
+  documented primitive);
+* ``Path.write_text`` / ``Path.write_bytes`` are flagged — they truncate
+  the destination in place, so a crash mid-write leaves a torn file the
+  manifest still references;
+* an ``os.replace`` in a function with no ``fsync`` call before it is
+  flagged — without the fsync the rename can hit disk before the data it
+  publishes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import LintRule, register_rule
+from ._ast_util import dotted_name, walk_functions
+
+_DURABLE_HINTS = ("durable", "wal", "arena", "manifest")
+
+
+def _is_base_exception(expr) -> bool:
+    if expr is None:
+        return True  # bare except:
+    if isinstance(expr, ast.Name) and expr.id == "BaseException":
+        return True
+    if isinstance(expr, ast.Tuple):
+        return any(_is_base_exception(element) for element in expr.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@register_rule
+class DurabilityOrderingRule(LintRule):
+    rule_id = "durability-ordering"
+    description = ("durable writes must flow through tmp+fsync+os.replace; "
+                   "no handler may swallow BaseException/InjectedCrash")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_handlers(context)
+        name = context.module.rsplit("/", 1)[-1]
+        if any(hint in name for hint in _DURABLE_HINTS):
+            yield from self._check_write_path(context)
+
+    # -- exception discipline ------------------------------------------ #
+
+    def _check_handlers(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_base_exception(node.type) and not _reraises(node):
+                what = "bare 'except:'" if node.type is None \
+                    else "'except BaseException'"
+                yield self.finding(
+                    context, node.lineno,
+                    f"{what} without a bare re-raise swallows InjectedCrash "
+                    f"and defeats crash tests; narrow to Exception or "
+                    f"re-raise after cleanup")
+
+    # -- atomic publish discipline -------------------------------------- #
+
+    def _check_write_path(self, context: ModuleContext) -> Iterator[Finding]:
+        for function in walk_functions(context.tree):
+            replaces: List[ast.Call] = []
+            fsync_lines: List[int] = []
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func)
+                short = name.rsplit(".", 1)[-1]
+                if name == "os.rename":
+                    yield self.finding(
+                        context, node.lineno,
+                        "os.rename in a durable writer — use os.replace "
+                        "(atomic same-filesystem replace) instead")
+                elif isinstance(node.func, ast.Attribute) \
+                        and node.func.attr in ("write_text", "write_bytes"):
+                    yield self.finding(
+                        context, node.lineno,
+                        f".{node.func.attr}(...) truncates the destination "
+                        f"in place; durable writes go through a .tmp file, "
+                        f"fsync, then os.replace")
+                elif name == "os.replace":
+                    replaces.append(node)
+                elif "fsync" in short:
+                    fsync_lines.append(node.lineno)
+            for call in replaces:
+                if not any(line < call.lineno for line in fsync_lines):
+                    yield self.finding(
+                        context, call.lineno,
+                        "os.replace with no fsync earlier in the function — "
+                        "the rename may be durable before the data it "
+                        "publishes; fsync the tmp file first")
+
+
+__all__ = ["DurabilityOrderingRule"]

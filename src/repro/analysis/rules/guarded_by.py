@@ -1,0 +1,147 @@
+"""guarded-by: lock-guarded attributes may only mutate under their lock.
+
+Declaration is a trailing comment on the attribute's ``__init__``
+assignment::
+
+    self._watched: List[DatasetUpdater] = []  # guarded-by: _lock
+
+From then on, every mutation of ``self._watched`` in the declaring class —
+assignment, augmented assignment, ``del``, subscript stores, or a mutating
+method call (``append``/``pop``/``clear``/...) — must sit lexically inside
+``with self._lock`` (multi-item ``with self._lock, other:`` counts).
+
+Two escape hatches keep the rule honest about real lock protocols:
+
+* ``__init__`` itself is exempt — construction happens before the object
+  is shared;
+* a helper that is only ever called with the lock held declares that
+  contract on its ``def`` line with ``# lock-held: _lock``, which treats
+  the lock as held for the whole method body (and documents the calling
+  convention where it matters).
+
+Reads are deliberately out of scope: several hot paths read guarded state
+lock-free by design (atomic reference swaps), and flagging them would bury
+the real signal — unserialised writes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Set
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import LintRule, register_rule
+from ._ast_util import self_attr_name, self_attr_root
+
+_DECLARATION = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_LOCK_HELD = re.compile(r"#\s*lock-held:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Method names that mutate their receiver in place.
+MUTATORS = {
+    "add", "append", "appendleft", "clear", "discard", "extend", "insert",
+    "pop", "popitem", "popleft", "remove", "setdefault", "sort", "update",
+}
+
+
+@register_rule
+class GuardedByRule(LintRule):
+    rule_id = "guarded-by"
+    description = ("attributes declared '# guarded-by: <lock>' must only "
+                   "be mutated inside 'with self.<lock>'")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(context, node)
+
+    # ------------------------------------------------------------------ #
+
+    def _check_class(self, context: ModuleContext, classdef: ast.ClassDef
+                     ) -> Iterator[Finding]:
+        guarded = self._declarations(context, classdef)
+        if not guarded:
+            return
+        for method in classdef.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue
+            held: Set[str] = set()
+            match = _LOCK_HELD.search(context.comment_on(method.lineno))
+            if match:
+                held.add(match.group(1))
+            for stmt in method.body:
+                yield from self._visit(context, guarded, stmt, held)
+
+    def _declarations(self, context: ModuleContext, classdef: ast.ClassDef
+                      ) -> Dict[str, str]:
+        """``{attr: lock}`` from annotated ``__init__`` assignments."""
+        guarded: Dict[str, str] = {}
+        for method in classdef.body:
+            if isinstance(method, ast.FunctionDef) \
+                    and method.name == "__init__":
+                for stmt in ast.walk(method):
+                    if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                        continue
+                    match = _DECLARATION.search(
+                        context.comment_on(stmt.lineno))
+                    if match is None:
+                        continue
+                    targets = stmt.targets \
+                        if isinstance(stmt, ast.Assign) else [stmt.target]
+                    for target in targets:
+                        attr = self_attr_name(target)
+                        if attr is not None:
+                            guarded[attr] = match.group(1)
+        return guarded
+
+    # ------------------------------------------------------------------ #
+
+    def _visit(self, context: ModuleContext, guarded: Dict[str, str],
+               node: ast.AST, held: Set[str]) -> Iterator[Finding]:
+        """One pass over a method body with the lexical lock set."""
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = set(held)
+            for item in node.items:
+                lock = self_attr_name(item.context_expr)
+                if lock is not None:
+                    inner.add(lock)
+            for child in node.body:
+                yield from self._visit(context, guarded, child, inner)
+            return
+        if isinstance(node, ast.ClassDef):
+            return  # a nested class has its own declarations
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        for target in targets:
+            attr = self_attr_root(target)
+            if attr in guarded and guarded[attr] not in held:
+                yield self._violation(context, node.lineno, attr,
+                                      guarded[attr])
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in MUTATORS:
+                attr = self_attr_root(func.value)
+                if attr in guarded and guarded[attr] not in held:
+                    yield self._violation(context, node.lineno, attr,
+                                          guarded[attr])
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(context, guarded, child, held)
+
+    def _violation(self, context: ModuleContext, line: int, attr: str,
+                   lock: str) -> Finding:
+        return self.finding(
+            context, line,
+            f"self.{attr} is guarded by self.{lock} but is mutated outside "
+            f"'with self.{lock}' (annotate the helper '# lock-held: {lock}' "
+            f"if the caller holds it)")
+
+
+__all__ = ["GuardedByRule", "MUTATORS"]

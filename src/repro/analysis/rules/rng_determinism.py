@@ -1,0 +1,98 @@
+"""rng-determinism: every random draw flows through a seeded generator.
+
+Calls into the *module-level* RNGs — ``np.random.rand()``,
+``np.random.seed()``, ``random.random()``, ``random.shuffle()`` and
+friends — consume hidden global state, so results depend on import order
+and on whatever ran before.  Bit-identical workloads, streaming builds in
+RNG-lockstep with in-memory builds, and reproducible benchmarks all
+require instance RNGs: ``np.random.default_rng(seed)`` and
+``random.Random(seed)``.
+
+The rule only fires when the module actually imports ``random`` / numpy
+(so a local variable named ``random`` cannot trip it), and constructor
+calls (``default_rng``, ``Generator``, ``SeedSequence``, bit generators,
+``random.Random``, ``random.SystemRandom``) are allowed.  ``from random
+import shuffle``-style imports of the global-state functions are flagged
+at the import.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..context import ModuleContext
+from ..findings import Finding
+from ..registry import LintRule, register_rule
+from ._ast_util import dotted_name
+
+#: Constructors of seedable instance RNGs — the blessed entry points.
+ALLOWED_NUMPY = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+                 "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+                 "RandomState"}
+ALLOWED_STDLIB = {"Random", "SystemRandom"}
+
+
+@register_rule
+class RngDeterminismRule(LintRule):
+    rule_id = "rng-determinism"
+    description = ("no module-level np.random.* / random.* calls — use "
+                   "seeded default_rng()/Random() instances")
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        numpy_names, imports_random = self._imports(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(context, node)
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name:
+                continue
+            parts = name.split(".")
+            if len(parts) == 3 and parts[0] in numpy_names \
+                    and parts[1] == "random" \
+                    and parts[2] not in ALLOWED_NUMPY:
+                yield self.finding(
+                    context, node.lineno,
+                    f"{name}(...) draws from numpy's hidden global RNG; "
+                    f"use a seeded np.random.default_rng(seed) instance")
+            elif imports_random and len(parts) == 2 \
+                    and parts[0] == "random" \
+                    and parts[1] not in ALLOWED_STDLIB:
+                yield self.finding(
+                    context, node.lineno,
+                    f"{name}(...) draws from the stdlib's hidden global "
+                    f"RNG; use a seeded random.Random(seed) instance")
+
+    def _imports(self, tree: ast.AST) -> "tuple[Set[str], bool]":
+        numpy_names: Set[str] = set()
+        imports_random = False
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_names.add(alias.asname or "numpy")
+                    elif alias.name == "random" and alias.asname is None:
+                        imports_random = True
+        return numpy_names, imports_random
+
+    def _check_import_from(self, context: ModuleContext,
+                           node: ast.ImportFrom) -> Iterator[Finding]:
+        if node.module == "random":
+            allowed = ALLOWED_STDLIB
+        elif node.module == "numpy.random":
+            allowed = ALLOWED_NUMPY
+        else:
+            return
+        for alias in node.names:
+            if alias.name not in allowed:
+                yield self.finding(
+                    context, node.lineno,
+                    f"'from {node.module} import {alias.name}' binds a "
+                    f"global-state RNG function; import the seedable class "
+                    f"and instantiate it instead")
+
+
+__all__ = ["ALLOWED_NUMPY", "ALLOWED_STDLIB", "RngDeterminismRule"]

@@ -1,0 +1,117 @@
+"""Walk files, run every applicable rule, apply inline suppressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from .context import ModuleContext
+from .findings import Finding
+from .registry import LintRule, all_rules
+
+PathLike = Union[str, Path]
+
+#: Directories never descended into (build junk, VCS, caches).
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist",
+             ".eggs", "node_modules"}
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (CLI ``--format json``)."""
+        return {
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "errors": list(self.errors),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through as-is)."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if not SKIP_DIRS.intersection(child.parts):
+                    yield child
+        elif path.suffix == ".py":
+            yield path
+
+
+def module_name(path: Path, root: Optional[Path] = None) -> str:
+    """The posix path rules scope on, relative to ``root`` when possible."""
+    root = root or Path.cwd()
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(text: str, module: str,
+                rules: Optional[Sequence[LintRule]] = None,
+                report: Optional[LintReport] = None) -> List[Finding]:
+    """Lint one source string as if it lived at ``module``.
+
+    This is the fixture-driving entry point: rule tests hand in a snippet
+    plus the module path that puts it in (or out of) a rule's scope.
+    Inline ``# lint: allow(...)`` suppressions are honoured; an allow
+    without a justification does not suppress (the finding survives with a
+    reminder appended).
+    """
+    report = report if report is not None else LintReport()
+    try:
+        context = ModuleContext(module, text)
+    except SyntaxError as exc:
+        report.errors.append(f"{module}:{exc.lineno or 0}: {exc.msg}")
+        return []
+    kept: List[Finding] = []
+    for rule in (rules if rules is not None else all_rules()):
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(context):
+            allow = context.allow_for(finding.rule, finding.line)
+            if allow is None:
+                kept.append(finding)
+            elif allow[0]:
+                report.suppressed += 1
+            else:
+                kept.append(Finding(
+                    file=finding.file, line=finding.line, rule=finding.rule,
+                    message=finding.message
+                    + " (allow comment present but missing its mandatory"
+                      " '-- reason')"))
+    return kept
+
+
+def lint_paths(paths: Sequence[PathLike],
+               rules: Optional[Sequence[LintRule]] = None,
+               root: Optional[PathLike] = None) -> LintReport:
+    """Lint files and directories; returns the aggregate report."""
+    report = LintReport()
+    root_path = Path(root) if root is not None else None
+    for path in iter_python_files(paths):
+        module = module_name(path, root_path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.errors.append(f"{module}: unreadable ({exc})")
+            continue
+        report.files_scanned += 1
+        report.findings.extend(
+            lint_source(text, module, rules=rules, report=report))
+    report.findings = sorted(set(report.findings))
+    return report
+
+
+__all__ = ["LintReport", "SKIP_DIRS", "iter_python_files", "lint_paths",
+           "lint_source", "module_name"]

@@ -19,6 +19,9 @@ main flows without writing any Python:
   (``--arena`` for mmap cold start, ``--warmup N`` for cache pre-population).
 * ``repro profile`` — cProfile a batched run over a query trace and print
   the top cumulative hotspots.
+* ``repro lint`` — run the repo's static-analysis rules (lock discipline,
+  byte-identity, durability ordering, RNG determinism, hot-path
+  materialisation) and gate against the committed baseline.
 """
 
 from __future__ import annotations
@@ -569,6 +572,73 @@ def _command_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis rules and gate against the baseline.
+
+    Exit codes: 0 clean (or every finding grandfathered with a
+    justification), 1 when new or unjustified findings fire, 2 when a
+    scanned file cannot be parsed.
+    """
+    import json as _json
+    from pathlib import Path
+
+    from .analysis import (all_rules, diff_against_baseline, get_rule,
+                           lint_paths, load_baseline, write_baseline)
+
+    if args.rules:
+        try:
+            rules = [get_rule(rule_id.strip())
+                     for rule_id in args.rules.split(",") if rule_id.strip()]
+        except KeyError as exc:
+            known = ", ".join(sorted(rule.rule_id for rule in all_rules()))
+            print(f"unknown rule {exc.args[0]!r}; known rules: {known}",
+                  file=sys.stderr)
+            return 2
+    else:
+        rules = None
+    report = lint_paths(args.paths, rules=rules)
+    baseline_path = Path(args.baseline_file)
+
+    if args.baseline == "write":
+        existing = load_baseline(baseline_path)
+        written = write_baseline(baseline_path, report.findings, existing)
+        print(f"{baseline_path}: wrote {written} finding(s); fill in every "
+              f"empty \"justification\" or the gate still fails")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    diff = diff_against_baseline(report.findings, baseline)
+
+    if args.format == "json":
+        payload = dict(report.to_dict(),
+                       baseline_file=str(baseline_path),
+                       new=[f.to_dict() for f in diff.new],
+                       grandfathered=[f.to_dict() for f in diff.grandfathered],
+                       unjustified=[f.to_dict() for f in diff.unjustified],
+                       stale=list(diff.stale),
+                       failing=len(diff.failing))
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in diff.failing:
+            print(finding.format())
+        for finding in diff.grandfathered:
+            print(f"{finding.format()} (baselined)")
+        for entry in diff.stale:
+            print(f"stale baseline entry: [{entry.get('rule')}] "
+                  f"{entry.get('file')}: {entry.get('message')}")
+        for error in report.errors:
+            print(f"parse error: {error}")
+        summary = (f"{report.files_scanned} file(s) scanned, "
+                   f"{len(diff.failing)} failing, "
+                   f"{len(diff.grandfathered)} baselined, "
+                   f"{len(diff.stale)} stale, "
+                   f"{report.suppressed} suppressed inline")
+        print(summary)
+    if report.errors:
+        return 2
+    return 1 if diff.failing else 0
+
+
 def _command_build_arena(args: argparse.Namespace) -> int:
     import time as _time
 
@@ -952,6 +1022,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: 20)")
     _add_engine_arguments(profile)
     profile.set_defaults(handler=_command_profile)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repo's static-analysis rules and gate "
+                     "against the committed baseline")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", default="text", choices=("text", "json"),
+                      help="report format (default: text)")
+    lint.add_argument("--baseline", default="check",
+                      choices=("check", "write"),
+                      help="'check' gates findings against the baseline "
+                           "file; 'write' rewrites it from the current "
+                           "findings, keeping existing justifications")
+    lint.add_argument("--baseline-file", default="lint-baseline.json",
+                      help="baseline path (default: lint-baseline.json)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule ids to run (default: all)")
+    lint.set_defaults(handler=_command_lint)
 
     return parser
 

@@ -207,8 +207,8 @@ def _run_exact_group(engine, queries: Sequence[Query], group: Sequence[int],
                 ScoredItem(item_id=item_id, score=score, textual=textual,
                            social=social)
                 for item_id, score, textual, social in zip(
-                    candidates[top].tolist(), top_scores.tolist(),
-                    textual_component[top].tolist(), top_social.tolist())
+                    candidates[top].tolist(), top_scores.tolist(),  # lint: allow(hot-path-materialisation) -- k-sized top-k slices
+                    textual_component[top].tolist(), top_social.tolist())  # lint: allow(hot-path-materialisation) -- k-sized top-k slices
             ]
             selection = (items, int(block.charges.sum()),
                          int(block.charges[top].sum()))

@@ -83,7 +83,7 @@ class SocialSearchEngine:
             if partitions is not None and partitions.num_partitions > 1
             else None)
         self._planner = QueryPlanner(self)
-        self._algorithms: Dict[str, TopKAlgorithm] = {}
+        self._algorithms: Dict[str, TopKAlgorithm] = {}  # guarded-by: _algorithms_lock
         # Algorithm instances are stateless per search, so they are shared
         # across the service's worker threads; only their lazy creation
         # needs serialising.

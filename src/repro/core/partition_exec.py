@@ -222,18 +222,18 @@ class PartitionedExecutor:
         if workers is None:
             workers = min(partitions.num_partitions, os.cpu_count() or 1)
         self._workers = max(1, int(workers))
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _lock
         self._lock = threading.Lock()
         # Tag-set contexts keyed like ScoringModel's candidate cache: the
         # endorser index object plus its delta version.
-        self._tagsets: Dict[Tuple[str, ...], _TagSetContext] = {}
-        self._tagset_token: Optional[Tuple[object, int]] = None
+        self._tagsets: Dict[Tuple[str, ...], _TagSetContext] = {}  # guarded-by: _lock
+        self._tagset_token: Optional[Tuple[object, int]] = None  # guarded-by: _lock
         # Bound-weighted endorser masses per (cluster bound vector, tag),
         # shared across every seeker of the cluster and across queries —
         # the cross-query analogue of core.batch's per-group cache.  Keys
         # hold the bound array and bundle by reference, so a shard repair
         # (new bound array) or a delta merge (new bundle) misses cleanly.
-        self._bound_mass_cache: Dict[Tuple[int, str],
+        self._bound_mass_cache: Dict[Tuple[int, str],  # guarded-by: _lock
                                      Tuple[object, object, np.ndarray]] = {}
         self.statistics = PartitionExecStatistics()
 
@@ -673,8 +673,8 @@ class PartitionedExecutor:
                 ScoredItem(item_id=item_id, score=score, textual=textual,
                            social=social)
                 for item_id, score, textual, social in zip(
-                    candidates[top].tolist(), top_scores.tolist(),
-                    context.textual[top].tolist(), top_social.tolist())
+                    candidates[top].tolist(), top_scores.tolist(),  # lint: allow(hot-path-materialisation) -- k-sized top-k slices
+                    context.textual[top].tolist(), top_social.tolist())  # lint: allow(hot-path-materialisation) -- k-sized top-k slices
             ]
         with self._lock:
             self.statistics.searches += 1

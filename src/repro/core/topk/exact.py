@@ -133,8 +133,8 @@ class ExactBaseline(TopKAlgorithm):
         items = [
             ScoredItem(item_id=item_id, score=score, textual=textual, social=social)
             for item_id, score, textual, social in zip(
-                block.item_ids[top].tolist(), block.scores[top].tolist(),
-                block.textual[top].tolist(), block.social[top].tolist())
+                block.item_ids[top].tolist(), block.scores[top].tolist(),  # lint: allow(hot-path-materialisation) -- k-sized top-k slices
+                block.textual[top].tolist(), block.social[top].tolist())  # lint: allow(hot-path-materialisation) -- k-sized top-k slices
         ]
         return QueryResult(
             query=query,

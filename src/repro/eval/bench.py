@@ -43,13 +43,13 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..config import EngineConfig, ProximityConfig, ScoringConfig, WorkloadConfig
+from ..config import EngineConfig, ProximityConfig, ScoringConfig
 from ..core.engine import SocialSearchEngine
 from ..core.query import Query
 from ..storage.dataset import Dataset
 from ..storage.tagging import TaggingAction
 from ..workload.datasets import scaled_dataset
-from ..workload.queries import generate_workload
+from ..workload.sampler import dataset_workload
 from .timing import memory_summary, percentile
 
 PathLike = Union[str, Path]
@@ -113,8 +113,7 @@ def run_topk_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
     spans as JSON lines (the CI artifact).
     """
     dataset = scaled_dataset(num_users, seed=seed, homophily=0.5)
-    queries = generate_workload(
-        dataset, WorkloadConfig(num_queries=num_queries, k=k, seed=3))
+    queries = dataset_workload(dataset, num_queries=num_queries, k=k, seed=3)
 
     report: Dict[str, object] = {
         "suite": "topk",
@@ -275,8 +274,7 @@ def run_proximity_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
     batched execution paths for every query and algorithm measured.
     """
     dataset = scaled_dataset(num_users, seed=seed, homophily=0.5)
-    queries = generate_workload(
-        dataset, WorkloadConfig(num_queries=num_queries, k=k, seed=3))
+    queries = dataset_workload(dataset, num_queries=num_queries, k=k, seed=3)
 
     def online_engine() -> SocialSearchEngine:
         # cache_size=0: every query is a cold seeker paying the full online
@@ -461,8 +459,7 @@ def run_updates_suite(num_users: int = MEDIUM_USERS, num_queries: int = 20,
     base_actions = list(base.tagging.actions())
     base_edges = list(base.graph.iter_edges())
     base_items = [item.item_id for item in base.items]
-    queries = generate_workload(
-        base, WorkloadConfig(num_queries=num_queries, k=k, seed=3))
+    queries = dataset_workload(base, num_queries=num_queries, k=k, seed=3)
 
     report: Dict[str, object] = {
         "suite": "updates",
@@ -657,8 +654,7 @@ def run_partitioned_suite(num_users: int = 600, num_queries: int = 20,
         seed=seed,
     )
     dataset = build_dataset(config)
-    queries = generate_workload(
-        dataset, WorkloadConfig(num_queries=num_queries, k=k, seed=7))
+    queries = dataset_workload(dataset, num_queries=num_queries, k=k, seed=7)
 
     def partitioned_engine(partitions: int,
                            materialize: bool = True) -> SocialSearchEngine:
@@ -887,8 +883,7 @@ def run_durability_suite(num_users: int = MEDIUM_USERS, num_queries: int = 10,
     base_edge_keys = {(min(u, v), max(u, v)) for u, v, _ in base_edges}
     base_items = [item.item_id for item in base.items]
     tags = base.tags()
-    queries = generate_workload(
-        base, WorkloadConfig(num_queries=num_queries, k=k, seed=3))
+    queries = dataset_workload(base, num_queries=num_queries, k=k, seed=3)
 
     def make_batches(rng) -> List[Tuple[List[TaggingAction],
                                         List[Tuple[int, int, float]]]]:

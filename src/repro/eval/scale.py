@@ -36,15 +36,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..config import EngineConfig, ProximityConfig, ScoringConfig, WorkloadConfig
+from ..config import EngineConfig, ProximityConfig, ScoringConfig
 from ..core.engine import SocialSearchEngine
 from ..core.query import Query
 from ..storage.arena import Arena, build_arena
 from ..storage.arena_stream import DEFAULT_CHUNK_SIZE, build_arena_streaming
 from ..storage.dataset import Dataset
 from ..workload.datasets import build_dataset, scaled_config
-from ..workload.distributions import poisson_at_least_one
-from ..workload.queries import generate_workload
+from ..workload.sampler import dataset_workload, sample_workload
 from .bench import _result_signature
 from .timing import Timer, measure_in_subprocess, memory_summary
 
@@ -70,33 +69,19 @@ def arena_workload(arena: Arena, num_queries: int, k: int,
     their activity, tags proportionally to popularity, a Poisson number of
     distinct tags per query — using only ``np.bincount`` over the mapped
     action log, so generating queries for a 100k-user corpus touches no
-    per-user Python structures.
+    per-user Python structures.  The draw itself lives in
+    :func:`~repro.workload.sampler.sample_workload`; this wrapper only
+    computes the histograms from the mapped arrays.
     """
-    rng = np.random.default_rng(seed)
     num_users = int(arena.meta["num_users"])
     tag_table = [str(tag) for tag in arena.meta["tags"]]
     activity = np.bincount(np.asarray(arena.array("actions.user_ids")),
                            minlength=num_users).astype(np.float64)
-    seeker_cdf = activity.cumsum()
-    seeker_cdf /= seeker_cdf[-1]
     popularity = np.bincount(np.asarray(arena.array("actions.tag_ids")),
                              minlength=len(tag_table)).astype(np.float64)
-    tag_cdf = popularity.cumsum()
-    tag_cdf /= tag_cdf[-1]
-    queries: List[Query] = []
-    for _ in range(num_queries):
-        seeker = int(seeker_cdf.searchsorted(rng.random(), side="right"))
-        count = poisson_at_least_one(rng, tags_per_query)
-        chosen: List[str] = []
-        attempts = 0
-        while len(chosen) < count and attempts < count * 10 + 10:
-            attempts += 1
-            tag = tag_table[int(tag_cdf.searchsorted(rng.random(),
-                                                     side="right"))]
-            if tag not in chosen:
-                chosen.append(tag)
-        queries.append(Query(seeker=seeker, tags=tuple(chosen), k=k))
-    return queries
+    return sample_workload(tag_table, activity, popularity,
+                           num_queries=num_queries, k=k, seed=seed,
+                           tags_per_query=tags_per_query)
 
 
 def _percentile_ms(samples: List[float], fraction: float) -> float:
@@ -197,8 +182,7 @@ def _equivalence_gate(num_users: int, chunk_sizes: Sequence[int],
             bytes_identical = False
         last_stream_path = stream_path
 
-    queries = generate_workload(
-        dataset, WorkloadConfig(num_queries=num_queries, k=k, seed=3))
+    queries = dataset_workload(dataset, num_queries=num_queries, k=k, seed=3)
     memory_engine = _engine_for(dataset)
     arena_engine = _engine_for(Dataset.from_arena(last_stream_path))
     mismatches = 0

@@ -102,6 +102,7 @@ def _subprocess_entry(func: Callable[[], Any], conn) -> None:
     start = time.perf_counter()
     try:
         value = func()
+    # lint: allow(durability-ordering) -- fork boundary: error is serialised to the parent, which re-raises it; nothing is swallowed
     except BaseException as exc:  # pragma: no cover - propagated to parent
         conn.send(("error", f"{type(exc).__name__}: {exc}", 0, 0.0))
         conn.close()

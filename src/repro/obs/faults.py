@@ -110,11 +110,11 @@ class FaultRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._armed: Dict[str, _ArmedFault] = {}
-        self._hits: Dict[str, int] = {}
+        self._armed: Dict[str, _ArmedFault] = {}  # guarded-by: _lock
+        self._hits: Dict[str, int] = {}  # guarded-by: _lock
         #: Read lock-free by :func:`fault_point`: True only while at least
         #: one fault is armed, keeping the disarmed hot path to one check.
-        self.active = False
+        self.active = False  # guarded-by: _lock
 
     # -- arming -------------------------------------------------------- #
 

@@ -56,7 +56,7 @@ class Counter:
     def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
         self.name = _valid_name(name)
         self.help = help
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
@@ -84,7 +84,7 @@ class Gauge:
     def __init__(self, name: str, help: str = "") -> None:  # noqa: A002
         self.name = _valid_name(name)
         self.help = help
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -135,9 +135,9 @@ class Histogram:
         self.bounds = tuple(bounds) if bounds is not None else log_buckets()
         if list(self.bounds) != sorted(self.bounds) or len(self.bounds) < 1:
             raise ValueError("histogram bounds must be ascending and non-empty")
-        self._counts = [0] * (len(self.bounds) + 1)  # final slot = +Inf
-        self._sum = 0.0
-        self._count = 0
+        self._counts = [0] * (len(self.bounds) + 1)  # guarded-by: _lock (final slot = +Inf)
+        self._sum = 0.0  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -218,8 +218,8 @@ class MetricsRegistry:
 
     def __init__(self, namespace: str = "repro") -> None:
         self.namespace = _valid_name(namespace)
-        self._metrics: "Dict[str, object]" = {}
-        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self._metrics: "Dict[str, object]" = {}  # guarded-by: _lock
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def _full_name(self, name: str) -> str:

@@ -279,7 +279,7 @@ class Tracer:
         self._random = random.Random(seed)
         self._local = threading.local()
         self._lock = threading.Lock()
-        self._traces: "OrderedDict[str, Trace]" = OrderedDict()
+        self._traces: "OrderedDict[str, Trace]" = OrderedDict()  # guarded-by: _lock
         self._ids = itertools.count(1)
         #: Root spans started / actually recorded (sampling visibility).
         self.roots_started = 0

@@ -94,13 +94,13 @@ class CachedProximity(ProximityMeasure):
         # One entry per seeker: [dense array, lazily derived sparse dict].
         # Keeping both forms in the same slot means LRU eviction and
         # invalidation treat them as one cached vector.
-        self._cache: "OrderedDict[int, List[object]]" = OrderedDict()
-        self._ranked_cache: "OrderedDict[int, Tuple[Tuple[int, float], ...]]" = OrderedDict()
+        self._cache: "OrderedDict[int, List[object]]" = OrderedDict()  # guarded-by: _lock
+        self._ranked_cache: "OrderedDict[int, Tuple[Tuple[int, float], ...]]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.RLock()
         # Invalidation epoch: a vector computed concurrently with an
         # invalidation or a graph rebind may reflect the pre-update graph,
         # so puts from an older generation are dropped.
-        self._generation = 0
+        self._generation = 0  # guarded-by: _lock
         self.statistics = CacheStatistics()
 
     @property

@@ -164,12 +164,12 @@ class MaterializedProximity(ProximityMeasure):
         self._inner = inner
         self._cluster_rounds = max(1, int(cluster_rounds))
         self._labels: Optional[List[int]] = list(labels) if labels is not None else None
-        self._shards: Dict[int, ProximityShard] = {}
-        self._shard_of: Dict[int, int] = {}
-        self._stale: set = set()
+        self._shards: Dict[int, ProximityShard] = {}  # guarded-by: _lock
+        self._shard_of: Dict[int, int] = {}  # guarded-by: _lock
+        self._stale: set = set()  # guarded-by: _lock
         # Lazy-refinement overlay: seeker -> (user_ids, values) sparse row,
         # for seekers without a (fresh) shard row.
-        self._overlay: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._overlay: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}  # guarded-by: _lock
         self._lock = threading.RLock()
         self.statistics = MaterializedStatistics()
 

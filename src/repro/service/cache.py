@@ -100,15 +100,15 @@ class ResultCache:
         self._ttl = max(0.0, float(ttl_seconds))
         self._clock = clock
         self._lock = threading.Lock()
-        self._entries: Dict[CacheKey, _Entry] = {}
-        self._order: Dict[CacheKey, None] = {}  # recency-ordered key set
+        self._entries: Dict[CacheKey, _Entry] = {}  # guarded-by: _lock
+        self._order: Dict[CacheKey, None] = {}  # guarded-by: _lock
         # Expiry-ordered key set: every entry carries the same TTL, so the
         # order keys were (re)stored in is exactly the order they expire in
         # and a sweep only ever inspects the front.
-        self._expiry: Dict[CacheKey, None] = {}
-        self._by_tag: Dict[str, Set[CacheKey]] = {}
-        self._by_seeker: Dict[int, Set[CacheKey]] = {}
-        self._generation = 0
+        self._expiry: Dict[CacheKey, None] = {}  # guarded-by: _lock
+        self._by_tag: Dict[str, Set[CacheKey]] = {}  # guarded-by: _lock
+        self._by_seeker: Dict[int, Set[CacheKey]] = {}  # guarded-by: _lock
+        self._generation = 0  # guarded-by: _lock
         self.statistics = ResultCacheStatistics()
 
     @property
@@ -141,7 +141,7 @@ class ResultCache:
     # Core operations
     # ------------------------------------------------------------------ #
 
-    def _unlink(self, key: CacheKey) -> None:
+    def _unlink(self, key: CacheKey) -> None:  # lock-held: _lock
         """Remove ``key`` from the entry map and both secondary indexes."""
         self._entries.pop(key, None)
         self._order.pop(key, None)
@@ -210,7 +210,7 @@ class ResultCache:
                 self._unlink(victim)
                 self.statistics.evictions += 1
 
-    def _sweep_expired(self, now: float) -> None:
+    def _sweep_expired(self, now: float) -> None:  # lock-held: _lock
         """Drop every expired entry (lock held).
 
         ``_expiry`` is expiry-ordered, so the sweep stops at the first

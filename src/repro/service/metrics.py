@@ -41,14 +41,14 @@ class ServiceMetrics:
         self._clock = clock
         self._lock = threading.Lock()
         self._started_at = clock()
-        self._latencies: Deque[float] = deque(maxlen=window)
-        self.requests = 0
-        self.computed = 0
-        self.cache_hits = 0
-        self.coalesced = 0
-        self.errors = 0
-        self.updates_observed = 0
-        self.entries_invalidated = 0
+        self._latencies: Deque[float] = deque(maxlen=window)  # guarded-by: _lock
+        self.requests = 0  # guarded-by: _lock
+        self.computed = 0  # guarded-by: _lock
+        self.cache_hits = 0  # guarded-by: _lock
+        self.coalesced = 0  # guarded-by: _lock
+        self.errors = 0  # guarded-by: _lock
+        self.updates_observed = 0  # guarded-by: _lock
+        self.entries_invalidated = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     # Recording

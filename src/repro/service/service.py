@@ -124,15 +124,15 @@ class QueryService:
             "service_latency_seconds",
             "Service-side latency of computed queries.")
         self._registry.register_collector(self._collect_metrics)
-        self._inflight: dict = {}
+        self._inflight: dict = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._watched: List[DatasetUpdater] = []
-        self._closed = False
-        self._compacting = False
-        self._compactions = 0
-        self._compaction_failures = 0
-        self._compaction_error: Optional[str] = None
-        self._compaction_threads: List[threading.Thread] = []
+        self._watched: List[DatasetUpdater] = []  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self._compacting = False  # guarded-by: _lock
+        self._compactions = 0  # guarded-by: _lock
+        self._compaction_failures = 0  # guarded-by: _lock
+        self._compaction_error: Optional[str] = None  # guarded-by: _lock
+        self._compaction_threads: List[threading.Thread] = []  # guarded-by: _lock
         self._durable: Optional[DurableStore] = None
         if updater is not None:
             self.watch(updater)
@@ -446,7 +446,8 @@ class QueryService:
     def watch(self, updater: DatasetUpdater) -> DatasetUpdater:
         """Subscribe to ``updater`` so its changes invalidate this service."""
         updater.subscribe(self._on_update)
-        self._watched.append(updater)
+        with self._lock:
+            self._watched.append(updater)
         return updater
 
     def attach_durable(self, durable: DurableStore) -> DurableStore:
@@ -629,14 +630,17 @@ class QueryService:
             if self._closed:
                 return
             self._closed = True
-        for updater in self._watched:
+            watched = list(self._watched)
+            self._watched.clear()
+        for updater in watched:
             updater.unsubscribe(self._on_update)
-        self._watched.clear()
         self._executor.shutdown(wait=wait)
+        with self._lock:
+            threads = list(self._compaction_threads)
+            self._compaction_threads.clear()
         if wait:
-            for thread in self._compaction_threads:
+            for thread in threads:
                 thread.join(timeout=60.0)
-        self._compaction_threads.clear()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -764,11 +764,11 @@ class ArenaTaggingStore(TaggingStore):
                  user_ids: np.ndarray, item_ids: np.ndarray,
                  tag_ids: np.ndarray, timestamps: np.ndarray) -> None:
         super().__init__()
-        self._state = _TaggingState(list(tag_table), user_ids, item_ids,
+        self._state = _TaggingState(list(tag_table), user_ids, item_ids,  # guarded-by: _lock
                                     tag_ids, timestamps, endorsers.snapshot())
-        self._delta = TaggingStore()
-        self._delta_len = 0
-        self._materialised = False
+        self._delta = TaggingStore()  # guarded-by: _lock
+        self._delta_len = 0  # guarded-by: _lock
+        self._materialised = False  # guarded-by: _lock
         self._lock = threading.RLock()
 
     # -- mutation: the delta overlay absorbs new actions ---------------- #
@@ -936,9 +936,46 @@ class ArenaTaggingStore(TaggingStore):
                 popularity[tag] = popularity.get(tag, 0) + count
             return popularity
 
+    def action_histograms(self, num_users: int
+                          ) -> Tuple[List[str], np.ndarray, np.ndarray]:
+        """``(tag_table, activity, popularity)`` from the mapped arrays.
+
+        ``np.bincount`` over the frozen action log plus a dict merge of the
+        delta overlay: no per-user Python structures and no
+        materialisation, so sampling a workload from a 100k-user arena
+        stays array-speed.  Output follows the shared histogram contract
+        (sorted tags, ``float64`` counts), so it is bit-identical to the
+        in-memory store's answer for the same actions.
+        """
+        with self._lock:
+            state = self._state
+            activity = np.bincount(state.users,
+                                   minlength=num_users).astype(np.float64)
+            base_counts = np.bincount(state.tags,
+                                      minlength=len(state.tag_table))
+            counts: Dict[str, int] = {
+                tag: int(base_counts[index])
+                for index, tag in enumerate(state.tag_table)
+            }
+            if self._delta_len:
+                for tag, count in self._delta.tag_popularity().items():
+                    counts[tag] = counts.get(tag, 0) + count
+                _, delta_activity, _ = self._delta.action_histograms(num_users)
+                if delta_activity.shape[0] < activity.shape[0]:
+                    delta_activity = np.concatenate([
+                        delta_activity,
+                        np.zeros(activity.shape[0] - delta_activity.shape[0],
+                                 dtype=np.float64),
+                    ])
+                activity = activity + delta_activity
+        tag_table = sorted(counts)
+        popularity = np.array([float(counts[tag]) for tag in tag_table],
+                              dtype=np.float64)
+        return tag_table, activity, popularity
+
     # -- cold paths: replay into the in-memory store -------------------- #
 
-    def _materialise(self) -> None:
+    def _materialise(self) -> None:  # lock-held: _lock
         if self._materialised:
             return
         state = self._state

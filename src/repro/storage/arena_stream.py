@@ -241,7 +241,7 @@ def _build_into(config: DatasetConfig, path: Path, chunk_size: int,
         deduper.add_run(unique_keys[fresh])
         # Keep accepted rows in chunk order = first-occurrence order, the
         # insertion order TaggingStore.add preserves.
-        accepted = np.sort(first_positions[fresh])
+        accepted = np.sort(first_positions[fresh], kind="stable")
         spill.append({column: batch[column][accepted] for column in _COLUMNS})
     log = spill.close()
     total = spill.rows
@@ -277,7 +277,9 @@ def _build_into(config: DatasetConfig, path: Path, chunk_size: int,
     # ------------------------------------------------------------------ #
     key_tiu = (np.asarray(tag_ids_log) * num_items + np.asarray(items_log)) \
         * num_users + np.asarray(users_log)
-    order = np.argsort(key_tiu)
+    # Keys are distinct triples, so stability cannot change the result —
+    # but kind="stable" pins the permutation across numpy versions.
+    order = np.argsort(key_tiu, kind="stable")
     taggers = _scratch_memmap(scratch, "endorser.taggers", total)
     _gather_into(taggers, users_log, order)
     # Not read again until the final write; keep its pages off the RSS bill.
@@ -312,7 +314,7 @@ def _build_into(config: DatasetConfig, path: Path, chunk_size: int,
     # ------------------------------------------------------------------ #
     key_tui = (np.asarray(tag_ids_log) * num_users + np.asarray(users_log)) \
         * num_items + np.asarray(items_log)
-    order = np.argsort(key_tui)
+    order = np.argsort(key_tui, kind="stable")
     social_items = _scratch_memmap(scratch, "social.item_ids", total)
     _gather_into(social_items, items_log, order)
     _release_mapped_pages(social_items)

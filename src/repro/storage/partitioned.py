@@ -60,8 +60,8 @@ class CorpusPartitions:
             raise StorageError(
                 f"num_partitions must be >= 1, got {num_partitions}")
         self.num_partitions = int(num_partitions)
-        self._item_map = np.asarray(item_map, dtype=np.int64)
-        self._user_map = np.asarray(user_map, dtype=np.int64)
+        self._item_map = np.asarray(item_map, dtype=np.int64)  # guarded-by: _lock
+        self._user_map = np.asarray(user_map, dtype=np.int64)  # guarded-by: _lock
         # Routing live updates appends to the item map; queries only read
         # whole arrays, so a lock around the swap keeps readers consistent.
         self._lock = threading.Lock()

@@ -18,6 +18,8 @@ from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True, order=True)
 class TaggingAction:
@@ -176,6 +178,28 @@ class TaggingStore:
     def activity(self, user_id: int) -> int:
         """Number of actions performed by ``user_id``."""
         return sum(self._tags_by_user.get(user_id, {}).values())
+
+    def action_histograms(self, num_users: int
+                          ) -> Tuple[List[str], np.ndarray, np.ndarray]:
+        """``(tag_table, activity, popularity)`` for workload sampling.
+
+        ``tag_table`` is the sorted distinct tags, ``activity[user_id]``
+        the user's action count (length ``num_users``; out-of-range users
+        are dropped) and ``popularity`` the per-tag action counts aligned
+        with ``tag_table``.  The histogram contract shared with
+        :meth:`~repro.storage.arena.ArenaTaggingStore.action_histograms`:
+        equal actions produce equal arrays, so
+        :func:`~repro.workload.sampler.sample_workload` draws identical
+        workloads from either store.
+        """
+        tag_table = sorted(self._tag_counts)
+        activity = np.zeros(num_users, dtype=np.float64)
+        for user_id, profile in self._tags_by_user.items():
+            if 0 <= user_id < num_users:
+                activity[user_id] = float(sum(profile.values()))
+        popularity = np.array([self._tag_counts[tag] for tag in tag_table],
+                              dtype=np.float64)
+        return tag_table, activity, popularity
 
     def num_distinct_triples(self) -> int:
         """Number of distinct ``(user, item, tag)`` triples stored."""

@@ -108,8 +108,8 @@ class DatasetUpdater:
 
     def __init__(self, dataset: Dataset, compact_threshold: int = 0) -> None:
         self._dataset = dataset
-        self._observers: List[Callable[[UpdateSummary], None]] = []
-        self._in_batch = False
+        self._observers: List[Callable[[UpdateSummary], None]] = []  # guarded-by: _mutate_lock
+        self._in_batch = False  # guarded-by: _mutate_lock
         # Serialises mutations: concurrent updates (e.g. two simultaneous
         # HTTP /update requests) would otherwise both rebuild the graph from
         # the same snapshot and the later assignment would drop the earlier
@@ -119,13 +119,13 @@ class DatasetUpdater:
         #: (0 disables; the serving layer prefers to drive compaction in the
         #: background instead, see ``QueryService``).
         self._compact_threshold = max(0, int(compact_threshold))
-        self._epoch = 0
+        self._epoch = 0  # guarded-by: _mutate_lock
         #: Optional write-ahead log: when attached, every effective update
         #: is appended (and made durable per the log's fsync policy)
         #: *before* the public call returns — i.e. before the update is
         #: acknowledged.  A crash after the append loses nothing: recovery
         #: replays the record through this same incremental path.
-        self._wal: Optional[WriteAheadLog] = None
+        self._wal: Optional[WriteAheadLog] = None  # guarded-by: _mutate_lock
 
     @property
     def dataset(self) -> Dataset:
@@ -240,15 +240,17 @@ class DatasetUpdater:
         which tags and users went stale.  Returns the observer so the call
         can be used inline.
         """
-        self._observers.append(observer)
+        with self._mutate_lock:
+            self._observers.append(observer)
         return observer
 
     def unsubscribe(self, observer: Callable[[UpdateSummary], None]) -> None:
         """Remove a previously registered observer (no-op when absent)."""
-        try:
-            self._observers.remove(observer)
-        except ValueError:
-            pass
+        with self._mutate_lock:
+            try:
+                self._observers.remove(observer)
+            except ValueError:
+                pass
 
     def _notify(self, summary: UpdateSummary) -> UpdateSummary:
         # No-op updates (duplicate actions, empty batches) must not reach

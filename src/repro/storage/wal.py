@@ -133,8 +133,8 @@ class WriteAheadLog:
         self.fsync_policy = fsync
         self.fsync_interval_seconds = fsync_interval_seconds
         self._lock = threading.Lock()
-        self._last_fsync = 0.0
-        self._closed = False
+        self._last_fsync = 0.0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
         registry = registry or get_registry()
         self._records_metric = registry.counter(
             "wal_records_appended_total", "WAL records appended.")
@@ -146,9 +146,9 @@ class WriteAheadLog:
             "wal_fsync_seconds", "Latency of WAL fsync calls.")
         # Session accounting (the registry counters aggregate across
         # segments and processes; these are this segment's own numbers).
-        self.records_appended = 0
-        self.bytes_appended = 0
-        self.fsyncs = 0
+        self.records_appended = 0  # guarded-by: _lock
+        self.bytes_appended = 0  # guarded-by: _lock
+        self.fsyncs = 0  # guarded-by: _lock
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         self._handle = self.path.open("ab")
@@ -212,7 +212,7 @@ class WriteAheadLog:
                 self._handle.flush()
                 self._fsync(force=True)
 
-    def _fsync(self, force: bool) -> None:
+    def _fsync(self, force: bool) -> None:  # lock-held: _lock
         now = time.monotonic()
         if not force and now - self._last_fsync < self.fsync_interval_seconds:
             return

@@ -19,6 +19,7 @@ from .datasets import (
     variant,
 )
 from .queries import QueryWorkloadGenerator, generate_workload, queries_with_k
+from .sampler import dataset_workload, sample_workload
 from .trace import load_queries, save_queries
 
 __all__ = [
@@ -40,6 +41,8 @@ __all__ = [
     "QueryWorkloadGenerator",
     "generate_workload",
     "queries_with_k",
+    "sample_workload",
+    "dataset_workload",
     "load_queries",
     "save_queries",
 ]

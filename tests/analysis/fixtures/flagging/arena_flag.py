@@ -1,0 +1,10 @@
+"""Flagging fixture: byte-identity hazards in an arena-named module."""
+
+import numpy as np
+
+
+def pack(values):
+    table = np.zeros(4)  # dtype left to numpy's default
+    order = np.argsort(values)  # default introsort is not stable
+    ranked = values.argsort()  # method form, same hazard
+    return table, order, ranked

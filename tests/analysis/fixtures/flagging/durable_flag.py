@@ -1,0 +1,27 @@
+"""Flagging fixture: crash-unsafe publishing in a durable writer module."""
+
+import os
+from pathlib import Path
+
+
+def publish(directory: str, payload: bytes) -> None:
+    target = Path(directory) / "MANIFEST.json"
+    tmp = target.with_suffix(".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+    os.rename(tmp, target)  # not the atomic-replace primitive
+
+
+def publish_in_place(target: Path, payload: bytes) -> None:
+    target.write_bytes(payload)  # truncates the destination in place
+
+
+def publish_unfsynced(tmp: Path, target: Path) -> None:
+    os.replace(tmp, target)  # rename may hit disk before the data
+
+
+def recover(directory: str) -> None:
+    try:
+        publish(directory, b"")
+    except BaseException:  # swallows InjectedCrash
+        pass

@@ -1,0 +1,21 @@
+"""Flagging fixture: guarded attrs mutated outside their lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._items = []  # guarded-by: _lock
+
+    def bump(self) -> None:
+        self._count += 1  # mutated without holding the lock
+
+    def push(self, value) -> None:
+        self._items.append(value)  # mutator call without the lock
+
+    def reset(self) -> None:
+        with self._lock:
+            self._count = 0
+        self._items = []  # second statement slipped outside the with

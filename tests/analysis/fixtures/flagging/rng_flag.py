@@ -1,0 +1,13 @@
+"""Flagging fixture: draws from the hidden global RNGs."""
+
+import random
+
+import numpy as np
+from random import shuffle  # binds a global-state function
+
+
+def sample(count: int):
+    noise = np.random.rand(count)  # numpy's global RNG
+    pick = random.random()  # stdlib's global RNG
+    np.random.seed(0)  # reseeding the global stream
+    return noise, pick

@@ -1,0 +1,9 @@
+"""Flagging fixture: materialisation shapes in a serve-path module."""
+
+
+def handle(request, dataset, scores, item_ids):
+    ranked = scores.tolist()  # corpus-sized array into a Python list
+    lookup = dict(zip(item_ids, scores))  # corpus-sized dict builder
+    workload = generate_workload(dataset)  # offline world in the serve path
+    profile = dataset.tagging.tags_for_user(request.seeker)  # materialises
+    return ranked, lookup, workload, profile

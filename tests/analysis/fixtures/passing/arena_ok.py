@@ -1,0 +1,11 @@
+"""Passing fixture: explicit dtypes and stable sorts in an arena module."""
+
+import numpy as np
+
+
+def pack(values):
+    table = np.zeros(4, dtype=np.int64)
+    order = np.argsort(values, kind="stable")
+    ranked = values.argsort(kind="stable")
+    mirrored = np.asarray(values)  # asarray keeps the input dtype: exempt
+    return table, order, ranked, mirrored

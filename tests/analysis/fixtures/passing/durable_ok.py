@@ -1,0 +1,30 @@
+"""Passing fixture: the tmp + fsync + os.replace publish sequence."""
+
+import os
+from pathlib import Path
+
+
+def publish(directory: str, payload: bytes) -> None:
+    target = Path(directory) / "MANIFEST.json"
+    tmp = target.with_suffix(".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+
+
+def cleanup_and_reraise(directory: str) -> None:
+    try:
+        publish(directory, b"")
+    except BaseException:
+        os.unlink(Path(directory) / "MANIFEST.tmp")
+        raise
+
+
+def narrow_handler(directory: str) -> bool:
+    try:
+        publish(directory, b"")
+    except OSError:
+        return False
+    return True

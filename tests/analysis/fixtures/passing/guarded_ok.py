@@ -1,0 +1,30 @@
+"""Passing fixture: every guarded mutation holds the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._items = []  # guarded-by: _lock
+        self._unguarded = 0  # no annotation, free to mutate anywhere
+
+    def bump(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def push(self, value) -> None:
+        with self._lock:
+            self._items.append(value)
+            self._drain()
+
+    def _drain(self) -> None:  # lock-held: _lock
+        self._items.clear()
+        self._count = 0
+
+    def touch(self) -> None:
+        self._unguarded += 1
+
+    def snapshot(self) -> int:
+        return self._count  # reads are deliberately unchecked

@@ -1,0 +1,14 @@
+"""Passing fixture: every draw flows through a seeded instance RNG."""
+
+import random
+
+import numpy as np
+from random import Random  # seedable class: allowed
+
+
+def sample(count: int, seed: int):
+    rng = np.random.default_rng(seed)
+    stdlib_rng = random.Random(seed)
+    noise = rng.random(count)
+    pick = stdlib_rng.random()
+    return noise, pick

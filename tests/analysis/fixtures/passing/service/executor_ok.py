@@ -1,0 +1,11 @@
+"""Passing fixture: the serve path stays array-native."""
+
+import numpy as np
+
+
+def handle(request, dataset, scores, item_ids, k):
+    order = np.argsort(scores, kind="stable")[::-1][:k]
+    top = [(int(item_ids[i]), float(scores[i]))
+           for i in order.tolist()]  # lint: allow(hot-path-materialisation) -- k-sized top-k slice
+    popularity = dataset.tagging.tag_popularity()  # array-native accessor
+    return top, popularity

@@ -1,0 +1,73 @@
+"""Baseline load/write/diff semantics: the grandfathering workflow."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import (Finding, diff_against_baseline, load_baseline,
+                            write_baseline)
+
+
+def make_finding(message: str = "bad thing", file: str = "src/x.py",
+                 line: int = 3, rule: str = "rng-determinism") -> Finding:
+    return Finding(file=file, line=line, rule=rule, message=message)
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == []
+
+
+def test_write_then_load_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    written = write_baseline(path, [make_finding()])
+    assert written == 1
+    entries = load_baseline(path)
+    assert entries[0]["message"] == "bad thing"
+    assert entries[0]["justification"] == ""
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+
+
+def test_bare_list_baseline_is_accepted(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps([make_finding().to_dict()]))
+    assert len(load_baseline(path)) == 1
+
+
+def test_rewrite_preserves_justifications(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [make_finding()])
+    entries = load_baseline(path)
+    entries[0]["justification"] = "third-party API forces it"
+    path.write_text(json.dumps({"version": 1, "findings": entries}))
+    # Re-writing from fresh findings (same key, different line) keeps it.
+    write_baseline(path, [make_finding(line=99)], load_baseline(path))
+    assert load_baseline(path)[0]["justification"] == \
+        "third-party API forces it"
+
+
+def test_diff_partitions_new_grandfathered_unjustified_stale():
+    justified = make_finding("carried")
+    unjustified = make_finding("not yet explained")
+    fresh = make_finding("brand new")
+    gone = make_finding("already fixed")
+    baseline = [
+        dict(justified.to_dict(), justification="legacy layout"),
+        dict(unjustified.to_dict(), justification=""),
+        dict(gone.to_dict(), justification="was real once"),
+    ]
+    diff = diff_against_baseline([justified, unjustified, fresh], baseline)
+    assert diff.grandfathered == [justified]
+    assert diff.unjustified == [unjustified]
+    assert diff.new == [fresh]
+    assert [entry["message"] for entry in diff.stale] == ["already fixed"]
+    assert diff.failing == sorted({fresh, unjustified})
+
+
+def test_matching_ignores_line_numbers():
+    finding = make_finding(line=10)
+    baseline = [dict(make_finding(line=200).to_dict(),
+                     justification="line drift is fine")]
+    diff = diff_against_baseline([finding], baseline)
+    assert diff.grandfathered == [finding]
+    assert diff.failing == []

@@ -1,0 +1,91 @@
+"""Exit-code and output contract of ``repro lint``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import load_baseline
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+FLAGGING = str(FIXTURES / "flagging" / "rng_flag.py")
+PASSING = str(FIXTURES / "passing" / "rng_ok.py")
+
+
+def run_lint(*argv: str) -> int:
+    return main(["lint", *argv])
+
+
+def test_clean_path_exits_zero(tmp_path, capsys):
+    code = run_lint(PASSING, "--baseline-file",
+                    str(tmp_path / "baseline.json"))
+    assert code == 0
+    assert "0 failing" in capsys.readouterr().out
+
+
+def test_findings_exit_nonzero(tmp_path, capsys):
+    code = run_lint(FLAGGING, "--baseline-file",
+                    str(tmp_path / "baseline.json"))
+    assert code == 1
+    assert "[rng-determinism]" in capsys.readouterr().out
+
+
+def test_json_format_reports_findings(tmp_path, capsys):
+    code = run_lint(FLAGGING, "--format", "json", "--baseline-file",
+                    str(tmp_path / "baseline.json"))
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["failing"] == len(payload["new"]) > 0
+    assert payload["files_scanned"] == 1
+
+
+def test_baseline_write_then_justify_then_pass(tmp_path, capsys):
+    baseline_file = tmp_path / "baseline.json"
+    assert run_lint(FLAGGING, "--baseline", "write",
+                    "--baseline-file", str(baseline_file)) == 0
+    # Baselined but unjustified entries still fail the gate.
+    assert run_lint(FLAGGING, "--baseline-file", str(baseline_file)) == 1
+    assert "missing" not in capsys.readouterr().out  # gate, not allow text
+    entries = load_baseline(baseline_file)
+    for entry in entries:
+        entry["justification"] = "fixture exercises the violation on purpose"
+    baseline_file.write_text(json.dumps({"version": 1, "findings": entries}))
+    assert run_lint(FLAGGING, "--baseline-file", str(baseline_file)) == 0
+    out = capsys.readouterr().out
+    assert "(baselined)" in out
+
+
+def test_stale_baseline_entries_are_reported(tmp_path, capsys):
+    baseline_file = tmp_path / "baseline.json"
+    assert run_lint(FLAGGING, "--baseline", "write",
+                    "--baseline-file", str(baseline_file)) == 0
+    # The clean fixture fires nothing, so every entry is stale — but stale
+    # alone does not fail the gate.
+    assert run_lint(PASSING, "--baseline-file", str(baseline_file)) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_rule_selection_runs_only_named_rules(tmp_path):
+    baseline_file = str(tmp_path / "baseline.json")
+    flagging_arena = str(FIXTURES / "flagging" / "arena_flag.py")
+    assert run_lint(flagging_arena, "--rules", "byte-identity",
+                    "--baseline-file", baseline_file) == 1
+    assert run_lint(flagging_arena, "--rules", "rng-determinism",
+                    "--baseline-file", baseline_file) == 0
+
+
+def test_unknown_rule_exits_two(tmp_path, capsys):
+    code = run_lint(PASSING, "--rules", "no-such-rule",
+                    "--baseline-file", str(tmp_path / "baseline.json"))
+    assert code == 2
+    assert "known rules" in capsys.readouterr().err
+
+
+def test_parse_error_exits_two(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def broken(:\n")
+    code = run_lint(str(broken), "--baseline-file",
+                    str(tmp_path / "baseline.json"))
+    assert code == 2
+    assert "parse error" in capsys.readouterr().out

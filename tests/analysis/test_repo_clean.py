@@ -1,0 +1,24 @@
+"""The self-check CI runs: the repo's own sources pass the lint gate."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import diff_against_baseline, lint_paths, load_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_passes_the_gate_against_committed_baseline():
+    report = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert not report.errors, report.errors
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+    diff = diff_against_baseline(report.findings, baseline)
+    assert diff.failing == [], [finding.format() for finding in diff.failing]
+    # The committed baseline never carries entries that no longer fire.
+    assert diff.stale == [], diff.stale
+
+
+def test_committed_baseline_entries_are_all_justified():
+    for entry in load_baseline(REPO_ROOT / "lint-baseline.json"):
+        assert str(entry.get("justification", "")).strip(), entry
