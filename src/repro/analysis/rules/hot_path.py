@@ -9,12 +9,14 @@ from the modules that run per query — anything under ``service/`` or
 * ``.tolist()`` — converts an array into a Python list; fine on a k-sized
   top-k slice (annotate it), catastrophic on a corpus-sized array;
 * ``dict(zip(...))`` — the classic corpus-sized-dict builder;
-* calls into the offline world: ``build_dataset``,
-  ``QueryWorkloadGenerator`` / ``generate_workload`` (whose per-user
-  profile scans materialise arena-backed stores — use
-  :func:`repro.workload.sampler.dataset_workload`), and the tagging
+* calls into the offline world: ``build_dataset``, and the tagging
   store's materialising accessors ``actions()`` / ``tags_for_user()`` /
   ``activity()`` on a ``tagging`` receiver.
+
+``QueryWorkloadGenerator`` / ``generate_workload`` used to be banned here
+too; since their sampling distributions moved onto
+:func:`repro.workload.sampler.generator_distributions` histograms they no
+longer materialise the store, so the carve-out is gone.
 """
 
 from __future__ import annotations
@@ -28,8 +30,7 @@ from ..registry import LintRule, register_rule
 from ._ast_util import dotted_name, self_attr_root
 
 #: Offline-world entry points that have no business in a serve module.
-OFFLINE_CALLS = {"build_dataset", "generate_workload",
-                 "QueryWorkloadGenerator"}
+OFFLINE_CALLS = {"build_dataset"}
 
 #: TaggingStore accessors that replay the arena log into Python dicts.
 MATERIALISING_ACCESSORS = {"actions", "tags_for_user", "activity"}

@@ -12,7 +12,7 @@ main flows without writing any Python:
   estimates) without executing it.
 * ``repro bench`` — run a small latency/quality comparison over a workload,
   or the headless suites (``--suite topk`` / ``proximity`` / ``updates`` /
-  ``partitioned``).
+  ``partitioned`` / ``durability`` / ``scale`` / ``anytime``).
 * ``repro build-arena`` — serialise a dataset (and optionally materialized
   proximity shards) into the memory-mapped index arena.
 * ``repro serve`` — expose a dataset behind the concurrent JSON HTTP API
@@ -210,6 +210,8 @@ def _run_bench_suite(args: argparse.Namespace) -> int:
         return _run_durability_suite(args)
     if args.suite == "scale":
         return _run_scale_suite(args)
+    if args.suite == "anytime":
+        return _run_anytime_suite(args)
     report = run_topk_suite(
         num_users=args.users,
         num_queries=args.queries,
@@ -422,6 +424,63 @@ def _run_scale_suite(args: argparse.Namespace) -> int:
               f"{ratio:.2f}x is below the required "
               f"{args.min_rss_ratio:.2f}x")
         return 1
+    return 0
+
+
+def _run_anytime_suite(args: argparse.Namespace) -> int:
+    """Anytime/landmark serving suite: quality-vs-latency + quality gates."""
+    from .eval.bench import format_anytime_report, run_anytime_suite, write_report
+
+    measure = args.proximity
+    if measure == "shortest-path":
+        # The suite measures the unmaterialized serving regime, where the
+        # exact path pays a per-query proximity row; PPR's power-iteration
+        # row is the paper's case for that trade.
+        measure = "ppr"
+        print("anytime suite: using measure 'ppr' (the suite measures the "
+              "unmaterialized per-query-row serving regime)")
+    kwargs = {}
+    if args.budgets:
+        kwargs["budgets"] = tuple(int(part) for part in args.budgets.split(",")
+                                  if part.strip())
+    if args.landmark_counts:
+        kwargs["landmark_counts"] = tuple(
+            int(part) for part in args.landmark_counts.split(",")
+            if part.strip())
+    report = run_anytime_suite(
+        num_users=args.users,
+        num_queries=args.queries,
+        k=args.k,
+        rounds=args.rounds,
+        alpha=args.alpha,
+        measure=measure,
+        seed=args.seed,
+        **kwargs,
+    )
+    print(format_anytime_report(report))
+    if args.json:
+        path = write_report(report, args.json)
+        print(f"wrote {path}")
+    if not report["equivalent"]:
+        print("FAIL: full-budget anytime answers diverge from the exact scan")
+        return 1
+    recall = float(report["recall_at_k_default"])
+    if args.min_recall > 0.0 and recall < args.min_recall:
+        print(f"FAIL: default-budget recall@k {recall:.3f} is below the "
+              f"required {args.min_recall:.3f}")
+        return 1
+    gate = report["gate"]
+    if args.min_speedup > 0.0:
+        if not gate["point"]:
+            print("FAIL: no approximate serving point met the recall floor "
+                  f"{gate['recall_floor']:.2f}")
+            return 1
+        speedup = float(gate["speedup"])
+        if speedup < args.min_speedup:
+            print(f"FAIL: best qualifying p50 speedup {speedup:.2f}x "
+                  f"({gate['point']}) is below the required "
+                  f"{args.min_speedup:.2f}x")
+            return 1
     return 0
 
 
@@ -773,7 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="algorithms to measure (both modes)")
     bench.add_argument("--suite", nargs="?", const="topk", default=None,
                        choices=("topk", "proximity", "updates", "partitioned",
-                                "durability", "scale"),
+                                "durability", "scale", "anytime"),
                        help="run a headless bench_fig*-style suite: 'topk' "
                             "(p50/p95/qps + vectorized-vs-scalar speedup; "
                             "the default when no value is given), "
@@ -794,7 +853,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "arena builds vs the in-memory builder with "
                             "per-size peak RSS, cold start and serving "
                             "p50/p95, a byte-identity equivalence gate and "
-                            "an optional operating-point binary search)")
+                            "an optional operating-point binary search) or "
+                            "'anytime' (budgeted anytime scan and landmark-"
+                            "sketch tier: latency-vs-quality curves with "
+                            "recall@k / rank correlation / error bounds, a "
+                            "default-budget quality gate and a full-budget "
+                            "exact-equivalence gate)")
     bench.add_argument("--users", type=int, default=200,
                        help="suite dataset size in users (default: 200, the "
                             "Figure-6 medium point)")
@@ -844,6 +908,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scale suite: exit non-zero when the in-memory/"
                             "streaming build peak-RSS ratio falls below "
                             "this factor (0 = report only)")
+    bench.add_argument("--min-recall", type=float, default=0.0,
+                       help="anytime suite: exit non-zero when mean "
+                            "recall@k at the default anytime budget falls "
+                            "below this value (e.g. 0.95; 0 = report only)")
+    bench.add_argument("--budgets", default=None, metavar="N,N,...",
+                       help="anytime suite: comma-separated max-scanned "
+                            "budgets for the latency-vs-quality curve "
+                            "(default: 64,128,256,512,1024)")
+    bench.add_argument("--landmark-counts", default=None, metavar="N,N,...",
+                       help="anytime suite: comma-separated landmark-sketch "
+                            "sizes for the approximate-tier curve "
+                            "(default: 4,8,16,32)")
     _add_engine_arguments(bench)
     bench.set_defaults(handler=_command_bench)
 

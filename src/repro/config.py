@@ -99,6 +99,13 @@ class ProximityConfig:
         warm-up, not on the query path.
     cluster_rounds:
         Label-propagation rounds used to partition seekers into shards.
+    landmarks:
+        Size of the landmark-sketch serving tier
+        (:class:`~repro.proximity.landmarks.LandmarkProximity`).  When
+        positive, engines with a partitioned layout additionally build a
+        landmark executor the planner can route ``effort="fast"`` / tight
+        SLO queries to.  0 (the default) disables the tier; standalone
+        sketches then default to 16 landmarks.
     """
 
     measure: str = "shortest-path"
@@ -112,6 +119,7 @@ class ProximityConfig:
     materialize: bool = False
     materialize_eager: bool = False
     cluster_rounds: int = 5
+    landmarks: int = 0
 
     def __post_init__(self) -> None:
         _require(bool(self.measure), "measure name must be a non-empty string")
@@ -124,6 +132,8 @@ class ProximityConfig:
         _require(self.cache_size >= 0, "cache_size must be non-negative")
         _require(self.cluster_rounds >= 1,
                  f"cluster_rounds must be >= 1, got {self.cluster_rounds}")
+        _require(self.landmarks >= 0,
+                 f"landmarks must be non-negative, got {self.landmarks}")
         _require(not (self.materialize_eager and not self.materialize),
                  "materialize_eager requires materialize")
 

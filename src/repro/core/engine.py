@@ -22,12 +22,14 @@ from ..config import EngineConfig, ScoringConfig
 from ..obs import trace as obs_trace
 from ..proximity import CachedProximity, MaterializedProximity, create_proximity
 from ..proximity.base import ProximityMeasure
+from ..proximity.landmarks import LandmarkProximity
 from ..storage.dataset import Dataset
 from ..storage.partitioned import CorpusPartitions
 from .batch import run_batch as _run_batch
 from .partition_exec import PartitionedExecutor
-from .plan import EXECUTOR_PARTITIONED, ExecutionPlan, QueryPlanner
-from .query import Query, QueryResult
+from .plan import (EXECUTOR_PARTITIONED, SERVING_ANYTIME, SERVING_LANDMARK,
+                   ExecutionPlan, QueryPlanner)
+from .query import Query, QueryBudget, QueryResult
 from .scoring import ScoringModel
 from .topk.base import TopKAlgorithm, available_algorithms, create_algorithm
 
@@ -51,11 +53,16 @@ class SocialSearchEngine:
         ``config.partitions > 1``, one is built with seeded label
         propagation; derived engines (:meth:`with_alpha`,
         :meth:`with_algorithm`) share the parent's layout.
+    landmark_proximity:
+        Optional pre-built landmark sketch for the approximate serving
+        tier.  When omitted, one is built iff ``config.proximity.landmarks
+        > 0`` and the engine is partitioned; derived engines share it.
     """
 
     def __init__(self, dataset: Dataset, config: Optional[EngineConfig] = None,
                  proximity: Optional[ProximityMeasure] = None,
-                 partitions: Optional[CorpusPartitions] = None) -> None:
+                 partitions: Optional[CorpusPartitions] = None,
+                 landmark_proximity: Optional[ProximityMeasure] = None) -> None:
         self._dataset = dataset
         self._config = config or EngineConfig()
         if proximity is None:
@@ -81,6 +88,21 @@ class SocialSearchEngine:
         self._partition_executor = (
             PartitionedExecutor(dataset, proximity, self._config, partitions)
             if partitions is not None and partitions.num_partitions > 1
+            else None)
+        # The approximate serving tier: a second partitioned executor over
+        # landmark-sketch proximity.  ``effort="fast"`` queries route here;
+        # its results carry ``is_exact=False`` and no error bound (the
+        # sketch under-estimates social mass, so score bounds do not apply).
+        if landmark_proximity is None and self._partition_executor is not None \
+                and self._config.proximity.landmarks > 0:
+            landmark_proximity = LandmarkProximity(dataset.graph,
+                                                   self._config.proximity)
+        self._landmark_proximity = landmark_proximity
+        self._landmark_executor = (
+            PartitionedExecutor(dataset, landmark_proximity, self._config,
+                                partitions, label="landmark")
+            if landmark_proximity is not None
+            and self._partition_executor is not None
             else None)
         self._planner = QueryPlanner(self)
         self._algorithms: Dict[str, TopKAlgorithm] = {}  # guarded-by: _algorithms_lock
@@ -128,6 +150,16 @@ class SocialSearchEngine:
         """The scatter-gather executor (``None`` for single-partition engines)."""
         return self._partition_executor
 
+    @property
+    def landmark_proximity(self) -> Optional[ProximityMeasure]:
+        """The landmark sketch behind the approximate tier (``None`` if off)."""
+        return self._landmark_proximity
+
+    @property
+    def landmark_executor(self) -> Optional[PartitionedExecutor]:
+        """The approximate (landmark-sketch) executor (``None`` if off)."""
+        return self._landmark_executor
+
     def algorithms(self) -> List[str]:
         """Names of every available top-k algorithm."""
         return list(available_algorithms())
@@ -164,7 +196,13 @@ class SocialSearchEngine:
         if tracer is None:  # production default: zero per-query overhead
             executor, _reason = self._planner.route(name)
             if executor == EXECUTOR_PARTITIONED:
-                return self._partition_executor.search(query)
+                if not query.has_serving_hint:
+                    return self._partition_executor.search(query)
+                decision = self._planner.serving(query, executor)
+                if decision.mode == SERVING_LANDMARK:
+                    return self._landmark_executor.search(query)
+                return self._partition_executor.search(
+                    query, budget=decision.budget)
             return self._algorithm(name).search(query)
         with tracer.span("engine.run", seeker=query.seeker,
                          tags=",".join(query.tags), k=query.k,
@@ -176,14 +214,31 @@ class SocialSearchEngine:
                                lookups=self._planner.route_lookups)
             root.set(executor=executor, reason=reason)
             if executor == EXECUTOR_PARTITIONED:
-                return self._partition_executor.search(query)
+                if not query.has_serving_hint:
+                    return self._partition_executor.search(query)
+                decision = self._planner.serving(query, executor)
+                root.set(serving_mode=decision.mode,
+                         serving_reason=decision.reason)
+                if decision.mode == SERVING_LANDMARK:
+                    return self._landmark_executor.search(query)
+                return self._partition_executor.search(
+                    query, budget=decision.budget)
             with tracer.span("algorithm.search", algorithm=name):
                 return self._algorithm(name).search(query)
 
     def execute(self, query: Query, plan: ExecutionPlan) -> QueryResult:
         """Drive a planned query through its chosen executor."""
         if plan.executor == EXECUTOR_PARTITIONED:
-            return self._partition_executor.search(query)
+            if plan.serving_mode == SERVING_LANDMARK \
+                    and self._landmark_executor is not None:
+                return self._landmark_executor.search(query)
+            budget = None
+            if plan.serving_mode == SERVING_ANYTIME and (
+                    plan.budget_deadline_ms is not None
+                    or plan.budget_max_scanned is not None):
+                budget = QueryBudget(deadline_ms=plan.budget_deadline_ms,
+                                     max_scanned=plan.budget_max_scanned)
+            return self._partition_executor.search(query, budget=budget)
         return self._algorithm(plan.algorithm).search(query)
 
     def explain_plan(self, query: Query,
@@ -244,13 +299,15 @@ class SocialSearchEngine:
         )
         config = replace(self._config, scoring=scoring)
         return SocialSearchEngine(self._dataset, config, proximity=self._proximity,
-                                  partitions=self._partitions)
+                                  partitions=self._partitions,
+                                  landmark_proximity=self._landmark_proximity)
 
     def with_algorithm(self, algorithm: str) -> "SocialSearchEngine":
         """Return a new engine defaulting to a different algorithm (shared proximity)."""
         config = replace(self._config, algorithm=algorithm)
         return SocialSearchEngine(self._dataset, config, proximity=self._proximity,
-                                  partitions=self._partitions)
+                                  partitions=self._partitions,
+                                  landmark_proximity=self._landmark_proximity)
 
     def explain(self, result: QueryResult) -> str:
         """Human-readable explanation of a query result (used by examples)."""

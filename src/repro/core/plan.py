@@ -23,12 +23,41 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .batch import MIN_SHARED_GROUP, group_queries
-from .query import Query
+from .query import Query, QueryBudget
 from .topk.base import available_algorithms
 
 #: Executor routes a plan can select.
 EXECUTOR_PARTITIONED = "partitioned-exact"
 EXECUTOR_ALGORITHM = "algorithm"
+
+#: Serving modes of the partitioned route: the exact scan, the budgeted
+#: anytime scan (best-so-far + admissible error bound), and the
+#: landmark-sketch executor (approximate proximity, no per-seeker
+#: precomputation).
+SERVING_EXACT = "exact"
+SERVING_ANYTIME = "anytime"
+SERVING_LANDMARK = "landmark"
+
+
+def default_budget(k: int) -> QueryBudget:
+    """The scanned-items cap of ``effort="balanced"`` (and the bench suite's
+    default anytime operating point)."""
+    return QueryBudget(max_scanned=max(512, 64 * k))
+
+
+def fast_budget(k: int) -> QueryBudget:
+    """The tighter cap ``effort="fast"`` falls back to when no landmark
+    executor is configured."""
+    return QueryBudget(max_scanned=max(128, 16 * k))
+
+
+@dataclass(frozen=True)
+class ServingDecision:
+    """How the partitioned route will serve one query's latency hint."""
+
+    mode: str
+    budget: Optional[QueryBudget]
+    reason: str
 
 
 @dataclass(frozen=True)
@@ -78,6 +107,12 @@ class ExecutionPlan:
     frontier_bound: Optional[float] = None
     prune_threshold: Optional[float] = None
     partition_previews: Optional[Tuple[PartitionPreview, ...]] = None
+    #: How the route serves the query's latency hint (exact / anytime /
+    #: landmark) plus the budget the anytime mode will enforce.
+    serving_mode: str = SERVING_EXACT
+    serving_reason: str = ""
+    budget_deadline_ms: Optional[float] = None
+    budget_max_scanned: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable view (the ``/explain`` payload)."""
@@ -93,7 +128,14 @@ class ExecutionPlan:
             "partitions": self.partitions,
             "fan_out": self.fan_out,
             "reason": self.reason,
+            "serving_mode": self.serving_mode,
         }
+        if self.serving_reason:
+            data["serving_reason"] = self.serving_reason
+        if self.budget_deadline_ms is not None:
+            data["budget_deadline_ms"] = self.budget_deadline_ms
+        if self.budget_max_scanned is not None:
+            data["budget_max_scanned"] = self.budget_max_scanned
         if self.frontier_bound is not None:
             data["frontier_bound"] = self.frontier_bound
         if self.prune_threshold is not None:
@@ -116,6 +158,16 @@ class ExecutionPlan:
             f"(partitions={self.partitions}, fan-out={self.fan_out})",
             f"reason:     {self.reason}",
         ]
+        if self.serving_mode != SERVING_EXACT or self.serving_reason:
+            budget_bits = []
+            if self.budget_deadline_ms is not None:
+                budget_bits.append(f"deadline={self.budget_deadline_ms:g}ms")
+            if self.budget_max_scanned is not None:
+                budget_bits.append(f"max-scanned={self.budget_max_scanned}")
+            budget_txt = f" ({', '.join(budget_bits)})" if budget_bits else ""
+            lines.append(f"serving:    {self.serving_mode}{budget_txt}"
+                         + (f" -- {self.serving_reason}"
+                            if self.serving_reason else ""))
         if self.frontier_bound is not None:
             lines.append(f"bounds:     frontier={self.frontier_bound:.6f}"
                          + (f", prune-threshold={self.prune_threshold:.6f}"
@@ -186,6 +238,10 @@ class QueryPlanner:
         self.route_lookups = 0
         self.route_memo_hits = 0
         self._route_decisions: Dict[str, int] = {}
+        #: Per-mode serving decisions (only queries that carried a hint
+        #: reach the decision logic; hint-less queries are exact by
+        #: construction and are counted under ``route_decisions``).
+        self._serving_decisions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Engine signals
@@ -226,6 +282,65 @@ class QueryPlanner:
         return None
 
     # ------------------------------------------------------------------ #
+    # SLO-aware serving decisions
+    # ------------------------------------------------------------------ #
+
+    def serving(self, query: Query,
+                executor: str = EXECUTOR_PARTITIONED) -> ServingDecision:
+        """Pick the serving mode for one query's latency hint.
+
+        Precedence: an explicit :class:`QueryBudget` wins, then ``effort``,
+        then ``slo_ms``.  ``effort="fast"`` routes to the landmark executor
+        when the engine built one (``proximity.landmarks > 0``), otherwise
+        it degrades to a tightly budgeted anytime scan.  Serving modes only
+        exist on the partitioned route — the registry algorithms have their
+        own early-termination semantics — so other routes always serve
+        exact.
+        """
+        decision = self._serving(query, executor)
+        self._serving_decisions[decision.mode] = (
+            self._serving_decisions.get(decision.mode, 0) + 1)
+        return decision
+
+    def _serving(self, query: Query, executor: str) -> ServingDecision:
+        if executor != EXECUTOR_PARTITIONED:
+            return ServingDecision(
+                SERVING_EXACT, None,
+                "serving hints apply to the partitioned route only; this "
+                "route keeps its own termination semantics")
+        if query.budget is not None:
+            return ServingDecision(
+                SERVING_ANYTIME, query.budget,
+                "explicit per-query budget requested")
+        if query.effort == "exact":
+            return ServingDecision(
+                SERVING_EXACT, None, "effort=exact pins the exact scan")
+        if query.effort == "fast":
+            if getattr(self._engine, "landmark_executor", None) is not None:
+                return ServingDecision(
+                    SERVING_LANDMARK, None,
+                    "effort=fast routes to the landmark-sketch executor")
+            return ServingDecision(
+                SERVING_ANYTIME, fast_budget(query.k),
+                "effort=fast with no landmark tier configured; tightly "
+                "budgeted anytime scan instead")
+        if query.effort == "balanced":
+            return ServingDecision(
+                SERVING_ANYTIME, default_budget(query.k),
+                "effort=balanced caps the scan at the default budget")
+        if query.slo_ms is not None:
+            return ServingDecision(
+                SERVING_ANYTIME, QueryBudget(deadline_ms=query.slo_ms),
+                f"slo_ms={query.slo_ms:g} enforced as an anytime deadline")
+        return ServingDecision(
+            SERVING_EXACT, None,
+            "no budget/effort/SLO hint; exact is the default")
+
+    def serving_stats(self) -> Dict[str, int]:
+        """Per-mode decision counts for hinted queries."""
+        return dict(self._serving_decisions)
+
+    # ------------------------------------------------------------------ #
     # Single-query planning
     # ------------------------------------------------------------------ #
 
@@ -261,6 +376,17 @@ class QueryPlanner:
                           if not preview_.pruned and preview_.candidates)
         elif preview:
             frontier = self._engine.proximity.frontier_bound(query.seeker)
+        serving_mode = SERVING_EXACT
+        serving_reason = ""
+        deadline_ms: Optional[float] = None
+        max_scanned: Optional[int] = None
+        if query.has_serving_hint:
+            decision = self.serving(query, route)
+            serving_mode = decision.mode
+            serving_reason = decision.reason
+            if decision.budget is not None:
+                deadline_ms = decision.budget.deadline_ms
+                max_scanned = decision.budget.max_scanned
         return ExecutionPlan(
             seeker=query.seeker,
             tags=query.tags,
@@ -277,6 +403,10 @@ class QueryPlanner:
             frontier_bound=frontier,
             prune_threshold=threshold,
             partition_previews=previews,
+            serving_mode=serving_mode,
+            serving_reason=serving_reason,
+            budget_deadline_ms=deadline_ms,
+            budget_max_scanned=max_scanned,
         )
 
     def route(self, algorithm: Optional[str] = None) -> Tuple[str, str]:
@@ -365,6 +495,7 @@ class QueryPlanner:
             "route_lookups": self.route_lookups,
             "route_memo_hits": self.route_memo_hits,
             "route_decisions": dict(self._route_decisions),
+            "serving_decisions": dict(self._serving_decisions),
         }
 
     def describe(self) -> Dict[str, object]:

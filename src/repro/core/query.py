@@ -17,6 +17,42 @@ from .accounting import AccessAccountant
 
 
 @dataclass(frozen=True)
+class QueryBudget:
+    """A per-query work limit for the anytime execution path.
+
+    Either limit (or both) may be set: ``deadline_ms`` stops the scatter
+    sweep once the query's wall clock crosses the deadline, ``max_scanned``
+    once that many candidates have been submitted to exact scoring.  The
+    sweep only stops *between* shards, so both limits are soft by at most
+    one shard's worth of work.  An unlimited budget (both ``None``) is
+    rejected — use the exact path instead.
+    """
+
+    deadline_ms: Optional[float] = None
+    max_scanned: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms is None and self.max_scanned is None:
+            raise InvalidQueryError(
+                "a budget needs a deadline_ms or a max_scanned limit")
+        if self.deadline_ms is not None and self.deadline_ms <= 0.0:
+            raise InvalidQueryError(
+                f"deadline_ms must be positive, got {self.deadline_ms}")
+        if self.max_scanned is not None and self.max_scanned < 0:
+            raise InvalidQueryError(
+                f"max_scanned must be non-negative, got {self.max_scanned}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation."""
+        return {"deadline_ms": self.deadline_ms,
+                "max_scanned": self.max_scanned}
+
+
+#: Effort hints a query may carry instead of a hard SLO or budget.
+EFFORT_LEVELS = ("exact", "balanced", "fast")
+
+
+@dataclass(frozen=True)
 class Query:
     """A top-k social search request.
 
@@ -29,17 +65,35 @@ class Query:
         preserving first occurrence.
     k:
         Number of results requested.
+    slo_ms:
+        Optional latency target.  The planner translates it into a serving
+        mode (exact / anytime / landmark); it is a hint, not a guarantee.
+    effort:
+        Optional coarse hint (``"exact"``, ``"balanced"``, ``"fast"``) for
+        clients that care about the latency/quality trade-off but have no
+        millisecond number in mind.
+    budget:
+        Optional explicit :class:`QueryBudget`; overrides ``slo_ms`` and
+        ``effort`` when present.
     """
 
     seeker: int
     tags: Tuple[str, ...]
     k: int = 10
+    slo_ms: Optional[float] = None
+    effort: Optional[str] = None
+    budget: Optional[QueryBudget] = None
 
     def __post_init__(self) -> None:
         if self.seeker < 0:
             raise InvalidQueryError(f"seeker id must be non-negative, got {self.seeker}")
         if self.k < 1:
             raise InvalidQueryError(f"k must be >= 1, got {self.k}")
+        if self.slo_ms is not None and self.slo_ms <= 0.0:
+            raise InvalidQueryError(f"slo_ms must be positive, got {self.slo_ms}")
+        if self.effort is not None and self.effort not in EFFORT_LEVELS:
+            raise InvalidQueryError(
+                f"effort must be one of {EFFORT_LEVELS}, got {self.effort!r}")
         cleaned: List[str] = []
         for tag in self.tags:
             if not isinstance(tag, str) or not tag.strip():
@@ -64,9 +118,23 @@ class Query:
         """Number of distinct query tags."""
         return len(self.tags)
 
+    @property
+    def has_serving_hint(self) -> bool:
+        """Whether the query carries any SLO / effort / budget hint."""
+        return (self.slo_ms is not None or self.effort is not None
+                or self.budget is not None)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable representation."""
-        return {"seeker": self.seeker, "tags": list(self.tags), "k": self.k}
+        data: Dict[str, object] = {"seeker": self.seeker,
+                                   "tags": list(self.tags), "k": self.k}
+        if self.slo_ms is not None:
+            data["slo_ms"] = self.slo_ms
+        if self.effort is not None:
+            data["effort"] = self.effort
+        if self.budget is not None:
+            data["budget"] = self.budget.to_dict()
+        return data
 
 
 @dataclass(frozen=True)
@@ -90,7 +158,14 @@ class ScoredItem:
 
 @dataclass
 class QueryResult:
-    """The outcome of running one query with one algorithm."""
+    """The outcome of running one query with one algorithm.
+
+    ``is_exact`` records whether the result is provably identical to the
+    exact path; ``error_bound`` is the admissible gap of an anytime result:
+    the true k-th exact score never exceeds the returned k-th score plus
+    the bound (0.0 for provably exact answers, ``None`` when no bound is
+    computed, e.g. the landmark-sketch route).
+    """
 
     query: Query
     items: List[ScoredItem]
@@ -98,6 +173,8 @@ class QueryResult:
     latency_seconds: float = 0.0
     accounting: AccessAccountant = field(default_factory=AccessAccountant)
     terminated_early: bool = False
+    is_exact: bool = True
+    error_bound: Optional[float] = 0.0
 
     @property
     def item_ids(self) -> List[int]:
@@ -120,6 +197,8 @@ class QueryResult:
             "algorithm": self.algorithm,
             "latency_seconds": self.latency_seconds,
             "terminated_early": self.terminated_early,
+            "is_exact": self.is_exact,
+            "error_bound": self.error_bound,
             "accounting": self.accounting.to_dict(),
             "items": [item.to_dict() for item in self.items],
         }

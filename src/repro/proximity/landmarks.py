@@ -1,4 +1,4 @@
-"""Landmark-based proximity sketches.
+"""Landmark-based proximity sketches (the approximate serving tier).
 
 Computing exact shortest-path proximity from every seeker is wasteful when
 queries arrive from many different users.  The landmark sketch picks a small
@@ -12,27 +12,44 @@ This over-estimates distances (under-estimates proximity), so it is an
 admissible approximation for pruning.  The sketch is the reconstruction of
 the "precomputation vs. on-line computation" trade-off the paper family
 discusses.
+
+The sketch state is two dense arrays — ``(num_landmarks, num_users)``
+distances and hop counts — so a seeker's whole estimate vector is a few
+vectorized ops over landmark rows, and the arrays persist directly as the
+arena's ``landmark.*`` section (:func:`repro.storage.arena.build_arena`).
+Graph updates never recompute landmark rows on the serving path: the
+touched seekers are marked stale and served an exact Dijkstra row from a
+delta overlay until the next offline rebuild, and users added after the
+sketch was built are unreachable through it (an admissible under-estimate)
+except for their exact direct friends.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..config import ProximityConfig
+from ..errors import PersistenceError
 from ..graph import SocialGraph
 from ..graph.traversal import dijkstra_iter
 from .base import ProximityMeasure, register_proximity
+
+#: Sketch proximities at or below this value are treated as zero (direct
+#: friends are exempt: their exact value is always served).
+SKETCH_FLOOR = 1e-6
 
 
 def select_landmarks(graph: SocialGraph, num_landmarks: int, seed: int = 0,
                      strategy: str = "degree") -> List[int]:
     """Pick landmark users.
 
-    ``"degree"`` picks the highest-degree users (good coverage of hubs);
-    ``"random"`` samples uniformly.
+    ``"degree"`` picks the highest-degree users (good coverage of hubs),
+    breaking degree ties by ascending user id — a total order, so the
+    landmark set (and everything derived from it, including arena bytes)
+    is reproducible across numpy versions.  ``"random"`` samples uniformly.
     """
     num_landmarks = max(1, min(num_landmarks, graph.num_users))
     if strategy == "random":
@@ -40,88 +57,248 @@ def select_landmarks(graph: SocialGraph, num_landmarks: int, seed: int = 0,
         return sorted(int(u) for u in rng.choice(graph.num_users, size=num_landmarks,
                                                  replace=False))
     degrees = graph.degrees()
-    order = np.argsort(-degrees, kind="stable")
+    # np.lexsort is always stable; the last key is primary, so this orders
+    # by (-degree, user id) exactly.
+    order = np.lexsort((np.arange(degrees.shape[0], dtype=np.int64),
+                        -degrees))
     return [int(u) for u in order[:num_landmarks].tolist()]
 
 
 @register_proximity("landmark")
 class LandmarkProximity(ProximityMeasure):
-    """Triangulated shortest-path proximity through precomputed landmarks."""
+    """Triangulated shortest-path proximity through precomputed landmarks.
+
+    Parameters
+    ----------
+    graph / config:
+        The usual measure pair; ``config.decay`` sets the per-hop penalty
+        and ``config.landmarks`` the default sketch size.
+    num_landmarks:
+        Overrides ``config.landmarks`` when given.
+    seed / strategy:
+        Forwarded to :func:`select_landmarks`.
+    """
 
     def __init__(self, graph: SocialGraph, config: Optional[ProximityConfig] = None,
-                 num_landmarks: int = 16, seed: int = 0,
+                 num_landmarks: Optional[int] = None, seed: int = 0,
                  strategy: str = "degree") -> None:
         super().__init__(graph, config)
         self._hop_penalty = -math.log(max(self.config.decay, 1e-12))
-        self._num_landmarks = num_landmarks
+        if num_landmarks is None:
+            num_landmarks = self.config.landmarks or 16
+        self._num_landmarks = max(1, int(num_landmarks))
         self._seed = seed
         self._strategy = strategy
+        #: Seekers whose sketch rows are invalid after a graph update; they
+        #: are served exact rows from the overlay until a rebuild.
+        self._stale: Set[int] = set()
+        #: Memoised exact rows of stale (or sketch-unknown) seekers.
+        self._overlay: Dict[int, np.ndarray] = {}
         self._on_graph_changed()
+
+    # ------------------------------------------------------------------ #
+    # Sketch construction / persistence
+    # ------------------------------------------------------------------ #
 
     def _on_graph_changed(self) -> None:
         graph = self.graph
-        self._landmarks = select_landmarks(graph, self._num_landmarks,
-                                           seed=self._seed, strategy=self._strategy)
-        # Exact (distance, hops) maps from every landmark; the one-off
+        landmarks = select_landmarks(graph, self._num_landmarks,
+                                     seed=self._seed, strategy=self._strategy)
+        num_users = graph.num_users
+        distances = np.full((len(landmarks), num_users), np.inf,
+                            dtype=np.float64)
+        hops = np.zeros((len(landmarks), num_users), dtype=np.int64)
+        # Exact (distance, hops) rows from every landmark; the one-off
         # precomputation the sketch trades for cheap per-query estimates.
-        self._distance_maps: List[Dict[int, Tuple[float, int]]] = [
-            {node: (dist, hops) for node, dist, hops in dijkstra_iter(graph, landmark)}
-            for landmark in self._landmarks
-        ]
+        for row, landmark in enumerate(landmarks):
+            for node, dist, hop in dijkstra_iter(graph, landmark):
+                distances[row, node] = dist
+                hops[row, node] = hop
+        self._landmark_ids = np.array(landmarks, dtype=np.int64)
+        self._distances = distances
+        self._hops = hops
+        self._stale.clear()
+        self._overlay.clear()
 
     @property
     def landmarks(self) -> List[int]:
         """The selected landmark user ids."""
-        return list(self._landmarks)
+        return [int(u) for u in self._landmark_ids.tolist()]
 
-    def _estimate(self, target: int,
-                  seeker_entries: List[Tuple[float, int]]) -> Tuple[float, int]:
-        """Best ``(distance, hops)`` estimate via any landmark (inf when unreachable)."""
-        best_distance = math.inf
-        best_hops = 0
-        for landmark_index, (seeker_distance, seeker_hops) in enumerate(seeker_entries):
-            if math.isinf(seeker_distance):
-                continue
-            target_entry = self._distance_maps[landmark_index].get(target)
-            if target_entry is None:
-                continue
-            distance = seeker_distance + target_entry[0]
-            if distance < best_distance:
-                best_distance = distance
-                best_hops = seeker_hops + target_entry[1]
-        return best_distance, best_hops
+    @property
+    def num_landmarks(self) -> int:
+        """Number of landmarks in the sketch."""
+        return int(self._landmark_ids.shape[0])
+
+    @property
+    def seed(self) -> int:
+        """Selection seed (recorded in the arena's landmark metadata)."""
+        return self._seed
+
+    @property
+    def strategy(self) -> str:
+        """Selection strategy (recorded in the arena's landmark metadata)."""
+        return self._strategy
+
+    def sketch_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The persistable sketch state: ``(landmark_ids, distances, hops)``.
+
+        The arrays are the live sketch (treat as read-only); the arena
+        writer persists them as the ``landmark.*`` section.
+        """
+        return self._landmark_ids, self._distances, self._hops
+
+    def install_sketch(self, landmark_ids: np.ndarray, distances: np.ndarray,
+                       hops: np.ndarray) -> None:
+        """Adopt a precomputed sketch (the arena attach path).
+
+        Replaces the arrays built at construction; the overlay and stale
+        set reset because the installed sketch is a fresh generation.
+        """
+        landmark_ids = np.asarray(landmark_ids, dtype=np.int64)
+        distances = np.asarray(distances, dtype=np.float64)
+        hops = np.asarray(hops, dtype=np.int64)
+        if distances.shape != hops.shape \
+                or distances.shape[0] != landmark_ids.shape[0]:
+            raise PersistenceError(
+                "landmark sketch arrays disagree: "
+                f"ids {landmark_ids.shape}, distances {distances.shape}, "
+                f"hops {hops.shape}")
+        if distances.shape[1] != self.graph.num_users:
+            raise PersistenceError(
+                f"landmark sketch covers {distances.shape[1]} users but the "
+                f"graph has {self.graph.num_users}")
+        self._landmark_ids = landmark_ids
+        self._distances = distances
+        self._hops = hops
+        self._num_landmarks = int(landmark_ids.shape[0])
+        self._stale.clear()
+        self._overlay.clear()
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+
+    def vector_array(self, seeker: int) -> np.ndarray:
+        """Dense triangulated proximity estimates, one vectorized pass.
+
+        The per-target estimate replays the scalar rule exactly: best
+        landmark by first-minimum summed distance, per-hop decay charged on
+        the (over-counted) estimated hop count, a small floor, and exact
+        values for direct friends.  Stale seekers (graph updates) are
+        served their memoised exact overlay row instead.
+        """
+        self.graph.validate_user(seeker)
+        overlay = self._overlay_row(seeker)
+        if overlay is not None:
+            return overlay
+        num_users = self.graph.num_users
+        width = int(self._distances.shape[1])
+        seeker_distances = self._distances[:, seeker]
+        estimates = seeker_distances[:, None] + self._distances
+        best = np.argmin(estimates, axis=0)
+        columns = np.arange(width, dtype=np.int64)
+        distance = estimates[best, columns]
+        hop_counts = self._hops[:, seeker][best] + self._hops[best, columns]
+        # Charge the per-hop decay on the estimated (over-counted) hop
+        # count so the sketch never exceeds the exact shortest-path
+        # proximity — an admissible under-estimate.
+        penalty = np.maximum(hop_counts, 1) * self._hop_penalty
+        proximity = np.exp(-(distance + penalty))
+        proximity = np.where(proximity > SKETCH_FLOOR,
+                             np.minimum(proximity, 1.0), 0.0)
+        dense = np.zeros(num_users, dtype=np.float64)
+        dense[:width] = proximity[:num_users]
+        dense[seeker] = 0.0
+        return self._apply_direct(dense, seeker)
+
+    def _apply_direct(self, dense: np.ndarray, seeker: int) -> np.ndarray:
+        """Exact proximity for direct friends: triangulation is needlessly
+        pessimistic one hop away and direct ties matter most."""
+        nbrs, weights = self.graph.neighbours(seeker)
+        if nbrs.shape[0]:
+            direct = np.exp(-(-np.log(np.maximum(weights, 1e-12))
+                              + self._hop_penalty))
+            dense[nbrs] = np.maximum(dense[nbrs], np.minimum(direct, 1.0))
+        return dense
 
     def vector(self, seeker: int) -> Dict[int, float]:
         """Estimate proximity to every user reachable through some landmark."""
-        self.graph.validate_user(seeker)
-        seeker_entries = [
-            distances.get(seeker, (math.inf, 0)) for distances in self._distance_maps
-        ]
-        candidates: Dict[int, float] = {}
-        for distances in self._distance_maps:
-            for user in distances:
-                if user != seeker:
-                    candidates.setdefault(user, math.inf)
-        result: Dict[int, float] = {}
-        for target in candidates:
-            distance, hops = self._estimate(target, seeker_entries)
-            if math.isinf(distance):
+        dense = self.vector_array(seeker)
+        nonzero = np.nonzero(dense)[0]
+        return {int(user): float(dense[user]) for user in nonzero}
+
+    # ------------------------------------------------------------------ #
+    # Delta overlay (graph updates)
+    # ------------------------------------------------------------------ #
+
+    def _overlay_row(self, seeker: int) -> Optional[np.ndarray]:
+        row = self._overlay.get(seeker)
+        if row is not None:
+            return row
+        if seeker not in self._stale and seeker < self._distances.shape[1]:
+            return None
+        row = self._exact_row(seeker)
+        self._overlay[seeker] = row
+        return row
+
+    def _exact_row(self, seeker: int) -> np.ndarray:
+        """An exact per-seeker proximity row (the overlay's contents).
+
+        Exact rows are trivially admissible — the sketch only ever serves
+        *at most* the exact value, and these serve exactly it.
+        """
+        dense = np.zeros(self.graph.num_users, dtype=np.float64)
+        for node, dist, _hop in dijkstra_iter(
+                self.graph, seeker,
+                max_distance=-math.log(SKETCH_FLOOR),
+                hop_penalty=self._hop_penalty):
+            if node == seeker:
                 continue
-            # Charge the per-hop decay on the estimated (over-counted) hop
-            # count so the sketch never exceeds the exact shortest-path
-            # proximity — an admissible under-estimate.
-            proximity = math.exp(-(distance + max(1, hops) * self._hop_penalty))
-            if proximity > 1e-6:
-                result[target] = min(1.0, proximity)
-        # Exact proximity for direct friends: triangulation is needlessly
-        # pessimistic one hop away and direct ties matter most.
-        nbrs, weights = self.graph.neighbours(seeker)
-        for v, w in zip(nbrs.tolist(), weights.tolist()):
-            direct = math.exp(-(-math.log(max(w, 1e-12)) + self._hop_penalty))
-            result[int(v)] = max(result.get(int(v), 0.0), min(1.0, direct))
-        return result
+            value = math.exp(-dist)
+            if value > SKETCH_FLOOR:
+                dense[node] = min(1.0, value)
+        return self._apply_direct(dense, seeker)
+
+    def invalidate(self, users: Iterable[int]) -> None:
+        """Mark seekers' sketch rows invalid (served exact until rebuilt)."""
+        for user in users:
+            user = int(user)
+            if user >= 0:
+                self._stale.add(user)
+                self._overlay.pop(user, None)
+
+    def graph_updated(self, graph: SocialGraph, affected: Iterable[int]) -> None:
+        """Adopt an updated graph without recomputing landmark rows.
+
+        New users are unreachable through the frozen sketch (inf distance —
+        an admissible under-estimate; their direct friendships are still
+        exact through the override), and ``affected`` seekers go stale.
+        """
+        self._graph = graph
+        width = int(self._distances.shape[1])
+        if graph.num_users > width:
+            grow = graph.num_users - width
+            rows = int(self._distances.shape[0])
+            self._distances = np.concatenate(
+                [self._distances,
+                 np.full((rows, grow), np.inf, dtype=np.float64)], axis=1)
+            self._hops = np.concatenate(
+                [self._hops, np.zeros((rows, grow), dtype=np.int64)], axis=1)
+        self.invalidate(affected)
+
+    @property
+    def stale_seekers(self) -> int:
+        """Number of seekers currently served from the exact overlay path."""
+        return len(self._stale)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
 
     def memory_bytes(self) -> int:
-        """Approximate memory used by the precomputed distance maps."""
-        entries = sum(len(distances) for distances in self._distance_maps)
-        return entries * 16  # int key + float value, dict overhead ignored
+        """Memory held by the dense sketch arrays (overlay rows included)."""
+        total = (self._landmark_ids.nbytes + self._distances.nbytes
+                 + self._hops.nbytes)
+        total += sum(row.nbytes for row in self._overlay.values())
+        return total

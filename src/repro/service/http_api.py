@@ -24,7 +24,10 @@ any third-party web framework.  Endpoints:
 ``POST /query`` with ``{"seeker": 4, "tags": ["jazz"], "k": 10}``
     Answer one query; the response carries the ranked items, the serving
     outcome (``hit`` / ``coalesced`` / ``computed``) and both engine- and
-    service-side latency.
+    service-side latency.  Optional serving hints — ``slo_ms``, ``effort``
+    (``exact`` / ``balanced`` / ``fast``), ``deadline_ms``,
+    ``max_scanned`` — let the planner trade accuracy for latency; anytime
+    answers carry ``is_exact`` and an admissible ``error_bound``.
 ``GET /explain?seeker=4&tags=jazz,vinyl&k=10[&algorithm=exact]``
 ``POST /explain`` with the same body as ``/query``
     Return the planner's :class:`~repro.core.plan.ExecutionPlan` for the
@@ -47,7 +50,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from ..core.query import Query
+from ..core.query import Query, QueryBudget
 from ..errors import ReproError
 from ..obs import trace as obs_trace
 from ..storage.tagging import TaggingAction
@@ -153,6 +156,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     "tags": params.get("tags", [""])[0].split(","),
                     "k": params.get("k", [10])[0],
                     "algorithm": params.get("algorithm", [None])[0],
+                    "slo_ms": params.get("slo_ms", [None])[0],
+                    "effort": params.get("effort", [None])[0],
+                    "deadline_ms": params.get("deadline_ms", [None])[0],
+                    "max_scanned": params.get("max_scanned", [None])[0],
                 }
                 if parsed.path == "/explain":
                     self._handle_explain(payload)
@@ -199,10 +206,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if payload.get("seeker") is None:
             raise ValueError("missing required field 'seeker'")
         tags = [tag for tag in (payload.get("tags") or []) if str(tag).strip()]
+        budget = None
+        if payload.get("max_scanned") is not None \
+                or payload.get("deadline_ms") is not None:
+            deadline = payload.get("deadline_ms")
+            scanned = payload.get("max_scanned")
+            budget = QueryBudget(
+                deadline_ms=float(deadline) if deadline is not None else None,
+                max_scanned=int(scanned) if scanned is not None else None,
+            )
+        slo_ms = payload.get("slo_ms")
+        effort = payload.get("effort")
         return Query(
             seeker=int(payload["seeker"]),
             tags=tuple(str(tag) for tag in tags),
             k=int(payload.get("k") or 10),
+            slo_ms=float(slo_ms) if slo_ms is not None else None,
+            effort=str(effort) if effort is not None else None,
+            budget=budget,
         )
 
     def _handle_query(self, payload: Dict[str, Any]) -> None:

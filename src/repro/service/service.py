@@ -497,6 +497,7 @@ class QueryService:
             removed += self._cache.invalidate_tags(summary.tags_touched)
         if summary.graph_rebuilt:
             removed += self._refresh_proximity(summary)
+            self._refresh_landmarks(summary)
         # Route freshly written items to the partition owning their first
         # endorser's community, so the scatter-gather layout keeps its
         # seeker locality under live updates (unknown items would otherwise
@@ -551,6 +552,21 @@ class QueryService:
             if repair is not None:
                 repair(affected)
         return removed
+
+    def _refresh_landmarks(self, summary: UpdateSummary) -> None:
+        """Keep the approximate tier admissible across graph updates.
+
+        The frozen landmark sketch adopts the rebuilt graph without
+        recomputing landmark rows; seekers within the proximity horizon of
+        the touched users go stale and are served exact overlay rows until
+        the next offline rebuild (:meth:`LandmarkProximity.graph_updated`).
+        """
+        landmark = getattr(self._engine, "landmark_proximity", None)
+        if landmark is None:
+            return
+        affected = (self._affected_seekers(summary.users_touched)
+                    if summary.edges_added else set())
+        landmark.graph_updated(self._engine.dataset.graph, affected)
 
     # ------------------------------------------------------------------ #
     # Background compaction (the write path's epoch swap)

@@ -18,30 +18,33 @@ from ..core.query import Query
 from ..errors import WorkloadError
 from ..storage.dataset import Dataset
 from .distributions import poisson_at_least_one
+from .sampler import generator_distributions
 
 
 class QueryWorkloadGenerator:
-    """Draws reproducible query workloads from a dataset."""
+    """Draws reproducible query workloads from a dataset.
+
+    Sampling distributions come from the store's action histograms via
+    :func:`~repro.workload.sampler.generator_distributions` — three flat
+    arrays, no per-user profile scans — so construction stays cheap on
+    array-native stores.  Only the ``profile`` tag strategy reads a user's
+    tag profile, and only for the seekers actually sampled.
+    """
 
     def __init__(self, dataset: Dataset, config: Optional[WorkloadConfig] = None) -> None:
         self._dataset = dataset
         self._config = config or WorkloadConfig()
         self._rng = np.random.default_rng(self._config.seed)
-        self._tags = dataset.tags()
+        tag_table, activity, popularity = dataset.tagging.action_histograms(
+            dataset.num_users)
+        self._tags = tag_table
         if not self._tags:
             raise WorkloadError("cannot generate queries: the dataset has no tags")
-        popularity = dataset.tagging.tag_popularity()
-        weights = np.array([popularity.get(tag, 0) + 1.0 for tag in self._tags],
-                           dtype=np.float64)
-        self._tag_probabilities = weights / weights.sum()
-        self._active_users = dataset.active_users()
-        if not self._active_users:
+        self._tag_probabilities, active_users, self._activity_probabilities = \
+            generator_distributions(tag_table, activity, popularity)
+        if active_users.size == 0:
             raise WorkloadError("cannot generate queries: the dataset has no active users")
-        activity = np.array(
-            [dataset.tagging.activity(user) + 1.0 for user in self._active_users],
-            dtype=np.float64,
-        )
-        self._activity_probabilities = activity / activity.sum()
+        self._active_users = [int(user) for user in active_users]
 
     # ------------------------------------------------------------------ #
     # Sampling

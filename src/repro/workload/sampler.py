@@ -30,7 +30,37 @@ from ..core.query import Query
 from ..errors import WorkloadError
 from .distributions import poisson_at_least_one
 
-__all__ = ["sample_workload", "dataset_workload"]
+__all__ = ["generator_distributions", "sample_workload", "dataset_workload"]
+
+
+def generator_distributions(tag_table: Sequence[str],
+                            activity: np.ndarray,
+                            popularity: np.ndarray):
+    """Smoothed sampling distributions from action histograms.
+
+    The distributions :class:`~repro.workload.queries.QueryWorkloadGenerator`
+    uses — tags weighted by ``popularity + 1``, active users (non-zero
+    activity) weighted by ``activity + 1`` — computed from the same three
+    histogram arrays :func:`sample_workload` consumes, so building a
+    generator never walks per-user store structures.  Returns
+    ``(tag_probabilities, active_users, activity_probabilities)``; the
+    probability arrays are normalised and ``active_users`` is the sorted
+    array of user ids with at least one action.
+    """
+    popularity = np.asarray(popularity, dtype=np.float64)
+    if popularity.size != len(tag_table):
+        raise WorkloadError(
+            f"popularity has {popularity.size} entries for "
+            f"{len(tag_table)} tags")
+    tag_weights = popularity + 1.0
+    tag_probabilities = tag_weights / tag_weights.sum() \
+        if tag_weights.size else tag_weights
+    activity = np.asarray(activity, dtype=np.float64)
+    active_users = np.nonzero(activity > 0.0)[0]
+    activity_weights = activity[active_users] + 1.0
+    activity_probabilities = activity_weights / activity_weights.sum() \
+        if activity_weights.size else activity_weights
+    return tag_probabilities, active_users, activity_probabilities
 
 
 def sample_workload(tag_table: Sequence[str],

@@ -1,0 +1,152 @@
+"""SLO-aware serving decisions: planner, engine routing, and cache keys.
+
+The planner picks exact vs. anytime vs. landmark per query from the
+serving hints (explicit budget > effort > slo_ms), records the decision in
+the :class:`~repro.core.plan.ExecutionPlan`, and the engine routes
+accordingly — never serving an approximate answer to a query that did not
+opt in, including through the service cache.
+"""
+
+import pytest
+
+from repro.config import EngineConfig, ProximityConfig, ScoringConfig
+from repro.core import Query, SocialSearchEngine
+from repro.core.plan import (
+    EXECUTOR_PARTITIONED,
+    SERVING_ANYTIME,
+    SERVING_EXACT,
+    SERVING_LANDMARK,
+    default_budget,
+    fast_budget,
+)
+from repro.core.query import QueryBudget
+from repro.service.cache import CacheKey
+
+
+@pytest.fixture(scope="module")
+def serving_engine(synthetic_dataset):
+    """Partitioned engine with a landmark executor (landmarks > 0)."""
+    return SocialSearchEngine(synthetic_dataset, EngineConfig(
+        algorithm="exact",
+        scoring=ScoringConfig(alpha=0.5, vectorized=True),
+        proximity=ProximityConfig(measure="ppr", materialize=True,
+                                  landmarks=8),
+        partitions=4))
+
+
+@pytest.fixture(scope="module")
+def plain_engine(synthetic_dataset):
+    """Partitioned engine without a landmark tier (landmarks = 0)."""
+    return SocialSearchEngine(synthetic_dataset, EngineConfig(
+        algorithm="exact",
+        scoring=ScoringConfig(alpha=0.5, vectorized=True),
+        proximity=ProximityConfig(measure="ppr", materialize=True),
+        partitions=4))
+
+
+def _query(**hints):
+    return Query(seeker=0, tags=("tag-1",), k=5, **hints)
+
+
+class TestServingDecision:
+    def test_no_hints_serves_exact(self, serving_engine):
+        decision = serving_engine.planner.serving(_query())
+        assert decision.mode == SERVING_EXACT
+        assert decision.budget is None
+
+    def test_explicit_budget_wins_over_everything(self, serving_engine):
+        budget = QueryBudget(max_scanned=77)
+        decision = serving_engine.planner.serving(
+            _query(budget=budget, effort="fast", slo_ms=5.0))
+        assert decision.mode == SERVING_ANYTIME
+        assert decision.budget == budget
+
+    def test_effort_exact_pins_exact(self, serving_engine):
+        decision = serving_engine.planner.serving(
+            _query(effort="exact", slo_ms=5.0))
+        assert decision.mode == SERVING_EXACT
+
+    def test_effort_fast_picks_landmark_when_available(self, serving_engine):
+        decision = serving_engine.planner.serving(_query(effort="fast"))
+        assert decision.mode == SERVING_LANDMARK
+
+    def test_effort_fast_degrades_to_tight_anytime(self, plain_engine):
+        decision = plain_engine.planner.serving(_query(effort="fast"))
+        assert decision.mode == SERVING_ANYTIME
+        assert decision.budget == fast_budget(5)
+
+    def test_effort_balanced_uses_default_budget(self, serving_engine):
+        decision = serving_engine.planner.serving(_query(effort="balanced"))
+        assert decision.mode == SERVING_ANYTIME
+        assert decision.budget == default_budget(5)
+
+    def test_slo_becomes_deadline_budget(self, serving_engine):
+        decision = serving_engine.planner.serving(_query(slo_ms=12.5))
+        assert decision.mode == SERVING_ANYTIME
+        assert decision.budget == QueryBudget(deadline_ms=12.5)
+
+    def test_hints_apply_to_partitioned_route_only(self, serving_engine):
+        decision = serving_engine.planner.serving(
+            _query(effort="fast"), executor="algorithm")
+        assert decision.mode == SERVING_EXACT
+
+    def test_decisions_are_counted(self, synthetic_dataset):
+        engine = SocialSearchEngine(synthetic_dataset, EngineConfig(
+            algorithm="exact",
+            scoring=ScoringConfig(alpha=0.5, vectorized=True),
+            proximity=ProximityConfig(measure="ppr", materialize=True,
+                                      landmarks=4),
+            partitions=4))
+        engine.planner.serving(_query(effort="fast"))
+        engine.planner.serving(_query(slo_ms=3.0))
+        engine.planner.serving(_query())
+        stats = engine.planner.serving_stats()
+        assert stats[SERVING_LANDMARK] == 1
+        assert stats[SERVING_ANYTIME] == 1
+        assert stats[SERVING_EXACT] == 1
+        assert engine.planner.route_stats()["serving_decisions"] == stats
+
+
+class TestPlanRecord:
+    def test_plan_records_serving_fields(self, serving_engine):
+        plan = serving_engine.planner.plan(_query(effort="balanced"))
+        assert plan.executor == EXECUTOR_PARTITIONED
+        assert plan.serving_mode == SERVING_ANYTIME
+        assert plan.budget_max_scanned == default_budget(5).max_scanned
+        data = plan.to_dict()
+        assert data["serving_mode"] == SERVING_ANYTIME
+        assert data["budget_max_scanned"] == default_budget(5).max_scanned
+        assert "serving:" in plan.describe()
+
+    def test_unhinted_plan_stays_exact(self, serving_engine):
+        plan = serving_engine.planner.plan(_query())
+        assert plan.serving_mode == SERVING_EXACT
+        assert "serving_reason" not in plan.to_dict()
+
+
+class TestEngineRouting:
+    def test_fast_effort_serves_landmark_answer(self, serving_engine):
+        result = serving_engine.run(_query(effort="fast"))
+        assert result.algorithm == "landmark"
+        assert not result.is_exact
+
+    def test_tight_budget_yields_bounded_answer(self, serving_engine):
+        result = serving_engine.run(
+            _query(budget=QueryBudget(max_scanned=1)))
+        assert result.error_bound is not None
+        assert result.error_bound >= 0.0
+
+    def test_unhinted_query_is_exact(self, serving_engine):
+        result = serving_engine.run(_query())
+        assert result.is_exact
+        assert (result.error_bound or 0.0) == 0.0
+
+
+class TestCacheKeySeparation:
+    def test_hinted_and_unhinted_queries_never_share_entries(self):
+        exact_key = CacheKey.for_query(_query(), algorithm="exact")
+        fast_key = CacheKey.for_query(_query(effort="fast"),
+                                      algorithm="exact")
+        budget_key = CacheKey.for_query(
+            _query(budget=QueryBudget(max_scanned=64)), algorithm="exact")
+        assert len({exact_key, fast_key, budget_key}) == 3

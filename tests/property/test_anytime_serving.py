@@ -1,0 +1,163 @@
+"""Anytime/approximate serving properties.
+
+The anytime tier may stop scanning early, but its contract is strict:
+
+* the returned error bound is *admissible* — the true k-th exact score
+  never exceeds the returned k-th score plus the bound, for every budget,
+  on every corpus, through both the materialized and the unmaterialized
+  proximity paths;
+* a budget that covers the whole sweep is not "approximately exact", it is
+  **bit-identical** to the exact scan — rankings, scores and access
+  accounting — and says so (``is_exact``, zero bound);
+* landmark triangulation never under-estimates a distance (the sketch
+  stays admissible for pruning), checked at the distance level where no
+  floor or hop-cap truncation can blur the comparison;
+* landmark selection is a total order: equal-degree ties break by user id.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import DatasetConfig, EngineConfig, ProximityConfig, ScoringConfig
+from repro.core import SocialSearchEngine
+from repro.core.query import QueryBudget
+from repro.eval.quality import result_signature
+from repro.graph import SocialGraph
+from repro.graph.traversal import dijkstra_iter
+from repro.proximity.landmarks import LandmarkProximity, select_landmarks
+from repro.workload import build_dataset
+from repro.workload.sampler import dataset_workload
+
+BUDGETS = (1, 8, 32, 1024)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_dataset(DatasetConfig(
+        name="anytime-prop", num_users=80, num_items=240, num_tags=12,
+        num_actions=1600, graph_model="community", avg_degree=6.0,
+        homophily=0.7, tag_locality=0.8, seed=17))
+
+
+def _partitioned_engine(dataset, alpha, materialize):
+    engine = SocialSearchEngine(dataset, EngineConfig(
+        algorithm="exact",
+        scoring=ScoringConfig(alpha=alpha, vectorized=True),
+        proximity=ProximityConfig(measure="ppr", materialize=materialize,
+                                  cache_size=0 if not materialize else 128),
+        partitions=4))
+    if materialize:
+        engine.proximity.build()
+    return engine
+
+
+class TestAnytimeBoundAdmissible:
+    @pytest.mark.parametrize("alpha", [0.2, 0.5])
+    @pytest.mark.parametrize("materialize", [True, False])
+    def test_true_kth_never_exceeds_returned_plus_bound(
+            self, corpus, alpha, materialize):
+        engine = _partitioned_engine(corpus, alpha, materialize)
+        queries = dataset_workload(corpus, num_queries=12, k=5, seed=3)
+        for query in queries:
+            exact = engine.run(query)
+            if not exact.items:
+                continue
+            true_kth = exact.items[-1].score
+            for cap in BUDGETS:
+                result = engine.run(
+                    replace(query, budget=QueryBudget(max_scanned=cap)))
+                assert result.error_bound is not None
+                assert result.error_bound >= 0.0
+                returned_kth = (result.items[-1].score
+                                if len(result.items) >= len(exact.items)
+                                else 0.0)
+                assert true_kth <= returned_kth + result.error_bound + 1e-9, (
+                    f"bound not admissible: budget={cap} seeker="
+                    f"{query.seeker} tags={query.tags}: true kth {true_kth} "
+                    f"> returned {returned_kth} + bound {result.error_bound}")
+
+    def test_exact_claims_are_bit_identical(self, corpus):
+        """Whenever a budgeted scan says ``is_exact`` it must *be* exact."""
+        engine = _partitioned_engine(corpus, 0.5, True)
+        queries = dataset_workload(corpus, num_queries=12, k=5, seed=3)
+        for query in queries:
+            exact = engine.run(query)
+            for cap in BUDGETS:
+                result = engine.run(
+                    replace(query, budget=QueryBudget(max_scanned=cap)))
+                if result.is_exact:
+                    assert result.error_bound == 0.0
+                    assert result_signature(result) == result_signature(exact)
+
+
+class TestFullBudgetBitIdentity:
+    @pytest.mark.parametrize("alpha", [0.2, 0.5])
+    @pytest.mark.parametrize("materialize", [True, False])
+    def test_covering_budget_reproduces_exact_scan(
+            self, corpus, alpha, materialize):
+        engine = _partitioned_engine(corpus, alpha, materialize)
+        queries = dataset_workload(corpus, num_queries=12, k=5, seed=3)
+        cover = QueryBudget(max_scanned=corpus.num_items + 1)
+        for query in queries:
+            exact = engine.run(query)
+            result = engine.run(replace(query, budget=cover))
+            assert result.is_exact
+            assert result.error_bound == 0.0
+            assert result_signature(result) == result_signature(exact)
+
+
+class TestLandmarkTriangulation:
+    def _graphs(self):
+        for seed in (1, 2, 3):
+            dataset = build_dataset(DatasetConfig(
+                name=f"tri-{seed}", num_users=40, num_items=60, num_tags=6,
+                num_actions=300, graph_model="community", avg_degree=5.0,
+                homophily=0.6, seed=seed))
+            yield dataset.graph
+
+    def test_triangulated_distance_never_below_true_distance(self):
+        for graph in self._graphs():
+            n = graph.num_users
+            for count in (1, 3, 8):
+                sketch = LandmarkProximity(graph, ProximityConfig(),
+                                           num_landmarks=count)
+                _ids, distances, _hops = sketch.sketch_arrays()
+                for seeker in range(n):
+                    true = np.full(n, np.inf, dtype=np.float64)
+                    for node, dist, _hop in dijkstra_iter(graph, seeker):
+                        true[node] = dist
+                    estimated = (distances[:, seeker][:, None]
+                                 + distances).min(axis=0)
+                    # inf estimates (unreachable through any landmark) are
+                    # trivially admissible over-estimates.
+                    assert np.all(estimated >= true - 1e-9), (
+                        f"triangulation under-estimated a distance: "
+                        f"seeker={seeker}, landmarks={count}")
+
+
+class TestLandmarkSelectionDeterministic:
+    def test_equal_degree_ties_break_by_user_id(self):
+        # A 6-cycle: every user has degree 2, so the order is pure
+        # tie-breaking and must be ascending user id.
+        edges = [(i, (i + 1) % 6, 1.0) for i in range(6)]
+        graph = SocialGraph.from_edges(6, edges)
+        assert select_landmarks(graph, 3, strategy="degree") == [0, 1, 2]
+
+    def test_selection_is_reproducible(self):
+        for seed in (1, 4):
+            dataset = build_dataset(DatasetConfig(
+                name=f"det-{seed}", num_users=50, num_items=80, num_tags=6,
+                num_actions=400, graph_model="barabasi-albert",
+                avg_degree=6.0, seed=seed))
+            first = select_landmarks(dataset.graph, 8, strategy="degree")
+            second = select_landmarks(dataset.graph, 8, strategy="degree")
+            assert first == second
+            sketch_a = LandmarkProximity(dataset.graph, ProximityConfig(),
+                                         num_landmarks=8)
+            sketch_b = LandmarkProximity(dataset.graph, ProximityConfig(),
+                                         num_landmarks=8)
+            for left, right in zip(sketch_a.sketch_arrays(),
+                                   sketch_b.sketch_arrays()):
+                assert np.array_equal(left, right)

@@ -1,0 +1,125 @@
+"""Landmark sketch persistence and delta-overlay invalidation.
+
+The sketch's dense arrays persist as the arena's ``landmark.*`` section —
+attaching them must reproduce the in-memory sketch exactly, rebuilds must
+be byte-identical (the arena invariant), and graph updates must route the
+touched seekers to exact overlay rows instead of the frozen sketch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DatasetConfig, ProximityConfig
+from repro.errors import PersistenceError
+from repro.graph import SocialGraph
+from repro.proximity.landmarks import LandmarkProximity
+from repro.storage.arena import attach_landmarks, build_arena, load_landmarks
+from repro.workload import build_dataset
+
+CONFIG = DatasetConfig(
+    name="landmark-arena", num_users=40, num_items=80, num_tags=8,
+    num_actions=400, graph_model="community", avg_degree=5.0,
+    homophily=0.6, seed=29)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def sketch(dataset):
+    return LandmarkProximity(dataset.graph, ProximityConfig(),
+                             num_landmarks=4)
+
+
+class TestArenaRoundTrip:
+    def test_attached_sketch_serves_identical_estimates(
+            self, dataset, sketch, tmp_path):
+        path = build_arena(dataset, tmp_path / "corpus.arena",
+                           landmarks=sketch)
+        attached = LandmarkProximity(dataset.graph, ProximityConfig(),
+                                     num_landmarks=4)
+        assert attach_landmarks(attached, path)
+        for seeker in range(dataset.num_users):
+            assert np.array_equal(attached.vector_array(seeker),
+                                  sketch.vector_array(seeker))
+
+    def test_metadata_round_trips(self, dataset, sketch, tmp_path):
+        path = build_arena(dataset, tmp_path / "corpus.arena",
+                           landmarks=sketch)
+        loaded = load_landmarks(path)
+        assert loaded is not None
+        landmark_ids, distances, hops, meta = loaded
+        assert landmark_ids.tolist() == sketch.landmarks
+        assert distances.shape == (4, dataset.num_users)
+        assert hops.shape == distances.shape
+        assert meta["num_landmarks"] == 4
+        assert meta["strategy"] == "degree"
+
+    def test_rebuild_is_byte_identical(self, tmp_path):
+        paths = []
+        for name in ("a", "b"):
+            fresh = build_dataset(CONFIG)
+            fresh_sketch = LandmarkProximity(fresh.graph, ProximityConfig(),
+                                             num_landmarks=4)
+            paths.append(build_arena(fresh, tmp_path / f"{name}.arena",
+                                     landmarks=fresh_sketch))
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_arena_without_sketch_attaches_nothing(self, dataset, tmp_path):
+        path = build_arena(dataset, tmp_path / "bare.arena")
+        assert load_landmarks(path) is None
+        attached = LandmarkProximity(dataset.graph, ProximityConfig(),
+                                     num_landmarks=4)
+        assert not attach_landmarks(attached, path)
+
+    def test_decay_mismatch_is_rejected(self, dataset, sketch, tmp_path):
+        path = build_arena(dataset, tmp_path / "corpus.arena",
+                           landmarks=sketch)
+        other = LandmarkProximity(dataset.graph, ProximityConfig(decay=0.25),
+                                  num_landmarks=4)
+        with pytest.raises(PersistenceError):
+            attach_landmarks(other, path)
+
+
+class TestDeltaOverlay:
+    def _sketch(self):
+        edges = [(0, 1, 1.0), (1, 2, 0.5), (0, 3, 0.8), (3, 4, 1.0),
+                 (2, 4, 0.6)]
+        graph = SocialGraph.from_edges(5, edges)
+        return graph, LandmarkProximity(graph, ProximityConfig(),
+                                        num_landmarks=2)
+
+    def test_invalidated_seeker_is_served_the_exact_row(self):
+        graph, sketch = self._sketch()
+        before = sketch.vector_array(2).copy()
+        sketch.invalidate([2])
+        assert sketch.stale_seekers == 1
+        after = sketch.vector_array(2)
+        # Exact rows dominate the admissible sketch under-estimates.
+        assert np.all(after >= before - 1e-12)
+        fresh = LandmarkProximity(graph, ProximityConfig(), num_landmarks=2)
+        assert np.array_equal(after, fresh._exact_row(2))
+
+    def test_untouched_seekers_keep_the_sketch_path(self):
+        _graph, sketch = self._sketch()
+        before = sketch.vector_array(0).copy()
+        sketch.invalidate([2])
+        assert np.array_equal(sketch.vector_array(0), before)
+
+    def test_graph_update_grows_arrays_and_marks_stale(self):
+        graph, sketch = self._sketch()
+        grown = SocialGraph.from_edges(7, [(0, 1, 1.0), (1, 2, 0.5),
+                                           (0, 3, 0.8), (3, 4, 1.0),
+                                           (2, 4, 0.6), (5, 6, 1.0)])
+        sketch.graph_updated(grown, affected=[1])
+        assert sketch.stale_seekers == 1
+        _ids, distances, hops = sketch.sketch_arrays()
+        assert distances.shape[1] == 7
+        assert hops.shape[1] == 7
+        # New users are unreachable through the frozen sketch except via
+        # their exact direct friendships.
+        row = sketch.vector_array(5)
+        assert row[6] > 0.0
+        assert row[:5].sum() == 0.0

@@ -94,3 +94,64 @@ class TestQueryTrace:
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(PersistenceError):
             load_queries(tmp_path / "missing.jsonl")
+
+
+class TestHistogramDrivenGeneration:
+    """The generator's sampling now runs off action histograms.
+
+    The refactor must be invisible: for every strategy combination and
+    seed, the histogram-driven generator draws the exact workload the
+    per-user profile-scan construction used to draw (same RNG sequence,
+    same probability arrays), so pinned seeds and committed benchmarks
+    keep their workloads.
+    """
+
+    def _legacy_generator(self, dataset, config):
+        import numpy as np
+
+        generator = QueryWorkloadGenerator.__new__(QueryWorkloadGenerator)
+        generator._dataset = dataset
+        generator._config = config
+        generator._rng = np.random.default_rng(config.seed)
+        generator._tags = dataset.tags()
+        popularity = dataset.tagging.tag_popularity()
+        weights = np.array([popularity.get(tag, 0) + 1.0
+                            for tag in generator._tags], dtype=np.float64)
+        generator._tag_probabilities = weights / weights.sum()
+        generator._active_users = dataset.active_users()
+        activity = np.array(
+            [dataset.tagging.activity(user) + 1.0
+             for user in generator._active_users], dtype=np.float64)
+        generator._activity_probabilities = activity / activity.sum()
+        return generator
+
+    @pytest.mark.parametrize("seeker_strategy", ["active", "uniform"])
+    @pytest.mark.parametrize("tag_strategy", ["profile", "popular", "uniform"])
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_bit_identical_to_profile_scan_construction(
+            self, synthetic_dataset, seeker_strategy, tag_strategy, seed):
+        config = WorkloadConfig(seed=seed, seeker_strategy=seeker_strategy,
+                                tag_strategy=tag_strategy,
+                                num_queries=25, k=5)
+        legacy = self._legacy_generator(synthetic_dataset, config).generate()
+        current = QueryWorkloadGenerator(synthetic_dataset, config).generate()
+        assert current == legacy
+
+    def test_generator_distributions_rejects_misaligned_histograms(self):
+        import numpy as np
+
+        from repro.workload.sampler import generator_distributions
+
+        with pytest.raises(WorkloadError):
+            generator_distributions(["a", "b"], np.ones(3), np.ones(3))
+
+    def test_generator_distributions_active_users_are_nonzero_rows(self):
+        import numpy as np
+
+        from repro.workload.sampler import generator_distributions
+
+        activity = np.array([0.0, 2.0, 0.0, 5.0])
+        _tag_probs, active, probs = generator_distributions(
+            ["a"], activity, np.array([7.0]))
+        assert active.tolist() == [1, 3]
+        assert probs == pytest.approx([3.0 / 9.0, 6.0 / 9.0])
